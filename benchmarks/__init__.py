@@ -1,0 +1,1 @@
+"""Benchmark harness regenerating every table and figure of the paper."""

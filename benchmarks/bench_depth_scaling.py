@@ -1,0 +1,67 @@
+"""GNN depth ablation: where replication stops being viable.
+
+§3 of the paper argues replication "renders inapplicable for deeper GNN
+models with more layers" because the K-hop closure explodes (Figure 4),
+while partitioned training's communication only grows linearly with the
+layer count.  This bench sweeps K = 1, 2, 3 on Web-Google (the graph
+where replication is *competitive* at K = 2) and locates the crossover.
+"""
+
+import pytest
+
+from repro.baselines import Workload, evaluate_scheme
+from repro.topology import dgx1
+
+from benchmarks.conftest import ms, shared_topology, write_table
+
+
+def evaluate_depths():
+    results = {}
+    for layers in (1, 2, 3):
+        w = Workload("web-google", "gcn", shared_topology(8),
+                     num_layers=layers)
+        for scheme in ("dgcl", "replication"):
+            results[(layers, scheme)] = evaluate_scheme(w, scheme)
+    return results
+
+
+def test_depth_scaling(benchmark):
+    results = evaluate_depths()
+    rows = []
+    for layers in (1, 2, 3):
+        dgcl = results[(layers, "dgcl")]
+        rep = results[(layers, "replication")]
+        rows.append([
+            layers,
+            ms(dgcl.epoch_time) if dgcl.ok else dgcl.status,
+            ms(rep.epoch_time) if rep.ok else rep.status,
+            f"{rep.epoch_time / dgcl.epoch_time:.2f}x"
+            if dgcl.ok and rep.ok else "-",
+        ])
+    write_table(
+        "depth_scaling",
+        "Depth ablation: DGCL vs Replication on Web-Google, 8 GPUs",
+        ["Layers", "DGCL (ms)", "Replication (ms)", "repl/DGCL"],
+        rows,
+        notes="Replication recomputes the K-hop closure; its penalty "
+              "grows with depth while DGCL's communication grows linearly.",
+    )
+
+    # DGCL runs at every depth.
+    for layers in (1, 2, 3):
+        assert results[(layers, "dgcl")].ok
+    # The replication penalty grows strictly with depth...
+    ratios = []
+    for layers in (1, 2, 3):
+        rep = results[(layers, "replication")]
+        dgcl = results[(layers, "dgcl")]
+        if rep.ok:
+            ratios.append(rep.epoch_time / dgcl.epoch_time)
+    assert all(a < b for a, b in zip(ratios, ratios[1:]))
+    # ...and by 3 layers replication clearly loses (or OOMs).
+    rep3 = results[(3, "replication")]
+    assert (not rep3.ok) or rep3.epoch_time > 1.5 * results[(3, "dgcl")].epoch_time
+
+    w = Workload("web-google", "gcn", shared_topology(8), num_layers=3)
+    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=1,
+                       iterations=1)

@@ -1,0 +1,85 @@
+"""Figure 10: cost-model estimate vs actual communication time.
+
+Paper: varying the communication volume (transmitting only a subset of
+the vertices), the measured graphAllgather time is a *linear* function
+of the model-estimated cost, with divergence from the fitted line below
+5 % in most cases.  The linearity is what lets SPST trust the model.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.spst import SPSTPlanner
+from repro.simulator.executor import PlanExecutor
+
+from benchmarks.conftest import get_workload, write_table
+
+FRACTIONS = np.linspace(0.25, 1.0, 7)
+
+
+class _SubsetRelation:
+    """A relation view keeping only a fraction of each class's payload."""
+
+    def __init__(self, relation, fraction: float, seed: int = 0):
+        from repro.core.relation import MulticastClass
+
+        rng = np.random.default_rng(seed)
+        self.num_devices = relation.num_devices
+        self.classes = []
+        for cls in relation.classes:
+            keep = max(1, int(round(cls.size * fraction)))
+            chosen = rng.choice(cls.vertices, size=keep, replace=False)
+            self.classes.append(
+                MulticastClass(cls.source, cls.destinations, np.sort(chosen))
+            )
+
+
+def measure(dataset):
+    w = get_workload(dataset, "gcn", 8)
+    bpu = w.boundary_bytes()[0]
+    executor = PlanExecutor(w.topology)
+    planner = SPSTPlanner(w.topology, seed=0)
+    points = []
+    for fraction in FRACTIONS:
+        subset = _SubsetRelation(w.relation, float(fraction))
+        plan = planner.plan(subset)
+        estimated = plan.estimated_cost(bpu)
+        actual = executor.execute(plan, bpu).total_time
+        points.append((estimated, actual))
+    return points
+
+
+@pytest.mark.parametrize("dataset", ["web-google", "reddit"])
+def test_fig10_cost_model_accuracy(dataset, benchmark):
+    points = measure(dataset)
+    est = np.array([p[0] for p in points])
+    act = np.array([p[1] for p in points])
+
+    # Least-squares line and its residuals.
+    slope, intercept = np.polyfit(est, act, 1)
+    fitted = slope * est + intercept
+    rel_resid = np.abs(act - fitted) / act
+    corr = float(np.corrcoef(est, act)[0, 1])
+
+    write_table(
+        f"fig10_cost_model_accuracy_{dataset}",
+        f"Figure 10 ({dataset}): estimated cost vs simulated time",
+        ["Volume fraction", "Estimated (us)", "Actual (us)", "|resid|"],
+        [
+            [f"{f:.2f}", f"{e * 1e6:.2f}", f"{a * 1e6:.2f}",
+             f"{r:.1%}"]
+            for f, e, a, r in zip(FRACTIONS, est, act, rel_resid)
+        ],
+        notes=(
+            f"pearson r = {corr:.4f}; max relative divergence from the "
+            f"fitted line = {rel_resid.max():.1%} (paper: <5% in most cases)"
+        ),
+    )
+
+    assert corr > 0.98, f"estimate/actual correlation only {corr:.3f}"
+    assert np.median(rel_resid) < 0.05
+    assert rel_resid.max() < 0.15
+    # More volume means more time (sanity of the sweep).
+    assert act[-1] > act[0]
+
+    benchmark.pedantic(lambda: measure(dataset)[:1], rounds=1, iterations=1)

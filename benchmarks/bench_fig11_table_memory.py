@@ -1,0 +1,60 @@
+"""Figure 11: memory overhead of the send/receive tables.
+
+Paper: the per-GPU tables that drive decentralized coordination cost
+less than 0.2 % (2 per-mille) of the peak training memory — they hold
+vertex *ids*, not embeddings, and are reused across layers and epochs.
+"""
+
+import pytest
+
+from repro.simulator.compute import partition_memory_bytes
+
+from benchmarks.conftest import get_workload, write_table
+
+DATASETS = ["reddit", "com-orkut", "web-google", "wiki-talk"]
+PAPER_8GPU = {  # per-mille, from Figure 11a
+    "reddit": 0.935, "com-orkut": 0.096,
+    "web-google": 1.880, "wiki-talk": 0.350,
+}
+
+
+def table_ratio(dataset: str, num_gpus: int) -> float:
+    w = get_workload(dataset, "gcn", num_gpus)
+    tables = w.spst_plan.table_memory_bytes(bytes_per_id=4)
+    dims = w.model.memory_dims()
+    boundary = w.model.layer_dims[: w.num_layers]
+    training = 0
+    for d in range(num_gpus):
+        num_local, num_rows, num_edges = w.device_slice(d)
+        training += partition_memory_bytes(
+            num_local, num_rows - num_local, num_edges, dims, boundary
+        )
+    return tables / training
+
+
+@pytest.mark.parametrize("num_gpus", [8, 16])
+def test_fig11_table_memory(num_gpus, benchmark):
+    ratios = {d: table_ratio(d, num_gpus) for d in DATASETS}
+    rows = [
+        [d, f"{1e3 * ratios[d]:.3f}",
+         f"{PAPER_8GPU[d]:.3f}" if num_gpus == 8 else "-"]
+        for d in DATASETS
+    ]
+    write_table(
+        f"fig11_table_memory_{num_gpus}gpu",
+        f"Figure 11: send/recv tables over training memory (per-mille), {num_gpus} GPUs",
+        ["Dataset", "measured (per-mille)", "paper 8-GPU (per-mille)"],
+        rows,
+        notes=(
+            "Tables store int32 vertex ids; one table set serves all "
+            "layers.  The com-orkut twin cuts a ~10x larger *fraction* "
+            "of its edges than METIS cuts on the real 117M-edge Orkut, "
+            "which inflates its ratio above the paper's 0.096 per-mille."
+        ),
+    )
+    # Paper's claim: the ratio is tiny (below 0.2 % of training memory).
+    for dataset, ratio in ratios.items():
+        assert ratio < 0.0025, (dataset, ratio)
+
+    benchmark.pedantic(lambda: table_ratio("web-google", num_gpus),
+                       rounds=3, iterations=1)

@@ -1,0 +1,71 @@
+"""Figure 2: peer-to-peer communication overhead vs GPU count.
+
+Paper: for a 2-layer GCN on Web-Google and Reddit, communication time
+grows rapidly with GPU count even though per-GPU volume shrinks —
+taking >50 % of the epoch at 8 GPUs and >90 % at 16 (slow IB) — because
+aggregate volume and contention both grow.
+"""
+
+import pytest
+
+from repro.baselines import evaluate_scheme
+
+from benchmarks.conftest import get_workload, ms, write_table
+
+GPU_COUNTS = (2, 4, 8, 16)
+BYTES_PER_FLOAT = 4
+
+
+def per_gpu_volume_mb(workload) -> float:
+    """Average embedding bytes a GPU *receives* per epoch (the paper's
+    dashed 'Commu. Volume' series)."""
+    rel = workload.relation
+    dims = workload.model.layer_dims[: workload.num_layers]
+    per_boundary = sum(dims) * BYTES_PER_FLOAT
+    total = sum(
+        rel.remote_vertices[d].size for d in range(rel.num_devices)
+    ) * per_boundary
+    return total / rel.num_devices / 1e6
+
+
+@pytest.mark.parametrize("dataset", ["web-google", "reddit"])
+def test_fig2_p2p_overhead_grows(dataset, benchmark):
+    rows = []
+    comm_times = {}
+    fractions = {}
+    for n in GPU_COUNTS:
+        w = get_workload(dataset, "gcn", n)
+        r = evaluate_scheme(w, "peer-to-peer")
+        assert r.ok
+        comm_times[n] = r.comm_time
+        fractions[n] = r.comm_time / r.epoch_time
+        rows.append([
+            n, ms(r.compute_time), ms(r.comm_time),
+            f"{100 * fractions[n]:.0f}%", f"{per_gpu_volume_mb(w):.2f}",
+        ])
+    write_table(
+        f"fig2_p2p_scaling_{dataset}",
+        f"Figure 2 ({dataset}): peer-to-peer communication vs GPU count",
+        ["GPUs", "Compute (ms)", "Comm (ms)", "Comm share", "Volume/GPU (MB)"],
+        rows,
+        notes="2-layer GCN, METIS-style partition, peer-to-peer transfers.",
+    )
+
+    # Shape claims: communication grows with the GPU count beyond the
+    # NVLink-clique regime and dominates on two machines.
+    assert comm_times[8] > comm_times[4]
+    assert comm_times[16] > comm_times[8]
+    assert fractions[16] > fractions[4]
+    assert fractions[16] > 0.5
+    # Per-GPU volume shrinks (or saturates, for the dense twin whose
+    # remote set is already the whole graph) even as total time grows.
+    w4, w16 = get_workload(dataset, "gcn", 4), get_workload(dataset, "gcn", 16)
+    if dataset == "web-google":
+        assert per_gpu_volume_mb(w16) < per_gpu_volume_mb(w4)
+    else:
+        assert per_gpu_volume_mb(w16) < 1.5 * per_gpu_volume_mb(w4)
+
+    w = get_workload(dataset, "gcn", 8)
+    benchmark.pedantic(
+        lambda: evaluate_scheme(w, "peer-to-peer"), rounds=3, iterations=1
+    )

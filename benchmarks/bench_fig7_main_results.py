@@ -1,0 +1,108 @@
+"""Figure 7: the main result — per-epoch and communication time for
+GCN / CommNet / GIN on all four graphs with 8 GPUs, four schemes.
+
+Paper headlines this experiment reproduces in *shape*:
+
+* DGCL has the shortest per-epoch time in every cell;
+* DGCL's communication time beats peer-to-peer by a wide margin
+  (paper: 4.45x average, up to 7x) and Swap by more;
+* Replication OOMs on the two large graphs (Com-Orkut, Wiki-Talk) and
+  pays a heavy recomputation penalty on dense Reddit;
+* Swap is worst on the three larger graphs.
+
+Known deviation (documented in EXPERIMENTS.md): on Reddit the paper has
+Swap slightly *faster* than p2p; our idealized host-staging model puts
+it slightly slower.
+"""
+
+import math
+
+import pytest
+
+from repro.baselines import SCHEMES, evaluate_scheme
+
+from benchmarks.conftest import get_workload, ms, write_table
+
+DATASETS = ["reddit", "com-orkut", "web-google", "wiki-talk"]
+MODELS = ["gcn", "commnet", "gin"]
+
+
+def evaluate_all():
+    results = {}
+    for dataset in DATASETS:
+        for model in MODELS:
+            w = get_workload(dataset, model, 8)
+            for scheme in SCHEMES:
+                results[(dataset, model, scheme)] = evaluate_scheme(w, scheme)
+    return results
+
+
+def test_fig7_main_results(benchmark):
+    results = evaluate_all()
+    for dataset in DATASETS:
+        rows = []
+        for model in MODELS:
+            row = [model]
+            for scheme in SCHEMES:
+                r = results[(dataset, model, scheme)]
+                row.append(
+                    f"{r.ms():.3f} ({r.ms('comm_time'):.3f})" if r.ok else r.status.upper()
+                )
+            rows.append(row)
+        write_table(
+            f"fig7_main_results_{dataset}",
+            f"Figure 7 ({dataset}): per-epoch time ms (comm time ms), 8 GPUs",
+            ["Model"] + list(SCHEMES),
+            rows,
+            notes="Format: epoch_ms (comm_ms); OOM = simulated out-of-memory.",
+        )
+
+    # (1) DGCL achieves the shortest per-epoch time in all cells.
+    for dataset in DATASETS:
+        for model in MODELS:
+            dgcl = results[(dataset, model, "dgcl")]
+            assert dgcl.ok
+            for scheme in SCHEMES[1:]:
+                r = results[(dataset, model, scheme)]
+                if r.ok:
+                    assert dgcl.epoch_time <= r.epoch_time * 1.001, (
+                        dataset, model, scheme
+                    )
+
+    # (2) Large average communication reduction vs peer-to-peer.
+    ratios = []
+    for dataset in DATASETS:
+        for model in MODELS:
+            dgcl = results[(dataset, model, "dgcl")]
+            p2p = results[(dataset, model, "peer-to-peer")]
+            if dgcl.ok and p2p.ok and dgcl.comm_time > 0:
+                ratios.append(p2p.comm_time / dgcl.comm_time)
+    geo_mean = math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+    assert geo_mean > 2.0, f"p2p/DGCL comm geo-mean only {geo_mean:.2f}"
+
+    # (3) Replication OOMs on the large graphs, runs on the small ones.
+    for model in MODELS:
+        assert results[("com-orkut", model, "replication")].status == "oom"
+        assert results[("wiki-talk", model, "replication")].status == "oom"
+        assert results[("reddit", model, "replication")].ok
+        assert results[("web-google", model, "replication")].ok
+
+    # (4) Replication pays heavy recomputation on dense Reddit.
+    assert (
+        results[("reddit", "gcn", "replication")].epoch_time
+        > 2.5 * results[("reddit", "gcn", "dgcl")].epoch_time
+    )
+
+    # (5) Swap is worst on the three larger graphs.
+    for dataset in ("com-orkut", "web-google", "wiki-talk"):
+        for model in MODELS:
+            swap = results[(dataset, model, "swap")]
+            others = [
+                results[(dataset, model, s)]
+                for s in ("dgcl", "peer-to-peer")
+            ]
+            assert all(swap.epoch_time >= o.epoch_time for o in others if o.ok)
+
+    w = get_workload("web-google", "gcn", 8)
+    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=3,
+                       iterations=1)

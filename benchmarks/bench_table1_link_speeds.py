@@ -1,0 +1,53 @@
+"""Table 1: the speed of common communication links.
+
+Paper values (GB/s): NV2 48.35, NV1 24.22, PCIe 11.13, QPI 9.56,
+IB 6.37, Ethernet 3.12.  Here we *measure* the simulated links by
+timing a large point-to-point transfer over each kind, confirming the
+simulator delivers the configured Table-1 bandwidths.
+"""
+
+import pytest
+
+from repro.simulator.network import Flow, NetworkSimulator
+from repro.topology.links import BANDWIDTH_GBPS, LinkKind, PhysicalConnection
+
+from benchmarks.conftest import write_table
+
+KINDS = [
+    LinkKind.NV2,
+    LinkKind.NV1,
+    LinkKind.PCIE,
+    LinkKind.QPI,
+    LinkKind.IB,
+    LinkKind.ETHERNET,
+]
+
+TRANSFER_BYTES = 64e6
+
+
+def measure_bandwidth(kind: LinkKind) -> float:
+    conn = PhysicalConnection(f"bench:{kind.value}", kind)
+    sim = NetworkSimulator()
+    t = sim.makespan([Flow((conn,), TRANSFER_BYTES)])
+    return TRANSFER_BYTES / t / 1e9
+
+
+def test_table1_link_speeds(benchmark):
+    measured = {kind: measure_bandwidth(kind) for kind in KINDS}
+    write_table(
+        "table1_link_speeds",
+        "Table 1: measured speed (GB/s) of common communication links",
+        ["Type"] + [k.value for k in KINDS],
+        [
+            ["paper"] + [f"{BANDWIDTH_GBPS[k]:.2f}" for k in KINDS],
+            ["measured"] + [f"{measured[k]:.2f}" for k in KINDS],
+        ],
+        notes="One 64 MB point-to-point transfer per link kind.",
+    )
+    for kind in KINDS:
+        assert measured[kind] == pytest.approx(BANDWIDTH_GBPS[kind], rel=0.01)
+    # ordering claim: NVLink >> PCIe > QPI > IB > Ethernet
+    speeds = [measured[k] for k in KINDS]
+    assert speeds == sorted(speeds, reverse=True)
+
+    benchmark(measure_bandwidth, LinkKind.NV2)

@@ -1,0 +1,45 @@
+"""Table 3: attainable QPI bandwidth under contention.
+
+Paper: 1 GPU attains 9.50 GB/s, 2 GPUs 5.12, 3 GPUs 3.34 — contention
+"severely degrades communication speed" (§3).  We push concurrent flows
+through the simulated QPI and measure what each attains.
+"""
+
+import pytest
+
+from repro.simulator.network import Flow, NetworkSimulator
+from repro.topology.links import LinkKind, PhysicalConnection
+
+from benchmarks.conftest import write_table
+
+PAPER = {1: 9.50, 2: 5.12, 3: 3.34}
+TRANSFER_BYTES = 16e6
+
+
+def attainable_bandwidth(num_gpus: int) -> float:
+    qpi = PhysicalConnection("bench:qpi", LinkKind.QPI)
+    sim = NetworkSimulator()
+    flows = [Flow((qpi,), TRANSFER_BYTES) for _ in range(num_gpus)]
+    results = sim.run(flows)
+    slowest = max(r.finish_time for r in results)
+    return TRANSFER_BYTES / slowest / 1e9
+
+
+def test_table3_qpi_contention(benchmark):
+    measured = {n: attainable_bandwidth(n) for n in (1, 2, 3)}
+    write_table(
+        "table3_qpi_contention",
+        "Table 3: attainable bandwidth (GB/s) of a GPU sharing the QPI",
+        ["Number of GPUs", "1", "2", "3"],
+        [
+            ["paper"] + [f"{PAPER[n]:.2f}" for n in (1, 2, 3)],
+            ["measured"] + [f"{measured[n]:.2f}" for n in (1, 2, 3)],
+        ],
+        notes="Concurrent 16 MB flows over one shared QPI connection.",
+    )
+    # shape: sharply decreasing, roughly 1/n
+    assert measured[1] > measured[2] > measured[3]
+    for n in (1, 2, 3):
+        assert measured[n] == pytest.approx(PAPER[n], rel=0.15)
+
+    benchmark(attainable_bandwidth, 3)

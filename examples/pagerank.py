@@ -1,0 +1,57 @@
+"""PageRank over the DGCL stack — the paper's closing suggestion.
+
+§9: "We think DGCL may also benefit other distributed applications
+(e.g., PageRank on GPU) that has an irregular communication pattern
+similar to GNN training."  The rank vector is just a 1-wide embedding:
+the same partition, plan and graphAllgather serve power iteration
+untouched.  This script runs it on the Web-Google twin across 8
+simulated GPUs and compares the per-iteration communication cost of
+DGCL planning against peer-to-peer.
+
+Run:  python examples/pagerank.py
+"""
+
+import numpy as np
+
+from repro.apps import DistributedPageRank, pagerank
+from repro.baselines import Workload
+from repro.simulator import PlanExecutor
+from repro.topology import dgx1
+
+
+def main() -> None:
+    workload = Workload("web-google", "gcn", dgx1())
+    graph, relation = workload.graph, workload.relation
+    print(f"graph: {graph}")
+    print(f"plan:  {workload.spst_plan}\n")
+
+    engine = DistributedPageRank(relation, workload.spst_plan)
+    result = engine.run(tol=1e-10, max_iters=100)
+    print(f"converged in {result.iterations} iterations "
+          f"(residual {result.residual:.2e})")
+    print(f"simulated communication: "
+          f"{result.simulated_comm_seconds * 1e3:.3f} ms "
+          f"({result.simulated_comm_seconds / result.iterations * 1e6:.2f} us "
+          f"per iteration)")
+
+    reference = pagerank(graph, max_iters=100, tol=1e-10)
+    print(f"matches single-machine reference: "
+          f"{np.allclose(result.ranks, reference, atol=1e-9)}\n")
+
+    top = np.argsort(-result.ranks)[:5]
+    print("top-5 vertices by rank:")
+    for v in top:
+        print(f"  vertex {v}: rank {result.ranks[v]:.6f} "
+              f"(in-degree {graph.in_degree()[v]})")
+
+    # The communication advantage carries over from GNN training:
+    executor = PlanExecutor(workload.topology)
+    rank_bytes = 8  # one float64 per vertex
+    t_spst = executor.execute(workload.spst_plan, rank_bytes).total_time
+    t_p2p = executor.execute(workload.p2p_plan, rank_bytes).total_time
+    print(f"\nper-iteration allgather: DGCL {t_spst * 1e6:.2f} us vs "
+          f"peer-to-peer {t_p2p * 1e6:.2f} us ({t_p2p / t_spst:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Trace the decentralized coordination protocol (paper §6.1).
+
+Runs one graphAllgather through the message-level master/client runtime
+— ready/done flags, live network, real embedding rows — and prints the
+per-device progress, a transfer Gantt chart, and what a straggling GPU
+does to its partners under decentralized vs centralized coordination.
+
+Run:  python examples/protocol_trace.py
+"""
+
+import numpy as np
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.runtime import ProtocolRunner
+from repro.simulator import PlanExecutor
+from repro.simulator.timeline import render_gantt
+from repro.topology import dgx1
+
+
+def main() -> None:
+    graph = rmat(400, 3000, seed=2)
+    result = partition(graph, 8, seed=0)
+    relation = CommRelation(graph, result.assignment, 8)
+    topology = dgx1()
+    plan = SPSTPlanner(topology, seed=0).plan(relation)
+    print(f"plan: {plan}\n")
+
+    # ---- run the full protocol with real data ------------------------
+    rng = np.random.default_rng(0)
+    h = rng.standard_normal((graph.num_vertices, 64)).astype(np.float32)
+    blocks = [h[relation.local_vertices[d]] for d in range(8)]
+    runner = ProtocolRunner(relation, plan)
+    gathered, report = runner.run_data(blocks)
+    print(f"protocol completed in {report.total_time * 1e6:.2f} us "
+          f"({report.transfers} transfers)")
+    print("per-device finish times:")
+    for device, finish in sorted(report.device_finish.items()):
+        bar = "#" * int(40 * finish / report.total_time)
+        print(f"  GPU {device}: {finish * 1e6:7.2f} us |{bar}")
+
+    # sanity: the rows really arrived
+    for d in range(8):
+        layout = np.concatenate(
+            [relation.local_vertices[d], relation.remote_vertices[d]]
+        )
+        assert np.array_equal(gathered[d], h[layout])
+    print("every device holds exactly its local + remote rows\n")
+
+    # ---- transfer-level Gantt from the flow simulator ----------------
+    exec_report = PlanExecutor(topology).execute(plan, 64 * 4)
+    print("transfer timeline (flow-level view):")
+    print(render_gantt(exec_report, max_rows=24))
+
+    # ---- straggler study ---------------------------------------------
+    delay = 2e-5
+    print(f"\ninjecting a {delay * 1e6:.0f} us stall into GPU 7:")
+    for mode in ("decentralized", "centralized"):
+        base = ProtocolRunner(relation, plan, coordination=mode).run_timed(256)
+        slow = ProtocolRunner(
+            relation, plan, coordination=mode, device_delays={7: delay}
+        ).run_timed(256)
+        extras = [
+            slow.device_finish[d] - base.device_finish[d] for d in range(7)
+        ]
+        print(f"  {mode:14s}: other GPUs absorb "
+              f"{min(extras) * 1e6:6.2f}-{max(extras) * 1e6:6.2f} us of it "
+              f"(total {slow.total_time * 1e6:.2f} us)")
+    print("\ndecentralized coordination lets pairs that do not touch the "
+          "straggler keep moving — §6.1's design argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""GPU-count scaling study (Figures 8/9 as a script).
+
+Sweeps 1-16 GPUs for one dataset/model and prints how each scheme's
+epoch decomposes into computation and communication — showing where
+DGCL separates from peer-to-peer (beyond the 4-GPU NVLink clique) and
+where scaling breaks down (the IB hop to the second machine).
+
+Run:  python examples/scaling_study.py [dataset] [model]
+e.g.  python examples/scaling_study.py reddit gcn
+"""
+
+import sys
+
+from repro.baselines import SCHEMES, Workload, evaluate_scheme
+from repro.graph.datasets import DATASETS
+from repro.topology import topology_for_gpu_count
+
+GPU_COUNTS = (1, 2, 4, 8, 16)
+
+
+def main(dataset: str = "reddit", model: str = "gcn") -> None:
+    if dataset not in DATASETS:
+        raise SystemExit(f"unknown dataset {dataset!r}; pick from {sorted(DATASETS)}")
+    print(f"scaling study: {dataset} x {model}")
+    print("(first run pays partitioning for each GPU count; results are cached)\n")
+
+    header = (f"{'GPUs':>4s} | " + " | ".join(f"{s:>22s}" for s in SCHEMES))
+    print(header)
+    print("-" * len(header))
+    best_by_count = {}
+    for n in GPU_COUNTS:
+        workload = Workload(dataset, model, topology_for_gpu_count(n))
+        cells = []
+        for scheme in SCHEMES:
+            r = evaluate_scheme(workload, scheme)
+            if r.ok:
+                cells.append(f"{r.ms():8.3f} ({r.ms('comm_time'):7.3f})")
+                best = best_by_count.get(n)
+                if best is None or r.epoch_time < best[1]:
+                    best_by_count[n] = (scheme, r.epoch_time)
+            else:
+                cells.append(f"{r.status:>22s}")
+        print(f"{n:>4d} | " + " | ".join(f"{c:>22s}" for c in cells))
+
+    print("\ncolumns: epoch ms (communication ms)")
+    print("\nfastest scheme per GPU count:")
+    for n, (scheme, t) in sorted(best_by_count.items()):
+        print(f"  {n:>2d} GPUs: {scheme} ({t * 1e3:.3f} ms)")
+
+    one = best_by_count.get(1)
+    sixteen = best_by_count.get(16)
+    if one and sixteen:
+        print(f"\nbest-case speedup 1 -> 16 GPUs: {one[1] / sixteen[1]:.2f}x "
+              f"(sub-linear: the IB hop between machines is the bottleneck, "
+              f"paper §7.1)")
+
+
+if __name__ == "__main__":
+    args = sys.argv[1:]
+    main(args[0] if len(args) > 0 else "reddit",
+         args[1] if len(args) > 1 else "gcn")

@@ -1,0 +1,53 @@
+"""DGCL reproduction: efficient communication planning for distributed
+GNN training (Cai et al., EuroSys 2021).
+
+The package is organised exactly like the system inventory in DESIGN.md:
+
+* :mod:`repro.graph` — graph substrate and dataset twins,
+* :mod:`repro.topology` — hardware topology model (DGX-1 presets),
+* :mod:`repro.partition` — multilevel/hierarchical partitioning and
+  replication closures,
+* :mod:`repro.core` — the paper's contribution: communication relation,
+  staged cost model, SPST planner, plan compilation,
+* :mod:`repro.simulator` — flow-level network + compute + memory
+  simulation standing in for the multi-GPU testbed,
+* :mod:`repro.gnn` — numpy GCN/CommNet/GIN with distributed training,
+* :mod:`repro.comm` — functional plan execution (real data movement),
+* :mod:`repro.baselines` — end-to-end scheme evaluation (DGCL,
+  Peer-to-peer, Swap, Replication, DGCL-R),
+* :mod:`repro.api` — the Listing-1 style user API.
+
+Quickstart::
+
+    import repro.api as dgcl
+    from repro.graph import load_dataset
+    from repro.topology import dgx1
+
+    graph = load_dataset("web-google")
+    dgcl.init(dgx1())
+    plan = dgcl.build_comm_info(graph)
+    print(plan)                       # stages, routed units, link usage
+"""
+
+from repro.core import CommPlan, CommRelation, SPSTPlanner, StagedCostModel
+from repro.graph import Graph, load_dataset
+from repro.partition import hierarchical_partition, partition
+from repro.topology import Topology, dgx1, dual_dgx1, pcie_only
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Graph",
+    "load_dataset",
+    "Topology",
+    "dgx1",
+    "dual_dgx1",
+    "pcie_only",
+    "partition",
+    "hierarchical_partition",
+    "CommRelation",
+    "CommPlan",
+    "SPSTPlanner",
+    "StagedCostModel",
+    "__version__",
+]

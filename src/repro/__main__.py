@@ -1,0 +1,183 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — list the dataset twins, topology presets and GNN models;
+* ``plan`` — partition a dataset, run SPST, print plan statistics and
+  optionally save the plan to a ``.npz``;
+* ``evaluate`` — simulate one epoch for one or all communication
+  schemes on a workload (the Figure-7 cell view);
+* ``train`` — run real distributed epochs and confirm they match the
+  single-device reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.graph.datasets import DATASETS
+
+
+def _topology(num_gpus: int, kind: str):
+    from repro.topology import pcie_only, topology_for_gpu_count
+
+    if kind == "pcie":
+        return pcie_only(num_gpus)
+    return topology_for_gpu_count(num_gpus)
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    from repro.gnn.models import MODEL_BUILDERS
+
+    print("dataset twins (scaled from paper Table 4):")
+    for name, spec in DATASETS.items():
+        print(f"  {name:11s} |V|={spec.num_vertices:>6d}  "
+              f"avg deg={spec.avg_degree:6.1f}  feature={spec.feature_size}  "
+              f"hidden={spec.hidden_size}  (paper: {spec.paper_vertices} "
+              f"vertices, {spec.paper_edges} edges)")
+    print("\ntopologies: dgx1 (1-8 GPUs), dual-dgx1 (16 GPUs over IB), "
+          "pcie (no NVLink)")
+    print(f"models: {', '.join(sorted(MODEL_BUILDERS))}")
+    print("schemes: dgcl, dgcl-cache, peer-to-peer, swap, replication "
+          "(+ dgcl-r on 16 GPUs)")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    from repro.baselines import Workload
+
+    from repro.partition import evaluate_partition
+
+    workload = Workload(args.dataset, "gcn", _topology(args.gpus, args.topology))
+    print(f"graph:     {workload.graph}")
+    metrics = evaluate_partition(
+        workload.graph, workload.partition.assignment, workload.topology
+    )
+    print("partition:")
+    for line in metrics.summary().splitlines():
+        print(f"  {line}")
+    print(f"relation:  {workload.relation}")
+    start = time.perf_counter()
+    plan = workload.spst_plan
+    print(f"plan:      {plan}  (planned in {time.perf_counter() - start:.2f}s)")
+    print(f"           volume by kind: "
+          f"{ {str(k): v for k, v in plan.volume_by_kind().items()} }")
+    bpu = workload.boundary_bytes()[0]
+    print(f"           estimated allgather cost: "
+          f"{plan.estimated_cost(bpu) * 1e6:.2f} us")
+    if args.output:
+        from repro.core.serialize import save_plan
+
+        save_plan(plan, args.output)
+        print(f"saved to {args.output}")
+    return 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    from repro.baselines import SCHEMES, Workload, evaluate_dgcl_r, evaluate_scheme
+
+    topology = _topology(args.gpus, args.topology)
+    workload = Workload(args.dataset, args.model, topology)
+    schemes = [args.scheme] if args.scheme else list(SCHEMES)
+    print(f"{'scheme':14s} {'epoch(ms)':>10s} {'comm(ms)':>9s} "
+          f"{'compute(ms)':>12s}  status")
+    for scheme in schemes:
+        r = evaluate_scheme(workload, scheme)
+        if r.ok:
+            print(f"{scheme:14s} {r.ms():>10.3f} {r.ms('comm_time'):>9.3f} "
+                  f"{r.ms('compute_time'):>12.3f}  ok")
+        else:
+            print(f"{scheme:14s} {'-':>10s} {'-':>9s} {'-':>12s}  "
+                  f"{r.status}")
+    if topology.num_machines() > 1 and not args.scheme:
+        r = evaluate_dgcl_r(workload)
+        if r.ok:
+            print(f"{'dgcl-r':14s} {r.ms():>10.3f} {r.ms('comm_time'):>9.3f} "
+                  f"{r.ms('compute_time'):>12.3f}  ok")
+    return 0
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.baselines import Workload
+    from repro.gnn import SingleDeviceTrainer, build_model
+    from repro.gnn.distributed import DistributedTrainer
+    from repro.graph.datasets import synthetic_features, synthetic_labels
+
+    workload = Workload(args.dataset, args.model,
+                        _topology(args.gpus, args.topology))
+    spec = workload.spec
+    features = synthetic_features(workload.graph, spec.feature_size)
+    labels = synthetic_labels(workload.graph, spec.num_classes)
+    dist = DistributedTrainer(
+        workload.relation, workload.spst_plan, workload.model, features,
+        labels, lr=args.lr,
+    )
+    print(f"training {args.model} on {args.dataset} across "
+          f"{args.gpus} simulated GPUs:")
+    for epoch in range(args.epochs):
+        result = dist.run_epoch()
+        print(f"  epoch {epoch}: loss = {result.loss:.4f}")
+    reference = SingleDeviceTrainer(
+        workload.graph,
+        build_model(args.model, spec.feature_size, spec.hidden_size,
+                    spec.num_classes, seed=0),
+        features, labels, lr=args.lr,
+    )
+    ref = reference.train(args.epochs)
+    ok = np.allclose(ref, dist.loss_history, rtol=1e-4)
+    print(f"matches single-device reference: {ok}")
+    return 0 if ok else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DGCL reproduction (EuroSys 2021) command line",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="list datasets, topologies and models")
+
+    def common(p):
+        p.add_argument("--dataset", default="web-google",
+                       choices=sorted(DATASETS))
+        p.add_argument("--gpus", type=int, default=8)
+        p.add_argument("--topology", default="dgx",
+                       choices=["dgx", "pcie"])
+
+    p = sub.add_parser("plan", help="partition + SPST plan statistics")
+    common(p)
+    p.add_argument("--output", help="save the plan as .npz")
+
+    p = sub.add_parser("evaluate", help="simulate one epoch per scheme")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--scheme", default=None,
+                   help="one scheme only (default: all)")
+
+    p = sub.add_parser("train", help="run real distributed epochs")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--epochs", type=int, default=3)
+    p.add_argument("--lr", type=float, default=0.05)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": cmd_info,
+        "plan": cmd_plan,
+        "evaluate": cmd_evaluate,
+        "train": cmd_train,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,188 @@
+"""The DGCL user-facing API (paper §4.2 and Listing 1).
+
+This module mirrors the paper's Python API so the example from Listing 1
+ports almost verbatim::
+
+    import repro.api as dgcl
+
+    dgcl.init(topology)
+    dgcl.build_comm_info(graph)          # partition + plan
+    local_feats = dgcl.dispatch_features(features)
+    for layer in model.layers:
+        embeddings = dgcl.graph_allgather(local_feats)
+        ...                              # single-GPU layer per device
+
+The functions operate on a process-global :class:`DGCLSession` (the
+paper's master process); library users who prefer explicit state can
+instantiate :class:`DGCLSession` directly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.comm.allgather import CompiledAllgather
+from repro.core.plan import CommPlan
+from repro.core.relation import CommRelation, LocalGraph
+from repro.core.spst import SPSTPlanner
+from repro.graph.csr import Graph
+from repro.partition.hierarchical import hierarchical_partition
+from repro.simulator.executor import PlanExecutor
+from repro.topology.topology import Topology
+
+__all__ = [
+    "DGCLSession",
+    "init",
+    "build_comm_info",
+    "dispatch_features",
+    "graph_allgather",
+    "scatter_gradients",
+    "local_graphs",
+    "communication_plan",
+    "shutdown",
+]
+
+
+class DGCLSession:
+    """One distributed-training context: topology, plan, runtime."""
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+        self.relation: Optional[CommRelation] = None
+        self.plan: Optional[CommPlan] = None
+        self._allgather: Optional[CompiledAllgather] = None
+        self.executor = PlanExecutor(topology)
+        #: Simulated seconds spent in communication since init.
+        self.simulated_comm_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    def build_comm_info(
+        self,
+        graph: Graph,
+        assignment: Optional[np.ndarray] = None,
+        seed: int = 0,
+        chunks_per_class: int = 4,
+    ) -> CommPlan:
+        """Partition the graph, build the relation, run SPST planning.
+
+        Mirrors ``dgcl.buildCommInfo(graph, topology)``: afterwards the
+        session can dispatch features and run graphAllgather.  Pass an
+        explicit ``assignment`` to bring your own partitioner.
+        """
+        if assignment is None:
+            assignment = hierarchical_partition(
+                graph, self.topology, seed=seed
+            ).assignment
+        self.relation = CommRelation(graph, assignment, self.topology.num_devices)
+        planner = SPSTPlanner(
+            self.topology, chunks_per_class=chunks_per_class, seed=seed
+        )
+        self.plan = planner.plan(self.relation)
+        self._allgather = CompiledAllgather(self.relation, self.plan)
+        return self.plan
+
+    def _require_plan(self) -> CompiledAllgather:
+        if self._allgather is None:
+            raise RuntimeError("call build_comm_info() before communicating")
+        return self._allgather
+
+    def dispatch_features(self, features: np.ndarray) -> List[np.ndarray]:
+        """Split global vertex features into per-device local blocks."""
+        if self.relation is None:
+            raise RuntimeError("call build_comm_info() before dispatching")
+        if features.shape[0] != self.relation.graph.num_vertices:
+            raise ValueError("features must cover every vertex")
+        return [
+            features[self.relation.local_vertices[d]].copy()
+            for d in range(self.relation.num_devices)
+        ]
+
+    def graph_allgather(self, local_embeddings: List[np.ndarray]) -> List[np.ndarray]:
+        """Fetch every device's remote rows (synchronous collective).
+
+        Returns per-device matrices in LocalGraph layout (local rows
+        first, then remote rows) and advances the simulated clock.
+        """
+        runtime = self._require_plan()
+        result = runtime.forward(local_embeddings)
+        dim = local_embeddings[0].shape[1] if local_embeddings[0].ndim == 2 else 1
+        self.simulated_comm_seconds += self.executor.execute(
+            self.plan, dim * 4
+        ).total_time
+        return result
+
+    def scatter_gradients(self, full_grads: List[np.ndarray]) -> List[np.ndarray]:
+        """Backward counterpart: return remote-row gradients to owners."""
+        runtime = self._require_plan()
+        result = runtime.backward(full_grads)
+        dim = full_grads[0].shape[1]
+        self.simulated_comm_seconds += self.executor.execute(
+            self.plan, dim * 4, backward=True
+        ).total_time
+        return result
+
+    def local_graphs(self) -> List[LocalGraph]:
+        """Re-indexed per-device training graphs (paper §4.1)."""
+        if self.relation is None:
+            raise RuntimeError("call build_comm_info() first")
+        return [
+            self.relation.local_graph(d)
+            for d in range(self.relation.num_devices)
+        ]
+
+
+_SESSION: Optional[DGCLSession] = None
+
+
+def init(topology: Topology) -> DGCLSession:
+    """Initialise the distributed communication environment."""
+    global _SESSION
+    _SESSION = DGCLSession(topology)
+    return _SESSION
+
+
+def _session() -> DGCLSession:
+    if _SESSION is None:
+        raise RuntimeError("call repro.api.init(topology) first")
+    return _SESSION
+
+
+def build_comm_info(graph: Graph, **kwargs) -> CommPlan:
+    """Partition, build the communication relation, and plan (SPST)."""
+    return _session().build_comm_info(graph, **kwargs)
+
+
+def dispatch_features(features: np.ndarray) -> List[np.ndarray]:
+    """Scatter global features to their owning devices."""
+    return _session().dispatch_features(features)
+
+
+def graph_allgather(local_embeddings: List[np.ndarray]) -> List[np.ndarray]:
+    """The paper's core collective: gather local + remote rows."""
+    return _session().graph_allgather(local_embeddings)
+
+
+def scatter_gradients(full_grads: List[np.ndarray]) -> List[np.ndarray]:
+    """Reverse collective for the backward pass."""
+    return _session().scatter_gradients(full_grads)
+
+
+def local_graphs() -> List[LocalGraph]:
+    """Per-device re-indexed graphs for single-GPU style training."""
+    return _session().local_graphs()
+
+
+def communication_plan() -> CommPlan:
+    """The active communication plan (after build_comm_info)."""
+    plan = _session().plan
+    if plan is None:
+        raise RuntimeError("call build_comm_info() first")
+    return plan
+
+
+def shutdown() -> None:
+    """Tear down the global session."""
+    global _SESSION
+    _SESSION = None

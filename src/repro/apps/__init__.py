@@ -1,0 +1,13 @@
+"""Applications beyond GNN training.
+
+The paper closes: "We think DGCL may also benefit other distributed
+applications (e.g., PageRank on GPU) that has an irregular communication
+pattern similar to GNN training."  This package takes the suggestion:
+:mod:`repro.apps.pagerank` runs distributed power iteration over exactly
+the same partition/relation/plan/allgather stack as GNN training —
+nothing in the communication layer changes, only the per-vertex update.
+"""
+
+from repro.apps.pagerank import DistributedPageRank, pagerank
+
+__all__ = ["pagerank", "DistributedPageRank"]

@@ -1,0 +1,25 @@
+"""End-to-end evaluation of the four communication schemes.
+
+The paper compares DGCL against Peer-to-peer, Swap (NeuGraph-style) and
+Replication (Medusa-style), plus the DGCL-R hybrid (§7).  This package
+drives a full simulated epoch for each scheme — partitioning, planning,
+simulated graphAllgather per layer boundary, simulated compute, memory
+checks with simulated OOM — and returns the per-epoch / communication
+time split that every figure and table in the evaluation reports.
+"""
+
+from repro.baselines.strategies import (
+    SCHEMES,
+    SchemeResult,
+    Workload,
+    evaluate_scheme,
+)
+from repro.baselines.dgcl_r import evaluate_dgcl_r
+
+__all__ = [
+    "Workload",
+    "SchemeResult",
+    "evaluate_scheme",
+    "evaluate_dgcl_r",
+    "SCHEMES",
+]

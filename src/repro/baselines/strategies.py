@@ -1,0 +1,421 @@
+"""Simulated per-epoch evaluation of the communication schemes.
+
+A :class:`Workload` bundles everything one experiment cell needs — the
+data graph, the model, the topology, the partition and the
+communication relation — with lazy caching of the expensive pieces
+(partition, plans).  :func:`evaluate_scheme` then produces a
+:class:`SchemeResult` holding the simulated per-epoch time decomposed
+into communication and computation, or an OOM verdict.
+
+Epoch anatomy (mirrors the paper's Listing 1 plus the backward pass):
+
+* forward: for each layer ``i``, one graphAllgather at the layer's
+  input width, then the layer's computation (all schemes run the same
+  kernels — §7, "all methods used DGL for single-GPU execution");
+* backward: for each layer in reverse, the layer's backward computation
+  (≈ 2x forward), then — for every boundary except the input features —
+  the gradient scatter, which is the allgather executed in reverse
+  (§6.1), non-atomic sub-staged for DGCL (§6.2) and atomic for the
+  baselines.
+
+Replication has zero communication but computes and stores the K-hop
+closure; Swap stages everything through host memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.baseline_planners import peer_to_peer_plan
+from repro.core.plan import CommPlan
+from repro.core.relation import CommRelation
+from repro.cache import cached_assignment
+from repro.comm.collectives import ring_allreduce_time
+from repro.core.spst import SPSTPlanner
+from repro.graph.csr import Graph
+from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
+from repro.gnn.models import GNNModel, build_model
+from repro.partition.hierarchical import hierarchical_partition
+from repro.partition.replication import replication_closure
+from repro.simulator.compute import (
+    ComputeModel,
+    partition_memory_bytes,
+    training_memory_bytes,
+)
+from repro.simulator.devices import SimulatedOOMError
+from repro.simulator.executor import PlanExecutor, SwapExecutor
+from repro.topology.topology import Topology
+
+__all__ = ["Workload", "SchemeResult", "evaluate_scheme", "SCHEMES"]
+
+SCHEMES = ("dgcl", "peer-to-peer", "swap", "replication")
+
+BYTES_PER_FLOAT = 4
+
+# Partitions, relations and plans are independent of the GNN model (the
+# paper stresses that one plan serves every layer and model), so they are
+# cached process-wide across Workload instances.
+_PARTITION_CACHE: Dict[tuple, object] = {}
+_RELATION_CACHE: Dict[tuple, CommRelation] = {}
+_SPST_CACHE: Dict[tuple, CommPlan] = {}
+_P2P_CACHE: Dict[tuple, CommPlan] = {}
+
+
+def clear_caches() -> None:
+    """Drop all memoised partitions/relations/plans (mainly for tests)."""
+    _PARTITION_CACHE.clear()
+    _RELATION_CACHE.clear()
+    _SPST_CACHE.clear()
+    _P2P_CACHE.clear()
+
+
+@dataclass
+class SchemeResult:
+    """Simulated outcome of one (scheme, workload) cell."""
+
+    scheme: str
+    dataset: str
+    model: str
+    num_devices: int
+    status: str  # "ok", "oom" or "unsupported"
+    epoch_time: float = float("nan")
+    comm_time: float = float("nan")
+    compute_time: float = float("nan")
+    detail: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def ms(self, attr: str = "epoch_time") -> float:
+        """The given time attribute in milliseconds."""
+        return getattr(self, attr) * 1e3
+
+
+class Workload:
+    """One experiment cell: dataset x model x topology (cached pieces)."""
+
+    def __init__(
+        self,
+        dataset: str,
+        model_name: str,
+        topology: Topology,
+        num_layers: int = 2,
+        seed: int = 0,
+        chunks_per_class: int = 4,
+        graph: Optional[Graph] = None,
+        spec: Optional[DatasetSpec] = None,
+    ) -> None:
+        self.dataset = dataset
+        self.model_name = model_name
+        self.topology = topology
+        self.num_layers = num_layers
+        self.seed = seed
+        self.chunks_per_class = chunks_per_class
+        self.spec = spec or DATASETS[dataset]
+        self.graph = graph if graph is not None else load_dataset(dataset, seed=seed)
+        self.model = build_model(
+            model_name,
+            self.spec.feature_size,
+            self.spec.hidden_size,
+            self.spec.num_classes,
+            num_layers=num_layers,
+            seed=seed,
+        )
+        self.compute_model = ComputeModel()
+
+    # -- cached expensive artefacts -------------------------------------
+    def _cache_key(self) -> tuple:
+        return (
+            self.dataset,
+            self.topology.name,
+            self.topology.num_devices,
+            self.seed,
+        )
+
+    @cached_property
+    def partition(self):
+        key = self._cache_key()
+        if key not in _PARTITION_CACHE:
+            assignment = cached_assignment(
+                ("partition",) + key,
+                self.graph.num_vertices,
+                lambda: hierarchical_partition(
+                    self.graph, self.topology, seed=self.seed
+                ).assignment,
+            )
+            from repro.partition.metis import PartitionResult, edge_cut
+
+            sizes = np.bincount(assignment, minlength=self.num_devices)
+            n = self.graph.num_vertices
+            _PARTITION_CACHE[key] = PartitionResult(
+                assignment=assignment,
+                num_parts=self.num_devices,
+                edge_cut=edge_cut(self.graph, assignment),
+                imbalance=float(sizes.max() / (n / self.num_devices)) if n else 0.0,
+            )
+        return _PARTITION_CACHE[key]
+
+    @cached_property
+    def relation(self) -> CommRelation:
+        key = self._cache_key()
+        if key not in _RELATION_CACHE:
+            _RELATION_CACHE[key] = CommRelation(
+                self.graph, self.partition.assignment, self.topology.num_devices
+            )
+        return _RELATION_CACHE[key]
+
+    @cached_property
+    def spst_plan(self) -> CommPlan:
+        key = self._cache_key() + (self.chunks_per_class,)
+        if key not in _SPST_CACHE:
+            planner = SPSTPlanner(
+                self.topology,
+                granularity="chunk",
+                chunks_per_class=self.chunks_per_class,
+                seed=self.seed,
+            )
+            _SPST_CACHE[key] = planner.plan(self.relation)
+        return _SPST_CACHE[key]
+
+    @cached_property
+    def p2p_plan(self) -> CommPlan:
+        key = self._cache_key()
+        if key not in _P2P_CACHE:
+            _P2P_CACHE[key] = peer_to_peer_plan(self.relation, self.topology)
+        return _P2P_CACHE[key]
+
+    # -- shared helpers --------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return self.topology.num_devices
+
+    def boundary_bytes(self) -> List[int]:
+        """Payload bytes per vertex at each allgather boundary."""
+        return [d * BYTES_PER_FLOAT for d in self.model.layer_dims[: self.num_layers]]
+
+    def device_slice(self, device: int):
+        """(num_local, num_rows, num_edges) of one device's partition."""
+        local = self.relation.local_vertices[device].size
+        remote = self.relation.remote_vertices[device].size
+        lg = self.relation.local_graph(device)
+        return local, local + remote, lg.graph.num_edges
+
+    def partition_compute_time(self) -> float:
+        """Max-over-devices epoch compute of the partitioned schemes."""
+        worst = 0.0
+        for d in range(self.num_devices):
+            num_dst, num_rows, num_edges = self.device_slice(d)
+            cost = self.model.compute_cost(num_dst, num_rows, num_edges)
+            worst = max(worst, self.compute_model.seconds(cost))
+        return worst
+
+    def check_partition_memory(self, cache_features: bool = False) -> None:
+        """Raise SimulatedOOMError if any device cannot hold its slice.
+
+        With ``cache_features`` each device additionally pins the
+        layer-0 embeddings of its remote vertices for the whole run.
+        """
+        dims = self.model.memory_dims()
+        boundary_dims = self.model.layer_dims[: self.num_layers]
+        feature_dim = self.model.layer_dims[0]
+        for d in range(self.num_devices):
+            num_local, num_rows, num_edges = self.device_slice(d)
+            need = partition_memory_bytes(
+                num_local, num_rows - num_local, num_edges, dims, boundary_dims
+            )
+            if cache_features:
+                need += (num_rows - num_local) * feature_dim * BYTES_PER_FLOAT
+            cap = self.topology.memory_bytes[d]
+            if need > cap:
+                raise SimulatedOOMError(d, need, cap, 0)
+
+    @cached_property
+    def model_sync_time(self) -> float:
+        """Per-epoch weight allreduce (Horovod/DDP stand-in, §6.3)."""
+        if self.num_devices < 2:
+            return 0.0
+        return ring_allreduce_time(self.topology, self.model.state_bytes())
+
+    def result(self, scheme: str, **kwargs) -> SchemeResult:
+        """Build a SchemeResult pre-filled with this workload's identity."""
+        return SchemeResult(
+            scheme=scheme,
+            dataset=self.dataset,
+            model=self.model_name,
+            num_devices=self.num_devices,
+            **kwargs,
+        )
+
+
+# ----------------------------------------------------------------------
+# Per-scheme evaluation
+# ----------------------------------------------------------------------
+def _planned_comm_time(
+    workload: Workload, plan: CommPlan, nonatomic: bool,
+    executor: Optional[PlanExecutor] = None,
+    cache_features: bool = False,
+) -> Dict[str, float]:
+    """Forward allgather + backward scatter time per epoch for a plan.
+
+    ``cache_features`` models the paper's §3 option (1): layer-0
+    embeddings of the remote vertices are cached on each GPU once, so
+    the feature boundary needs no per-epoch allgather.
+    """
+    executor = executor or PlanExecutor(workload.topology)
+    boundaries = workload.boundary_bytes()
+    forward_boundaries = boundaries[1:] if cache_features else boundaries
+    forward = sum(
+        executor.execute(plan, bpu).total_time for bpu in forward_boundaries
+    )
+    backward = 0.0
+    backward_tuples = plan.backward_tuples()
+    model = workload.compute_model
+    for bpu in boundaries[1:]:  # feature gradients are never shipped
+        received = {}
+        for t in backward_tuples:
+            received[t.dst] = received.get(t.dst, 0.0) + t.units * bpu
+        reduce_time = max(
+            (model.gradient_reduce_seconds(b, atomic=not nonatomic)
+             for b in received.values()),
+            default=0.0,
+        )
+        transfer = executor.execute_backward(
+            backward_tuples, bpu, atomic=not nonatomic
+        ).total_time
+        backward += transfer + reduce_time
+    return {"forward": forward, "backward": backward,
+            "total": forward + backward}
+
+
+def _evaluate_partitioned(
+    workload: Workload, scheme: str, plan: CommPlan, nonatomic: bool,
+    cache_features: bool = False,
+) -> SchemeResult:
+    try:
+        workload.check_partition_memory(cache_features=cache_features)
+    except SimulatedOOMError:
+        return workload.result(scheme, status="oom")
+    compute = workload.partition_compute_time()
+    if workload.num_devices == 1:
+        return workload.result(
+            scheme, status="ok", epoch_time=compute, comm_time=0.0,
+            compute_time=compute,
+        )
+    comm = _planned_comm_time(workload, plan, nonatomic=nonatomic,
+                              cache_features=cache_features)
+    sync = workload.model_sync_time
+    comm = dict(comm, sync=sync)
+    return workload.result(
+        scheme,
+        status="ok",
+        epoch_time=compute + comm["total"] + sync,
+        comm_time=comm["total"],
+        compute_time=compute,
+        detail=comm,
+    )
+
+
+def _evaluate_swap(workload: Workload) -> SchemeResult:
+    if workload.topology.num_machines() > 1:
+        # NeuGraph's swap is a single-machine design (§7: "as Swap is
+        # designed for a single machine ... we do not use it for 16 GPUs").
+        return workload.result("swap", status="unsupported")
+    compute = workload.partition_compute_time()
+    if workload.num_devices == 1:
+        return workload.result("swap", status="ok", epoch_time=compute,
+                               comm_time=0.0, compute_time=compute)
+    executor = SwapExecutor(workload.topology)
+    boundaries = workload.boundary_bytes()
+    # Boundary 0 reads input features already resident in host memory
+    # (no dump); later boundaries dump the previous layer's outputs.
+    forward = sum(
+        executor.execute(
+            workload.relation, bpu, dump_bytes_per_unit=None if i == 0 else bpu
+        ).total_time
+        for i, bpu in enumerate(boundaries)
+    )
+    backward = sum(
+        executor.execute(workload.relation, bpu, dump_bytes_per_unit=bpu).total_time
+        for bpu in boundaries[1:]
+    )
+    comm = forward + backward
+    sync = workload.model_sync_time
+    return workload.result(
+        "swap", status="ok", epoch_time=compute + comm + sync,
+        comm_time=comm, compute_time=compute,
+        detail={"forward": forward, "backward": backward, "sync": sync},
+    )
+
+
+def _evaluate_replication(workload: Workload) -> SchemeResult:
+    graph = workload.graph
+    assignment = workload.partition.assignment
+    hops = workload.num_layers
+    closures = [
+        replication_closure(graph, assignment, h) for h in range(hops + 1)
+    ]
+    in_degree = graph.in_degree()
+    dims = workload.model.memory_dims()
+    model = workload.compute_model
+
+    # Memory: each device stores activations for its K-hop closure plus
+    # the induced adjacency.
+    for d in range(workload.num_devices):
+        rows = closures[hops][d].size
+        edges = int(in_degree[closures[max(hops - 1, 0)][d]].sum())
+        need = training_memory_bytes(rows, edges, dims)
+        cap = workload.topology.memory_bytes[d]
+        if need > cap:
+            return workload.result("replication", status="oom")
+
+    # Compute: layer i produces embeddings for the (K-1-i)-hop closure,
+    # consuming the (K-i)-hop closure — replicas are recomputed on every
+    # device that stores them, which is Replication's whole cost.
+    compute = 0.0
+    for li, layer in enumerate(workload.model.layers):
+        produced_hop = hops - 1 - li
+        worst = 0.0
+        for d in range(workload.num_devices):
+            dst_rows = closures[produced_hop][d]
+            num_dst = dst_rows.size
+            num_rows = closures[produced_hop + 1][d].size
+            num_edges = int(in_degree[dst_rows].sum())
+            cost = layer.compute_cost(num_dst, num_rows, num_edges)
+            fwd = model.seconds(cost)
+            bwd = model.seconds(cost.scaled(2.0))
+            worst = max(worst, fwd + bwd)
+        compute += worst
+    sync = workload.model_sync_time
+    return workload.result(
+        "replication", status="ok", epoch_time=compute + sync,
+        comm_time=0.0, compute_time=compute, detail={"sync": sync},
+    )
+
+
+def evaluate_scheme(workload: Workload, scheme: str) -> SchemeResult:
+    """Run one scheme on one workload; never raises on OOM."""
+    if scheme == "dgcl":
+        return _evaluate_partitioned(
+            workload, "dgcl", workload.spst_plan, nonatomic=True
+        )
+    if scheme == "dgcl-cache":
+        # §3 option (1): cache remote layer-0 embeddings once, trade
+        # GPU memory for the feature boundary's per-epoch allgather.
+        return _evaluate_partitioned(
+            workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
+            cache_features=True,
+        )
+    if scheme == "peer-to-peer":
+        return _evaluate_partitioned(
+            workload, "peer-to-peer", workload.p2p_plan, nonatomic=False
+        )
+    if scheme == "swap":
+        return _evaluate_swap(workload)
+    if scheme == "replication":
+        return _evaluate_replication(workload)
+    raise KeyError(f"unknown scheme {scheme!r}; available: {SCHEMES}")

@@ -1,0 +1,12 @@
+"""Communication runtime: functional graphAllgather over a plan.
+
+While :mod:`repro.simulator` answers "how long does this plan take",
+this package answers "does this plan move the right bytes": it executes
+a compiled plan on real numpy buffers — including multi-hop forwarding
+through relay devices and the reverse gradient scatter — so distributed
+training is bit-identical to single-device training.
+"""
+
+from repro.comm.allgather import CompiledAllgather
+
+__all__ = ["CompiledAllgather"]

@@ -1,0 +1,127 @@
+"""Collective operations for model synchronization.
+
+§6.3 of the paper: "DGCL leverages existing data parallel frameworks
+such as Horovod and PyTorch DDP for distributed model synchronization.
+As the model size is usually small for GNNs, we do not conduct
+optimizations for it."  We still build the collective — a bandwidth-
+optimal ring allreduce in the NCCL style — both functionally (numpy
+chunks really travel the ring) and under the flow simulator, so the
+epoch model can account for (and the tests can confirm the smallness
+of) model-sync time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.baseline_planners import static_route
+from repro.simulator.network import Flow, NetworkSimulator
+from repro.topology.topology import Topology
+
+__all__ = ["ring_allreduce", "ring_allreduce_time", "RingAllreduce"]
+
+
+class RingAllreduce:
+    """Bandwidth-optimal ring allreduce over a topology.
+
+    Devices are arranged in a ring (by id, or a caller-supplied order);
+    the payload splits into ``n`` chunks; ``n - 1`` reduce-scatter steps
+    each push one chunk to the next neighbour and accumulate, then
+    ``n - 1`` allgather steps circulate the finished chunks.  Every
+    device sends ``2 (n-1)/n`` of the payload in total.
+    """
+
+    def __init__(self, topology: Topology, order: Optional[Sequence[int]] = None):
+        self.topology = topology
+        self.order = list(order) if order is not None else list(topology.devices())
+        if sorted(self.order) != list(topology.devices()):
+            raise ValueError("order must permute the device ids")
+        n = len(self.order)
+        if n < 2:
+            self.routes = []
+            return
+        self.routes = []
+        for i in range(n):
+            src = self.order[i]
+            dst = self.order[(i + 1) % n]
+            self.routes.append(static_route(topology, src, dst))
+
+    # ------------------------------------------------------------------
+    def reduce(self, blocks: List[np.ndarray]) -> List[np.ndarray]:
+        """Functionally allreduce (sum) one array per device."""
+        n = len(self.order)
+        if n != self.topology.num_devices or len(blocks) != n:
+            raise ValueError("need one block per device")
+        if n == 1:
+            return [blocks[0].copy()]
+        shape = blocks[0].shape
+        if any(b.shape != shape for b in blocks):
+            raise ValueError("all blocks must share one shape")
+
+        flat = [b.reshape(-1).astype(np.float64).copy() for b in blocks]
+        chunks = [np.array_split(f, n) for f in flat]
+        pos = {dev: i for i, dev in enumerate(self.order)}
+
+        # Reduce-scatter: after step s, ring position i owns the full sum
+        # of chunk (i - s) mod n.
+        for step in range(n - 1):
+            moved = []
+            for i in range(n):
+                chunk_id = (i - step) % n
+                moved.append((i, (i + 1) % n, chunk_id))
+            for src_pos, dst_pos, chunk_id in moved:
+                src_dev = self.order[src_pos]
+                dst_dev = self.order[dst_pos]
+                chunks[pos[dst_dev]][chunk_id] = (
+                    chunks[pos[dst_dev]][chunk_id]
+                    + chunks[pos[src_dev]][chunk_id]
+                )
+        # Allgather: circulate the finished chunks.
+        for step in range(n - 1):
+            for i in range(n):
+                chunk_id = (i + 1 - step) % n
+                src_dev = self.order[i]
+                dst_dev = self.order[(i + 1) % n]
+                chunks[pos[dst_dev]][chunk_id] = chunks[pos[src_dev]][chunk_id]
+
+        out = []
+        for dev in range(self.topology.num_devices):
+            merged = np.concatenate(chunks[pos[dev]])
+            out.append(merged.reshape(shape).astype(blocks[0].dtype))
+        return out
+
+    # ------------------------------------------------------------------
+    def simulate_time(self, payload_bytes: float,
+                      alpha: Optional[float] = None) -> float:
+        """Simulated wall time of one allreduce of ``payload_bytes``."""
+        n = len(self.order)
+        if n < 2:
+            return 0.0
+        sim = NetworkSimulator() if alpha is None else NetworkSimulator(alpha)
+        chunk = payload_bytes / n
+        total = 0.0
+        for _ in range(2 * (n - 1)):
+            flows = []
+            for route in self.routes:
+                for link in route:
+                    flows.append(Flow(link.connections, chunk))
+            total += sim.makespan(flows)
+        return total
+
+
+def ring_allreduce(
+    topology: Topology, blocks: List[np.ndarray],
+    order: Optional[Sequence[int]] = None,
+) -> List[np.ndarray]:
+    """Sum one array per device; every device gets the total."""
+    return RingAllreduce(topology, order).reduce(blocks)
+
+
+def ring_allreduce_time(
+    topology: Topology, payload_bytes: float,
+    order: Optional[Sequence[int]] = None,
+) -> float:
+    """Simulated seconds for one ring allreduce of ``payload_bytes``."""
+    return RingAllreduce(topology, order).simulate_time(payload_bytes)

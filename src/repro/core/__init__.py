@@ -1,0 +1,35 @@
+"""The paper's contribution: GNN communication planning.
+
+* :mod:`repro.core.relation` — builds the communication relation
+  ``(d_i, d_j, V_ij)`` and the per-device re-indexed local graphs (§4.1);
+* :mod:`repro.core.cost_model` — the staged cost model ``t(S)`` of §5.1
+  with the incremental link cost of Algorithm 2;
+* :mod:`repro.core.plan` — communication trees, plans and the compiled
+  ``(d_i, d_j, k, T_s, T_r)`` send/receive tuples of §6.1;
+* :mod:`repro.core.spst` — the Shortest Path Spanning Tree planner
+  (Algorithm 1);
+* :mod:`repro.core.baseline_planners` — the Peer-to-peer and Swap
+  planning strategies used as baselines in §7;
+* :mod:`repro.core.nonatomic` — sub-stage splitting for non-atomic
+  gradient aggregation in the backward pass (§6.2).
+"""
+
+from repro.core.cost_model import StagedCostModel
+from repro.core.plan import CommPlan, CommTuple, VertexClassRoute
+from repro.core.relation import CommRelation, LocalGraph
+from repro.core.spst import SPSTPlanner
+from repro.core.baseline_planners import peer_to_peer_plan, static_tree_plan
+from repro.core.nonatomic import split_backward_substages
+
+__all__ = [
+    "CommRelation",
+    "LocalGraph",
+    "StagedCostModel",
+    "CommPlan",
+    "CommTuple",
+    "VertexClassRoute",
+    "SPSTPlanner",
+    "peer_to_peer_plan",
+    "static_tree_plan",
+    "split_backward_substages",
+]

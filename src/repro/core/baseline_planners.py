@@ -1,0 +1,178 @@
+"""Baseline communication planners.
+
+*Peer-to-peer* (the ROC/Lux strategy, §3): every source device sends
+each required embedding directly to each consumer over the direct link
+between them, all transfers concurrent.  In plan form: every multicast
+class becomes a star of direct links, all at stage 0 — contention on
+shared physical connections is whatever it is, which is precisely the
+weakness §3 profiles.
+
+For topologies without a complete link graph, direct transfers fall
+back to the statically fastest multi-hop route (fewest hops, then
+highest bottleneck bandwidth) — emulating what a peer-to-peer runtime
+gets from the driver when no direct path exists.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.core.relation import CommRelation
+from repro.topology.topology import Link, Topology
+
+__all__ = ["peer_to_peer_plan", "static_route", "static_tree_plan"]
+
+
+def static_route(
+    topology: Topology, src: int, dst: int
+) -> List[Link]:
+    """The route a peer-to-peer runtime would use from src to dst.
+
+    Prefers the direct link; otherwise the path minimising (hops,
+    -bottleneck bandwidth), ignoring load — peer-to-peer communication
+    does not consider concurrent transfers jointly.
+    """
+    direct = topology.direct_link(src, dst)
+    if direct is not None:
+        return [direct]
+    # Dijkstra on (hops, -min bandwidth).
+    best: Dict[int, Tuple[int, float]] = {src: (0, float("inf"))}
+    parent: Dict[int, Link] = {}
+    heap: List[Tuple[int, float, int]] = [(0, 0.0, src)]
+    seen: Dict[int, bool] = {}
+    while heap:
+        hops, neg_bw, node = heapq.heappop(heap)
+        if seen.get(node):
+            continue
+        seen[node] = True
+        if node == dst:
+            break
+        for link in topology.links_from(node):
+            nxt = link.dst
+            if seen.get(nxt):
+                continue
+            cand = (hops + 1, max(neg_bw, -link.bottleneck_bandwidth))
+            if nxt not in best or cand < (best[nxt][0], -best[nxt][1]):
+                best[nxt] = (cand[0], -cand[1])
+                parent[nxt] = link
+                heapq.heappush(heap, (cand[0], cand[1], nxt))
+    if dst not in parent and dst != src:
+        raise RuntimeError(f"no route from {src} to {dst}")
+    path: List[Link] = []
+    node = dst
+    while node != src:
+        link = parent[node]
+        path.append(link)
+        node = link.src
+    path.reverse()
+    return path
+
+
+def static_tree_plan(
+    relation: CommRelation, topology: Topology, name: str = "static-tree"
+) -> CommPlan:
+    """Contention-blind multicast trees (an ablation of SPST).
+
+    Builds each class's tree greedily like SPST but weighs every link by
+    its *static* transfer time (1 / bottleneck bandwidth) instead of the
+    incremental plan cost — i.e. it still relays over fast links and
+    fuses multicasts, but cannot see contention or balance load.  The
+    gap between this plan and SPST isolates the value of Algorithm 2's
+    load-aware edge weights.
+    """
+    routes: List[VertexClassRoute] = []
+    tree_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[Tuple[Link, int], ...]] = {}
+    for cls in relation.classes:
+        dests = tuple(d for d in cls.destinations if d != cls.source)
+        if not dests:
+            continue
+        key = (cls.source, dests)
+        if key not in tree_cache:
+            tree_cache[key] = _grow_static_tree(topology, cls.source, dests)
+        routes.append(
+            VertexClassRoute(
+                source=cls.source,
+                destinations=cls.destinations,
+                vertices=cls.vertices,
+                edges=tree_cache[key],
+            )
+        )
+    return CommPlan(topology, routes, name=name)
+
+
+def _grow_static_tree(
+    topology: Topology, source: int, dests: Tuple[int, ...]
+) -> Tuple[Tuple[Link, int], ...]:
+    """SPST's tree growth with static 1/bandwidth edge weights."""
+    depth: Dict[int, int] = {source: 0}
+    remaining = set(dests)
+    edges: List[Tuple[Link, int]] = []
+    while remaining:
+        dist: Dict[int, float] = {node: 0.0 for node in depth}
+        parent: Dict[int, Tuple[int, Link]] = {}
+        heap: List[Tuple[float, int, int]] = [(0.0, n, depth[n]) for n in depth]
+        heapq.heapify(heap)
+        settled: Dict[int, bool] = {}
+        target = None
+        while heap:
+            cost, node, d = heapq.heappop(heap)
+            if settled.get(node):
+                continue
+            settled[node] = True
+            if node in remaining:
+                target = node
+                break
+            for link in topology.links_from(node):
+                nxt = link.dst
+                if settled.get(nxt) or nxt in depth:
+                    continue
+                new_cost = cost + 1.0 / link.bottleneck_bandwidth
+                if new_cost < dist.get(nxt, float("inf")):
+                    dist[nxt] = new_cost
+                    parent[nxt] = (node, link)
+                    heapq.heappush(heap, (new_cost, nxt, d + 1))
+        if target is None:
+            raise RuntimeError(f"destination unreachable from {source}")
+        path: List[Tuple[int, Link]] = []
+        node = target
+        while node not in depth:
+            prev, link = parent[node]
+            path.append((prev, link))
+            node = prev
+        path.reverse()
+        d = depth[node]
+        for _, link in path:
+            edges.append((link, d))
+            d += 1
+            depth[link.dst] = d
+            remaining.discard(link.dst)
+    return tuple(edges)
+
+
+def peer_to_peer_plan(
+    relation: CommRelation, topology: Topology, name: str = "peer-to-peer"
+) -> CommPlan:
+    """Direct concurrent transfers for every (source, consumer) pair."""
+    route_cache: Dict[Tuple[int, int], List[Link]] = {}
+    routes: List[VertexClassRoute] = []
+    for cls in relation.classes:
+        edges: List[Tuple[Link, int]] = []
+        for dst in cls.destinations:
+            if dst == cls.source:
+                continue
+            key = (cls.source, dst)
+            if key not in route_cache:
+                route_cache[key] = static_route(topology, cls.source, dst)
+            for depth, link in enumerate(route_cache[key]):
+                edges.append((link, depth))
+        routes.append(
+            VertexClassRoute(
+                source=cls.source,
+                destinations=cls.destinations,
+                vertices=cls.vertices,
+                edges=tuple(edges),
+            )
+        )
+    return CommPlan(topology, routes, name=name)

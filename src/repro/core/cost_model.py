@@ -1,0 +1,176 @@
+"""The staged communication cost model ``t(S)`` of paper §5.1.
+
+Communications are divided into *stages*: a tree edge at depth ``k`` of
+its communication tree executes in stage ``k`` (0-based here; the paper
+counts from 1).  The rules:
+
+* per stage and per *physical connection*, traffic from all links that
+  ride the connection is aggregated (this is how contention enters);
+* a multi-hop link's time is the max over its hops;
+* a stage's time is the max over links active in it — equivalently, the
+  max over physical connections of ``traffic / bandwidth``;
+* the plan's cost is the sum of stage times.
+
+The model is linear in the per-vertex payload, so — as the paper notes —
+the optimal plan is independent of the feature dimension.  We therefore
+account traffic in abstract *units* (vertex embeddings) and scale by
+``bytes_per_unit`` only when reporting seconds.
+
+:meth:`StagedCostModel.incremental_cost` is Algorithm 2's ``C(i, e_j)``:
+the cost blow-up of shipping one more unit over link ``e_j`` at stage
+``i`` given everything already committed — computed on demand, which is
+the ``O(|E'| log |E'|)`` refinement the paper sketches at the end of
+§5.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.topology.topology import Link, Topology
+
+__all__ = ["StagedCostModel"]
+
+
+class StagedCostModel:
+    """Mutable accumulator of per-stage, per-connection traffic.
+
+    Traffic is measured in units (vertex embeddings); times returned by
+    :meth:`incremental_cost` and :meth:`total_cost` are in
+    *unit-seconds*: seconds per byte-of-unit, i.e. multiply by the
+    payload bytes per unit to get wall-clock seconds.
+    """
+
+    def __init__(self, topology: Topology, num_stages: Optional[int] = None) -> None:
+        self.topology = topology
+        # A tree on m devices has depth at most m - 1.
+        self.num_stages = num_stages or max(1, topology.num_devices - 1)
+        # traffic[stage][connection name] -> units
+        self._traffic: List[Dict[str, float]] = [dict() for _ in range(self.num_stages)]
+        self._stage_time: List[float] = [0.0] * self.num_stages
+        self._inv_bw: Dict[str, float] = {
+            name: 1.0 / conn.bytes_per_second
+            for name, conn in topology.connections.items()
+        }
+
+    # ------------------------------------------------------------------
+    def _check_stage(self, stage: int) -> None:
+        if not 0 <= stage < self.num_stages:
+            raise ValueError(
+                f"stage {stage} out of range [0, {self.num_stages})"
+            )
+
+    def incremental_cost(self, link: Link, stage: int, units: float = 1.0) -> float:
+        """``C(stage, link)``: blow-up of adding ``units`` on ``link``.
+
+        Zero when the link's hops are under-loaded relative to the
+        current stage time — this is exactly what makes SPST balance
+        loads (paper §5.2, "Load balancing").
+        """
+        self._check_stage(stage)
+        traffic = self._traffic[stage]
+        current = self._stage_time[stage]
+        new_time = current
+        for conn in link.connections:
+            t = (traffic.get(conn.name, 0.0) + units) * self._inv_bw[conn.name]
+            if t > new_time:
+                new_time = t
+        return new_time - current
+
+    def path_cost(self, links: List[Tuple[Link, int]], units: float = 1.0) -> float:
+        """Sum of incremental costs of edges on a path.
+
+        Edges on one path sit in distinct stages, so their incremental
+        costs are additive (paper §5.2).
+        """
+        return sum(self.incremental_cost(link, stage, units) for link, stage in links)
+
+    def add(self, link: Link, stage: int, units: float = 1.0) -> None:
+        """Commit ``units`` of traffic over ``link`` at ``stage``."""
+        self._check_stage(stage)
+        traffic = self._traffic[stage]
+        for conn in link.connections:
+            new = traffic.get(conn.name, 0.0) + units
+            traffic[conn.name] = new
+            t = new * self._inv_bw[conn.name]
+            if t > self._stage_time[stage]:
+                self._stage_time[stage] = t
+
+    def add_path(self, links: List[Tuple[Link, int]], units: float = 1.0) -> None:
+        """Commit every (link, stage) edge of a path."""
+        for link, stage in links:
+            self.add(link, stage, units)
+
+    def remove(self, link: Link, stage: int, units: float = 1.0) -> None:
+        """Withdraw committed traffic (used by plan refinement).
+
+        Removal can lower a stage's bottleneck, so the stage maximum is
+        recomputed from the surviving counters.
+        """
+        self._check_stage(stage)
+        traffic = self._traffic[stage]
+        for conn in link.connections:
+            remaining = traffic.get(conn.name, 0.0) - units
+            if remaining < -1e-9:
+                raise ValueError(
+                    f"removing more traffic than committed on {conn.name}"
+                )
+            if remaining <= 1e-12:
+                traffic.pop(conn.name, None)
+            else:
+                traffic[conn.name] = remaining
+        self._stage_time[stage] = max(
+            (t * self._inv_bw[name] for name, t in traffic.items()),
+            default=0.0,
+        )
+
+    def remove_path(self, links: List[Tuple[Link, int]], units: float = 1.0) -> None:
+        """Withdraw every (link, stage) edge of a path."""
+        for link, stage in links:
+            self.remove(link, stage, units)
+
+    # ------------------------------------------------------------------
+    def stage_time(self, stage: int) -> float:
+        """Current time of one stage (unit-seconds)."""
+        self._check_stage(stage)
+        return self._stage_time[stage]
+
+    def stage_times(self) -> List[float]:
+        """Per-stage times (unit-seconds)."""
+        return list(self._stage_time)
+
+    def total_cost(self) -> float:
+        """``t(S)`` in unit-seconds (multiply by bytes/unit for seconds)."""
+        return sum(self._stage_time)
+
+    def total_seconds(self, bytes_per_unit: float) -> float:
+        """Plan cost in seconds for a given payload width."""
+        return self.total_cost() * bytes_per_unit
+
+    def connection_traffic(self, stage: int) -> Dict[str, float]:
+        """Units committed per physical connection in one stage."""
+        self._check_stage(stage)
+        return dict(self._traffic[stage])
+
+    def busiest_connection(self, stage: int) -> Optional[Tuple[str, float]]:
+        """The stage's bottleneck: (connection name, time in unit-seconds)."""
+        self._check_stage(stage)
+        traffic = self._traffic[stage]
+        if not traffic:
+            return None
+        name = max(traffic, key=lambda n: traffic[n] * self._inv_bw[n])
+        return name, traffic[name] * self._inv_bw[name]
+
+    def clone(self) -> "StagedCostModel":
+        """Independent deep copy of the accumulated state."""
+        other = StagedCostModel(self.topology, self.num_stages)
+        other._traffic = [dict(t) for t in self._traffic]
+        other._stage_time = list(self._stage_time)
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        active = sum(1 for t in self._stage_time if t > 0)
+        return (
+            f"StagedCostModel(stages={self.num_stages}, active={active}, "
+            f"cost={self.total_cost():.3e} unit-seconds)"
+        )

@@ -1,0 +1,58 @@
+"""Non-atomic gradient aggregation via sub-stages (paper §6.2).
+
+In the backward pass, a vertex that was consumed by several remote GPUs
+receives gradient contributions from each of them.  If those transfers
+land concurrently, the accumulation needs atomic additions — slow.  DGCL
+instead splits every backward stage into *sub-stages* such that within a
+sub-stage each receiving device hears from at most one peer per vertex;
+plain (non-atomic) accumulation is then safe.
+
+A planned tuple ``(d_i, d_j, k, T_s, T_r)`` becomes up to ``|D| - 1``
+smaller tuples ``(d_i, d_j, k, l, ...)``: per receiver and stage, each
+sender is assigned a distinct sub-stage index ``l``, which trivially
+guarantees that two gradients for the same vertex never collide.  The
+planning algorithm is untouched, exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.plan import CommTuple
+
+__all__ = ["split_backward_substages", "max_substages"]
+
+
+def split_backward_substages(
+    tuples: Sequence[CommTuple],
+) -> List[List[CommTuple]]:
+    """Group backward tuples into sub-stage waves.
+
+    Returns a list of waves ordered by (stage, sub-stage); all tuples
+    within one wave may run concurrently without atomic accumulation,
+    and waves must run in order.  Per (receiver, stage), senders get
+    sub-stage indices ``0, 1, ...`` in deterministic (sender id) order.
+    """
+    sender_slot: Dict[Tuple[int, int], Dict[int, int]] = {}
+    waves: Dict[Tuple[int, int], List[CommTuple]] = {}
+    for t in sorted(tuples, key=lambda t: (t.stage, t.dst, t.src)):
+        key = (t.dst, t.stage)
+        slots = sender_slot.setdefault(key, {})
+        if t.src not in slots:
+            slots[t.src] = len(slots)
+        l = slots[t.src]
+        waves.setdefault((t.stage, l), []).append(t)
+    return [waves[key] for key in sorted(waves)]
+
+
+def max_substages(tuples: Sequence[CommTuple]) -> int:
+    """The largest sub-stage count any (receiver, stage) pair needs.
+
+    Two tuples from the *same* sender share a sub-stage (their payloads
+    are vertex-disjoint by construction), so the count is over distinct
+    senders, bounded by ``|D| - 1`` as in the paper.
+    """
+    senders: Dict[Tuple[int, int], set] = {}
+    for t in tuples:
+        senders.setdefault((t.dst, t.stage), set()).add(t.src)
+    return max((len(s) for s in senders.values()), default=0)

@@ -1,0 +1,225 @@
+"""Communication trees, plans, and compiled send/receive tuples.
+
+A *route* is one multicast tree: the embedding of a set of vertices
+travels from their source device to every destination device along tree
+edges, each annotated with its stage (= depth in the tree, 0-based).
+
+A :class:`CommPlan` is the union of routes for a whole GNN layer.  For
+execution it compiles into the paper's ``(d_i, d_j, k, T_s, T_r)``
+tuples (§6.1): per (link, stage), the vertex ids whose embeddings cross
+that link in that stage, batched so one transfer operation carries them
+all.  The same tuples are reused by every layer; the backward pass runs
+the stages in reverse order with the send/receive roles swapped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_model import StagedCostModel
+from repro.core.relation import CommRelation
+from repro.topology.links import LinkKind
+from repro.topology.topology import Link, Topology
+
+__all__ = ["VertexClassRoute", "CommTuple", "CommPlan"]
+
+
+@dataclass(frozen=True)
+class VertexClassRoute:
+    """One multicast tree for a batch of same-signature vertices."""
+
+    source: int
+    destinations: Tuple[int, ...]
+    vertices: np.ndarray
+    edges: Tuple[Tuple[Link, int], ...]  # (link, stage)
+
+    @property
+    def weight(self) -> int:
+        return int(self.vertices.size)
+
+    def max_stage(self) -> int:
+        """Deepest stage used by this route (-1 when edgeless)."""
+        return max((stage for _, stage in self.edges), default=-1)
+
+    def reaches_all_destinations(self) -> bool:
+        """Structural check: the edges form a tree delivering every dest."""
+        reached = {self.source: 0}
+        edges = sorted(self.edges, key=lambda e: e[1])
+        for link, stage in edges:
+            if link.src not in reached or reached[link.src] != stage:
+                return False
+            if link.dst in reached:
+                return False  # a tree visits each node once
+            reached[link.dst] = stage + 1
+        return all(d in reached for d in self.destinations)
+
+
+@dataclass(frozen=True)
+class CommTuple:
+    """One batched transfer: ``(d_i, d_j, k, T)`` of paper §6.1.
+
+    ``vertices`` plays both roles: it is ``T_s`` on the sender and
+    ``T_r`` on the receiver (the ids match by construction).
+    """
+
+    src: int
+    dst: int
+    stage: int
+    link: Link
+    vertices: np.ndarray
+
+    @property
+    def units(self) -> int:
+        return int(self.vertices.size)
+
+
+class CommPlan:
+    """The union of all routes for one GNN layer."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        routes: Sequence[VertexClassRoute],
+        name: str = "plan",
+    ) -> None:
+        self.topology = topology
+        self.routes: Tuple[VertexClassRoute, ...] = tuple(routes)
+        self.name = name
+        self._tuples: Optional[List[CommTuple]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_stages(self) -> int:
+        return max((r.max_stage() for r in self.routes), default=-1) + 1
+
+    def tuples(self) -> List[CommTuple]:
+        """Compiled transfers, batched per (link, stage), stage-ascending."""
+        if self._tuples is None:
+            batches: Dict[Tuple[Link, int], List[np.ndarray]] = {}
+            for route in self.routes:
+                for link, stage in route.edges:
+                    batches.setdefault((link, stage), []).append(route.vertices)
+            compiled = [
+                CommTuple(
+                    src=link.src,
+                    dst=link.dst,
+                    stage=stage,
+                    link=link,
+                    vertices=np.sort(np.concatenate(parts)),
+                )
+                for (link, stage), parts in batches.items()
+            ]
+            compiled.sort(key=lambda t: (t.stage, t.src, t.dst))
+            self._tuples = compiled
+        return list(self._tuples)
+
+    def backward_tuples(self) -> List[CommTuple]:
+        """The backward pass: stages reversed, senders become receivers.
+
+        Gradients flow opposite to embeddings, so each forward transfer
+        ``(src -> dst, stage k)`` becomes ``(dst -> src)`` executed at
+        backward stage ``S - 1 - k``.  The link is the reverse direction
+        of the forward link (same device pair).
+        """
+        total = self.num_stages
+        reversed_tuples = []
+        for t in self.tuples():
+            back_link = self.topology.direct_link(t.dst, t.src)
+            if back_link is None:
+                raise RuntimeError(
+                    f"no reverse link {t.dst}->{t.src} for backward pass"
+                )
+            # Prefer the reverse of the same link class when available.
+            for candidate in self.topology.links_between(t.dst, t.src):
+                if candidate.kind == t.link.kind:
+                    back_link = candidate
+                    break
+            reversed_tuples.append(
+                CommTuple(
+                    src=t.dst,
+                    dst=t.src,
+                    stage=total - 1 - t.stage,
+                    link=back_link,
+                    vertices=t.vertices,
+                )
+            )
+        reversed_tuples.sort(key=lambda t: (t.stage, t.src, t.dst))
+        return reversed_tuples
+
+    # ------------------------------------------------------------------
+    def cost_model(self) -> StagedCostModel:
+        """Re-play the plan into a fresh cost model."""
+        model = StagedCostModel(self.topology, num_stages=max(1, self.num_stages))
+        for route in self.routes:
+            for link, stage in route.edges:
+                model.add(link, stage, route.weight)
+        return model
+
+    def estimated_cost(self, bytes_per_unit: float = 1.0) -> float:
+        """Cost-model estimate of the plan's execution time (§5.1)."""
+        return self.cost_model().total_seconds(bytes_per_unit)
+
+    def volume_by_kind(self) -> Dict[LinkKind, int]:
+        """Vertex-embedding units crossing each link kind."""
+        volumes: Dict[LinkKind, int] = {}
+        for t in self.tuples():
+            volumes[t.link.kind] = volumes.get(t.link.kind, 0) + t.units
+        return volumes
+
+    def total_units(self) -> int:
+        """Total units transferred, counting forwarding hops."""
+        return sum(t.units for t in self.tuples())
+
+    def table_memory_bytes(self, bytes_per_id: int = 8) -> int:
+        """Memory of the send/receive tables (paper Figure 11).
+
+        Each compiled tuple stores its vertex ids twice: once in the
+        sender's send table and once in the receiver's receive table.
+        """
+        return sum(2 * t.units * bytes_per_id for t in self.tuples())
+
+    def device_schedule(
+        self, device: int, backward: bool = False
+    ) -> Dict[int, Dict[str, List[CommTuple]]]:
+        """Transfers touching ``device``, per stage: ``{stage: {sends, recvs}}``."""
+        schedule: Dict[int, Dict[str, List[CommTuple]]] = {}
+        source = self.backward_tuples() if backward else self.tuples()
+        for t in source:
+            if t.src == device:
+                schedule.setdefault(t.stage, {"sends": [], "recvs": []})["sends"].append(t)
+            if t.dst == device:
+                schedule.setdefault(t.stage, {"sends": [], "recvs": []})["recvs"].append(t)
+        return schedule
+
+    def validate(self, relation: Optional[CommRelation] = None) -> None:
+        """Raise if any route is structurally broken or coverage is short."""
+        for route in self.routes:
+            if not route.reaches_all_destinations():
+                raise ValueError(
+                    f"route from {route.source} to {route.destinations} "
+                    "does not deliver to every destination"
+                )
+        if relation is not None:
+            needed = {
+                (c.source, c.destinations): set(map(int, c.vertices))
+                for c in relation.classes
+            }
+            routed: Dict[Tuple[int, Tuple[int, ...]], set] = {}
+            for route in self.routes:
+                routed.setdefault(
+                    (route.source, route.destinations), set()
+                ).update(map(int, route.vertices))
+            for key, vertices in needed.items():
+                if routed.get(key, set()) != vertices:
+                    raise ValueError(
+                        f"plan does not cover multicast class {key}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommPlan({self.name!r}, routes={len(self.routes)}, "
+            f"stages={self.num_stages}, units={self.total_units()})"
+        )

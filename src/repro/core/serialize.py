@@ -1,0 +1,127 @@
+"""Plan serialization.
+
+§4.1: "Communication plans are constructed before training starts and
+issued to the DGCL clients."  Real deployments plan once and reuse the
+result across runs, so plans round-trip to a single ``.npz`` file:
+route structure as flat integer arrays, links referenced by their index
+in the topology's link tuple (the topology itself is reconstructed by
+the caller — it is code, not data).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import List, Union
+
+import numpy as np
+
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.topology.topology import Topology
+
+__all__ = ["save_plan", "load_plan"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+_FORMAT_VERSION = 1
+
+
+def save_plan(plan: CommPlan, path: PathLike) -> None:
+    """Write ``plan`` to ``path`` as a compressed ``.npz``."""
+    topology = plan.topology
+    link_index = {id(link): i for i, link in enumerate(topology.links)}
+
+    sources: List[int] = []
+    dest_offsets = [0]
+    dests: List[int] = []
+    vertex_offsets = [0]
+    vertices: List[np.ndarray] = []
+    edge_offsets = [0]
+    edge_links: List[int] = []
+    edge_stages: List[int] = []
+
+    for route in plan.routes:
+        sources.append(route.source)
+        dests.extend(route.destinations)
+        dest_offsets.append(len(dests))
+        vertices.append(route.vertices)
+        vertex_offsets.append(vertex_offsets[-1] + route.vertices.size)
+        for link, stage in route.edges:
+            try:
+                edge_links.append(link_index[id(link)])
+            except KeyError:
+                raise ValueError(
+                    "plan references a link that is not part of its "
+                    "topology — cannot serialise"
+                ) from None
+            edge_stages.append(stage)
+        edge_offsets.append(len(edge_links))
+
+    meta = {
+        "format": _FORMAT_VERSION,
+        "name": plan.name,
+        "topology": topology.name,
+        "num_devices": topology.num_devices,
+        "num_links": topology.num_links,
+        "num_routes": len(plan.routes),
+    }
+    np.savez_compressed(
+        path,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        sources=np.asarray(sources, dtype=np.int64),
+        dest_offsets=np.asarray(dest_offsets, dtype=np.int64),
+        dests=np.asarray(dests, dtype=np.int64),
+        vertex_offsets=np.asarray(vertex_offsets, dtype=np.int64),
+        vertices=(
+            np.concatenate(vertices) if vertices else np.empty(0, np.int64)
+        ),
+        edge_offsets=np.asarray(edge_offsets, dtype=np.int64),
+        edge_links=np.asarray(edge_links, dtype=np.int64),
+        edge_stages=np.asarray(edge_stages, dtype=np.int64),
+    )
+
+
+def load_plan(path: PathLike, topology: Topology) -> CommPlan:
+    """Load a plan saved by :func:`save_plan` against ``topology``.
+
+    The topology must be structurally identical to the one the plan was
+    built for (same name, device count and link list order).
+    """
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode())
+        if meta.get("format") != _FORMAT_VERSION:
+            raise ValueError(f"unsupported plan format {meta.get('format')!r}")
+        if meta["num_devices"] != topology.num_devices:
+            raise ValueError(
+                f"plan was built for {meta['num_devices']} devices, "
+                f"topology has {topology.num_devices}"
+            )
+        if meta["num_links"] != topology.num_links:
+            raise ValueError(
+                "topology link count differs from the plan's — refusing "
+                "to remap links by index"
+            )
+        links = topology.links
+        routes = []
+        for r in range(meta["num_routes"]):
+            dest_slice = slice(data["dest_offsets"][r], data["dest_offsets"][r + 1])
+            vert_slice = slice(
+                data["vertex_offsets"][r], data["vertex_offsets"][r + 1]
+            )
+            edge_slice = slice(data["edge_offsets"][r], data["edge_offsets"][r + 1])
+            edges = tuple(
+                (links[li], int(stage))
+                for li, stage in zip(
+                    data["edge_links"][edge_slice],
+                    data["edge_stages"][edge_slice],
+                )
+            )
+            routes.append(
+                VertexClassRoute(
+                    source=int(data["sources"][r]),
+                    destinations=tuple(int(x) for x in data["dests"][dest_slice]),
+                    vertices=data["vertices"][vert_slice].copy(),
+                    edges=edges,
+                )
+            )
+        return CommPlan(topology, routes, name=meta["name"])

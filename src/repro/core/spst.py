@@ -1,0 +1,239 @@
+"""The Shortest Path Spanning Tree (SPST) planner — paper Algorithm 1.
+
+For every vertex (or batch of same-signature vertices), SPST grows a
+communication tree rooted at the source GPU until it spans all
+destination GPUs:
+
+1. start with ``N_src = {s_u}``;
+2. run a multi-source Dijkstra from the current tree where the weight of
+   traversing link ``e`` out of a tree node at depth ``i`` is
+   ``C(i, e)`` — the *incremental* blow-up of the global plan cost
+   (Algorithm 2), computed on demand against everything committed so far;
+3. commit the cheapest path to a still-unreached destination: its links
+   join the cumulative plan at stages equal to their tree depths, its
+   nodes join ``N_src``;
+4. repeat until every destination is reached.
+
+Because the edge weight is the *increase in total plan time*, SPST
+automatically prefers fast links, fuses multicasts through forwarders,
+avoids contended connections, and pours load onto under-utilised links
+whose incremental cost is zero — the four §5 design goals.
+
+Granularity
+-----------
+``granularity="vertex"`` runs Algorithm 1 verbatim: one tree per vertex.
+``granularity="chunk"`` (default) groups vertices into multicast classes
+(same source and destination set) and splits each class into a few
+equal chunks planned as weighted units.  Chunks of one class may take
+different trees, preserving the per-vertex load-balancing freedom the
+paper argues for (§5.1) at a fraction of the planning cost.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.cost_model import StagedCostModel
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.core.relation import CommRelation, MulticastClass
+from repro.topology.topology import Link, Topology
+
+__all__ = ["SPSTPlanner", "PlanUnit"]
+
+
+@dataclass(frozen=True)
+class PlanUnit:
+    """One unit of planning work: a weighted batch of vertices."""
+
+    source: int
+    destinations: Tuple[int, ...]
+    vertices: np.ndarray
+
+    @property
+    def weight(self) -> int:
+        return int(self.vertices.size)
+
+
+class SPSTPlanner:
+    """Greedy communication planning over a fixed topology.
+
+    Parameters
+    ----------
+    topology:
+        The device/link graph ``D(V', E')``.
+    granularity:
+        ``"vertex"`` for the verbatim per-vertex Algorithm 1,
+        ``"chunk"`` for class-chunked planning (default).
+    chunks_per_class:
+        With chunked granularity, how many independently-routed chunks
+        each multicast class is split into.
+    seed:
+        Shuffle seed; the paper shuffles vertices before planning.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        granularity: str = "chunk",
+        chunks_per_class: int = 4,
+        seed: int = 0,
+        refine_passes: int = 0,
+    ) -> None:
+        if granularity not in ("vertex", "chunk"):
+            raise ValueError("granularity must be 'vertex' or 'chunk'")
+        if chunks_per_class < 1:
+            raise ValueError("chunks_per_class must be positive")
+        if refine_passes < 0:
+            raise ValueError("refine_passes must be non-negative")
+        self.topology = topology
+        self.granularity = granularity
+        self.chunks_per_class = chunks_per_class
+        self.seed = seed
+        self.refine_passes = refine_passes
+
+    # ------------------------------------------------------------------
+    def _units(self, classes: Sequence[MulticastClass]) -> List[PlanUnit]:
+        units: List[PlanUnit] = []
+        for cls in classes:
+            dests = tuple(d for d in cls.destinations if d != cls.source)
+            if not dests:
+                continue
+            if self.granularity == "vertex":
+                for v in cls.vertices:
+                    units.append(
+                        PlanUnit(cls.source, dests, np.asarray([v], dtype=np.int64))
+                    )
+            else:
+                pieces = np.array_split(
+                    cls.vertices, min(self.chunks_per_class, cls.size)
+                )
+                for piece in pieces:
+                    if piece.size:
+                        units.append(PlanUnit(cls.source, dests, piece))
+        rng = np.random.default_rng(self.seed)
+        order = rng.permutation(len(units))
+        return [units[i] for i in order]
+
+    def _grow_tree(
+        self, model: StagedCostModel, unit: PlanUnit
+    ) -> List[Tuple[Link, int]]:
+        """Algorithm 1's inner loop for one unit; commits into ``model``."""
+        depth: Dict[int, int] = {unit.source: 0}
+        remaining = set(unit.destinations)
+        remaining.discard(unit.source)
+        tree_edges: List[Tuple[Link, int]] = []
+        links_from = self.topology.links_from
+
+        while remaining:
+            # Multi-source Dijkstra from every current tree node.
+            dist: Dict[int, float] = {node: 0.0 for node in depth}
+            node_depth: Dict[int, int] = dict(depth)
+            parent: Dict[int, Tuple[int, Link]] = {}
+            settled: Dict[int, bool] = {}
+            heap: List[Tuple[float, int, int]] = [
+                (0.0, node, depth[node]) for node in depth
+            ]
+            heapq.heapify(heap)
+            target: Optional[int] = None
+            while heap:
+                cost, node, d = heapq.heappop(heap)
+                if settled.get(node):
+                    continue
+                settled[node] = True
+                node_depth[node] = d
+                if node in remaining:
+                    target = node
+                    break
+                if d + 1 >= model.num_stages + 1:
+                    # A path deeper than the stage budget cannot be
+                    # committed; the tree depth is bounded by |V'| - 1.
+                    continue
+                for link in links_from(node):
+                    nxt = link.dst
+                    if settled.get(nxt) or nxt in depth:
+                        continue
+                    if d >= model.num_stages:
+                        continue
+                    new_cost = cost + model.incremental_cost(link, d, unit.weight)
+                    if new_cost < dist.get(nxt, float("inf")):
+                        dist[nxt] = new_cost
+                        parent[nxt] = (node, link)
+                        heapq.heappush(heap, (new_cost, nxt, d + 1))
+            if target is None:
+                raise RuntimeError(
+                    f"destinations {sorted(remaining)} unreachable from "
+                    f"tree of device {unit.source}"
+                )
+
+            # Reconstruct and commit the path.
+            path: List[Tuple[int, Link]] = []
+            node = target
+            while node not in depth:
+                prev, link = parent[node]
+                path.append((prev, link))
+                node = prev
+            path.reverse()
+            d = depth[node]
+            for prev, link in path:
+                model.add(link, d, unit.weight)
+                tree_edges.append((link, d))
+                d += 1
+                depth[link.dst] = d
+                remaining.discard(link.dst)
+        return tree_edges
+
+    # ------------------------------------------------------------------
+    def plan(
+        self, relation: CommRelation, name: str = "spst"
+    ) -> CommPlan:
+        """Plan the whole layer's communication for ``relation``.
+
+        With ``refine_passes > 0``, after the greedy pass each unit is
+        repeatedly withdrawn from the cost state and re-routed against
+        everything else — a cheap local-search step that undoes early
+        greedy commitments made against an emptier network.
+        """
+        if relation.num_devices > self.topology.num_devices:
+            raise ValueError("relation references more devices than topology")
+        model = StagedCostModel(self.topology)
+        units = self._units(relation.classes)
+        routes: List[VertexClassRoute] = []
+        for unit in units:
+            edges = self._grow_tree(model, unit)
+            routes.append(
+                VertexClassRoute(
+                    source=unit.source,
+                    destinations=unit.destinations,
+                    vertices=unit.vertices,
+                    edges=tuple(edges),
+                )
+            )
+
+        rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.refine_passes):
+            improved = False
+            for i in rng.permutation(len(routes)):
+                route = routes[i]
+                before = model.total_cost()
+                model.remove_path(list(route.edges), route.weight)
+                edges = self._grow_tree(model, units[i])
+                after = model.total_cost()
+                if after < before - 1e-18:
+                    routes[i] = VertexClassRoute(
+                        source=route.source,
+                        destinations=route.destinations,
+                        vertices=route.vertices,
+                        edges=tuple(edges),
+                    )
+                    improved = True
+                elif tuple(edges) != route.edges:
+                    # The re-route was not better: restore the original.
+                    model.remove_path(edges, route.weight)
+                    model.add_path(list(route.edges), route.weight)
+            if not improved:
+                break
+        return CommPlan(self.topology, routes, name=name)

@@ -1,0 +1,65 @@
+"""Numpy GNN substrate: layers, models, losses and trainers.
+
+This package stands in for the single-GPU GNN system (DGL in the paper):
+CSR-based aggregate-update layers for the three evaluated models — GCN,
+CommNet and GIN — with hand-written backward passes, a full-graph
+trainer, and the cost descriptors the simulator uses to price each
+layer's computation.
+
+The distributed trainer lives in :mod:`repro.gnn.distributed`; it runs
+the same layers on per-device partitions, calling graphAllgather between
+layers, and is bit-compatible with the single-device trainer — the
+library's strongest end-to-end correctness check.
+"""
+
+from repro.gnn.functional import (
+    aggregate_mean,
+    aggregate_sum,
+    relu,
+    segment_sum,
+    softmax_cross_entropy,
+)
+from repro.gnn.layers import (
+    CommNetLayer,
+    GATLayer,
+    GCNLayer,
+    GINLayer,
+    GraphContext,
+    SAGELayer,
+)
+from repro.gnn.models import (
+    GNNModel,
+    SGD,
+    build_commnet,
+    build_gat,
+    build_gcn,
+    build_gin,
+    build_model,
+    build_sage,
+)
+from repro.gnn.optim import Adam
+from repro.gnn.training import SingleDeviceTrainer
+
+__all__ = [
+    "segment_sum",
+    "aggregate_sum",
+    "aggregate_mean",
+    "relu",
+    "softmax_cross_entropy",
+    "GraphContext",
+    "GCNLayer",
+    "CommNetLayer",
+    "GINLayer",
+    "SAGELayer",
+    "GATLayer",
+    "GNNModel",
+    "SGD",
+    "Adam",
+    "build_gcn",
+    "build_commnet",
+    "build_gin",
+    "build_sage",
+    "build_gat",
+    "build_model",
+    "SingleDeviceTrainer",
+]

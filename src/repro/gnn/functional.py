@@ -1,0 +1,114 @@
+"""Vectorised primitives for CSR-based GNN computation.
+
+Everything here is pure numpy.  The central primitive is
+:func:`segment_sum` — a fast grouped reduction over CSR segments built
+on ``np.add.reduceat`` (with correct handling of empty segments, which
+``reduceat`` alone gets wrong).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "segment_sum",
+    "aggregate_sum",
+    "aggregate_mean",
+    "scatter_back",
+    "relu",
+    "relu_grad",
+    "softmax_cross_entropy",
+]
+
+
+def segment_sum(values: np.ndarray, indptr: np.ndarray) -> np.ndarray:
+    """Sum ``values`` rows within consecutive CSR segments.
+
+    ``values`` has one row per CSR entry; segment ``i`` spans rows
+    ``indptr[i]:indptr[i+1]``.  Empty segments yield zero rows.
+    """
+    n = indptr.size - 1
+    out = np.zeros((n,) + values.shape[1:], dtype=values.dtype)
+    if values.shape[0] == 0 or n == 0:
+        return out
+    deg = np.diff(indptr)
+    nonzero = np.flatnonzero(deg > 0)
+    if nonzero.size == 0:
+        return out
+    # reduceat sums from each passed start to the next passed start; the
+    # starts of empty segments coincide with the next non-empty start,
+    # so passing only non-empty starts yields exactly their sums.
+    starts = indptr[nonzero]
+    out[nonzero] = np.add.reduceat(values, starts, axis=0)
+    return out
+
+
+def aggregate_sum(
+    h: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Per-vertex sum of in-neighbor rows: ``out[v] = sum_u h[u]``.
+
+    ``indptr``/``indices`` are the in-CSR: segment ``v`` lists the
+    in-neighbors of ``v``.
+    """
+    return segment_sum(h[indices], indptr)
+
+
+def aggregate_mean(
+    h: np.ndarray, indptr: np.ndarray, indices: np.ndarray
+) -> np.ndarray:
+    """Per-vertex mean of in-neighbor rows (zero for isolated vertices)."""
+    sums = aggregate_sum(h, indptr, indices)
+    deg = np.diff(indptr).astype(h.dtype)
+    deg[deg == 0] = 1
+    return sums / deg[:, None]
+
+
+def scatter_back(
+    grad_out: np.ndarray,
+    out_indptr: np.ndarray,
+    out_indices: np.ndarray,
+    num_rows: int,
+) -> np.ndarray:
+    """Backward of :func:`aggregate_sum`.
+
+    The forward sums ``h[u]`` into ``out[v]`` for each edge ``u -> v``;
+    the backward therefore sums ``grad_out[v]`` into ``grad_h[u]``.
+    ``out_indptr``/``out_indices`` are the *out*-CSR (segment ``u`` lists
+    the heads of u's out-edges).
+    """
+    grads = segment_sum(grad_out[out_indices], out_indptr)
+    if grads.shape[0] < num_rows:
+        padded = np.zeros((num_rows,) + grads.shape[1:], dtype=grads.dtype)
+        padded[: grads.shape[0]] = grads
+        return padded
+    return grads[:num_rows]
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise max(x, 0)."""
+    return np.maximum(x, 0)
+
+
+def relu_grad(x: np.ndarray, grad: np.ndarray) -> np.ndarray:
+    """Backward of :func:`relu`: mask ``grad`` where ``x <= 0``."""
+    return grad * (x > 0)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """Mean cross-entropy loss and its gradient w.r.t. ``logits``."""
+    if logits.ndim != 2:
+        raise ValueError("logits must be (rows, classes)")
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    eps = np.finfo(probs.dtype).tiny
+    loss = float(-np.log(probs[np.arange(n), labels] + eps).mean())
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n

@@ -1,0 +1,82 @@
+"""Optimizers for GNN training.
+
+The paper trains with whatever optimizer DGL's user picks; the epoch
+anatomy is unaffected (weight gradients are summed across devices, then
+one update runs everywhere with identical state).  Besides the plain
+:class:`~repro.gnn.models.SGD`, this module provides :class:`Adam` —
+the de-facto default for GNN benchmarks — with per-parameter moment
+state, so examples and tests can train realistically.
+
+Both optimizers are deterministic and device-count independent: the
+distributed trainer feeds them the *summed* gradients, which is exactly
+what the single-device reference computes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.gnn.models import GNNModel
+
+__all__ = ["Adam"]
+
+
+class Adam:
+    """Adam (Kingma & Ba) over all layers of a model."""
+
+    def __init__(
+        self,
+        model: GNNModel,
+        lr: float = 0.01,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must lie in [0, 1)")
+        self.model = model
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.step_count = 0
+        self._m: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(p, dtype=np.float64)
+             for name, p in layer.params.items()}
+            for layer in model.layers
+        ]
+        self._v: List[Dict[str, np.ndarray]] = [
+            {name: np.zeros_like(p, dtype=np.float64)
+             for name, p in layer.params.items()}
+            for layer in model.layers
+        ]
+
+    def step(self, grads: List[Dict[str, np.ndarray]]) -> None:
+        """Apply one Adam update from per-layer gradient dicts."""
+        if len(grads) != self.model.num_layers:
+            raise ValueError("gradient list does not match the layer count")
+        self.step_count += 1
+        bc1 = 1.0 - self.beta1 ** self.step_count
+        bc2 = 1.0 - self.beta2 ** self.step_count
+        for layer, layer_grads, m, v in zip(
+            self.model.layers, grads, self._m, self._v
+        ):
+            for name, grad in layer_grads.items():
+                grad = np.asarray(grad, dtype=np.float64)
+                m[name] = self.beta1 * m[name] + (1 - self.beta1) * grad
+                v[name] = self.beta2 * v[name] + (1 - self.beta2) * grad * grad
+                m_hat = m[name] / bc1
+                v_hat = v[name] / bc2
+                update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                layer.params[name] -= update.astype(layer.params[name].dtype)
+
+    def state_bytes(self) -> int:
+        """Optimizer state size (two moments per parameter)."""
+        total = 0
+        for m in self._m:
+            total += sum(arr.nbytes for arr in m.values())
+        for v in self._v:
+            total += sum(arr.nbytes for arr in v.values())
+        return total

@@ -1,0 +1,76 @@
+"""Single-device full-graph training — the reference implementation.
+
+Every distributed strategy in the paper is algorithmically identical to
+single-GPU training (§7, "all our baselines are equivalent in
+single-GPU training from the algorithm perspective"), which makes this
+trainer the ground truth the distributed trainer is tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.gnn.functional import softmax_cross_entropy
+from repro.gnn.layers import GraphContext
+from repro.gnn.models import GNNModel, SGD
+from repro.graph.csr import Graph
+
+__all__ = ["EpochResult", "SingleDeviceTrainer"]
+
+
+@dataclass
+class EpochResult:
+    """Loss and output of one forward/backward epoch."""
+
+    loss: float
+    logits: np.ndarray
+    feature_grad: Optional[np.ndarray] = None
+
+
+class SingleDeviceTrainer:
+    """Full-graph training of a model on one (simulated) device."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: GNNModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        lr: float = 0.01,
+        optimizer=None,
+    ) -> None:
+        if features.shape[0] != graph.num_vertices:
+            raise ValueError("features must cover every vertex")
+        if labels.shape[0] != graph.num_vertices:
+            raise ValueError("labels must cover every vertex")
+        if features.shape[1] != model.layer_dims[0]:
+            raise ValueError(
+                f"feature width {features.shape[1]} does not match the "
+                f"model input {model.layer_dims[0]}"
+            )
+        self.graph = graph
+        self.model = model
+        self.features = features.astype(np.float32, copy=True)
+        self.labels = labels
+        self.ctx = GraphContext.from_graph(graph)
+        self.optimizer = optimizer or SGD(model, lr=lr)
+        self.loss_history: List[float] = []
+
+    def run_epoch(self, update: bool = True) -> EpochResult:
+        """One forward + backward pass over every vertex."""
+        logits, caches = self.model.forward(self.ctx, self.features)
+        loss, grad_logits = softmax_cross_entropy(logits, self.labels)
+        feature_grad, grads = self.model.backward(self.ctx, caches, grad_logits)
+        if update:
+            self.optimizer.step(grads)
+        self.loss_history.append(loss)
+        return EpochResult(loss=loss, logits=logits, feature_grad=feature_grad)
+
+    def train(self, epochs: int) -> List[float]:
+        """Run ``epochs`` epochs; returns the loss history."""
+        for _ in range(epochs):
+            self.run_epoch()
+        return list(self.loss_history)

@@ -1,0 +1,52 @@
+"""Graph substrate: CSR structures, generators and dataset twins.
+
+This package provides everything DGCL needs to know about the *data*
+graph: a compact CSR representation (:class:`~repro.graph.csr.Graph`),
+synthetic graph generators that mimic the degree structure of the paper's
+datasets (:mod:`repro.graph.generators`), the four named dataset twins
+used throughout the evaluation (:mod:`repro.graph.datasets`) and plain
+edge-list I/O (:mod:`repro.graph.io`).
+"""
+
+from repro.graph.csr import Graph
+from repro.graph.datasets import (
+    DATASETS,
+    DatasetSpec,
+    com_orkut_twin,
+    load_dataset,
+    reddit_twin,
+    web_google_twin,
+    wiki_talk_twin,
+)
+from repro.graph.generators import (
+    configuration_model,
+    locality_power_law,
+    erdos_renyi,
+    grid_graph,
+    planted_partition,
+    power_law_degrees,
+    rmat,
+    star_graph,
+)
+from repro.graph.io import load_edge_list, save_edge_list
+
+__all__ = [
+    "Graph",
+    "DATASETS",
+    "DatasetSpec",
+    "load_dataset",
+    "reddit_twin",
+    "com_orkut_twin",
+    "web_google_twin",
+    "wiki_talk_twin",
+    "rmat",
+    "erdos_renyi",
+    "configuration_model",
+    "planted_partition",
+    "locality_power_law",
+    "power_law_degrees",
+    "grid_graph",
+    "star_graph",
+    "load_edge_list",
+    "save_edge_list",
+]

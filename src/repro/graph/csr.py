@@ -1,0 +1,251 @@
+"""Compressed-sparse-row graph structure.
+
+The :class:`Graph` class is the single graph representation used by the
+whole library: the partitioner coarsens it, the communication-relation
+builder walks its edges, and the GNN layers aggregate over it.
+
+Graphs are directed.  An edge ``u -> v`` means that ``v`` aggregates the
+embedding of ``u`` (``u`` is an *in-neighbor* of ``v``), matching the
+``AGGREGATE`` semantics of equation (1) in the paper.  Both the out-CSR
+and the in-CSR are materialised because different subsystems need
+different directions:
+
+* GNN aggregation iterates over the in-neighbors of every vertex,
+* the communication relation asks "who consumes the embedding of u?",
+  which iterates over the out-neighbors of ``u``.
+
+Instances are immutable; all mutating operations return new graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+def _build_csr(
+    src: np.ndarray, dst: np.ndarray, num_vertices: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Build (indptr, indices) sorted by source vertex."""
+    order = np.argsort(src, kind="stable")
+    sorted_src = src[order]
+    indices = dst[order]
+    counts = np.bincount(sorted_src, minlength=num_vertices)
+    indptr = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, indices.astype(np.int64, copy=False)
+
+
+class Graph:
+    """An immutable directed graph in CSR form.
+
+    Parameters
+    ----------
+    src, dst:
+        Integer arrays of equal length listing the edges ``src[i] ->
+        dst[i]``.
+    num_vertices:
+        Total number of vertices.  Must be strictly larger than every
+        endpoint id.
+    dedup:
+        Drop duplicate edges (and self loops if ``drop_self_loops``).
+    drop_self_loops:
+        Remove edges ``u -> u``.
+    """
+
+    __slots__ = (
+        "_n",
+        "_src",
+        "_dst",
+        "_out_indptr",
+        "_out_indices",
+        "_in_indptr",
+        "_in_indices",
+    )
+
+    def __init__(
+        self,
+        src: Iterable[int],
+        dst: Iterable[int],
+        num_vertices: Optional[int] = None,
+        dedup: bool = True,
+        drop_self_loops: bool = False,
+    ) -> None:
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError(
+                f"src and dst must have the same length, got {src.shape} and {dst.shape}"
+            )
+        if src.ndim != 1:
+            raise ValueError("edge arrays must be one-dimensional")
+        if src.size and (src.min() < 0 or dst.min() < 0):
+            raise ValueError("vertex ids must be non-negative")
+        if num_vertices is None:
+            num_vertices = int(max(src.max(initial=-1), dst.max(initial=-1))) + 1
+        else:
+            num_vertices = int(num_vertices)
+            if src.size and int(max(src.max(), dst.max())) >= num_vertices:
+                raise ValueError("edge endpoint exceeds num_vertices")
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+
+        if drop_self_loops and src.size:
+            keep = src != dst
+            src, dst = src[keep], dst[keep]
+        if dedup and src.size:
+            code = src * np.int64(num_vertices) + dst
+            _, unique_idx = np.unique(code, return_index=True)
+            unique_idx.sort()
+            src, dst = src[unique_idx], dst[unique_idx]
+
+        self._n = num_vertices
+        self._src = src
+        self._dst = dst
+        self._out_indptr, self._out_indices = _build_csr(src, dst, num_vertices)
+        self._in_indptr, self._in_indices = _build_csr(dst, src, num_vertices)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return int(self._src.size)
+
+    @property
+    def edges(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (src, dst) arrays, in input order after cleaning."""
+        return self._src, self._dst
+
+    @property
+    def avg_degree(self) -> float:
+        """Average out-degree (edges / vertices)."""
+        if self._n == 0:
+            return 0.0
+        return self.num_edges / self._n
+
+    @property
+    def out_indptr(self) -> np.ndarray:
+        return self._out_indptr
+
+    @property
+    def out_indices(self) -> np.ndarray:
+        return self._out_indices
+
+    @property
+    def in_indptr(self) -> np.ndarray:
+        return self._in_indptr
+
+    @property
+    def in_indices(self) -> np.ndarray:
+        return self._in_indices
+
+    def out_degree(self) -> np.ndarray:
+        """Out-degree of every vertex (array of length num_vertices)."""
+        return np.diff(self._out_indptr)
+
+    def in_degree(self) -> np.ndarray:
+        """In-degree of every vertex (array of length num_vertices)."""
+        return np.diff(self._in_indptr)
+
+    def out_neighbors(self, v: int) -> np.ndarray:
+        """Heads of v's out-edges (the consumers of v's embedding)."""
+        return self._out_indices[self._out_indptr[v] : self._out_indptr[v + 1]]
+
+    def in_neighbors(self, v: int) -> np.ndarray:
+        """Tails of v's in-edges (the embeddings v aggregates)."""
+        return self._in_indices[self._in_indptr[v] : self._in_indptr[v + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True when the edge ``u -> v`` exists."""
+        return bool(np.isin(v, self.out_neighbors(u)).item())
+
+    # ------------------------------------------------------------------
+    # Derived graphs
+    # ------------------------------------------------------------------
+    def undirected(self) -> "Graph":
+        """Return the symmetrised graph (both directions of every edge)."""
+        src = np.concatenate([self._src, self._dst])
+        dst = np.concatenate([self._dst, self._src])
+        return Graph(src, dst, self._n, dedup=True, drop_self_loops=True)
+
+    def reverse(self) -> "Graph":
+        """Return the graph with all edges reversed."""
+        return Graph(self._dst, self._src, self._n, dedup=False)
+
+    def subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph on ``vertices``.
+
+        Returns the subgraph (with vertices relabelled ``0..len-1`` in the
+        order given) plus the original-id array so callers can map back.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        lookup = np.full(self._n, -1, dtype=np.int64)
+        lookup[vertices] = np.arange(vertices.size, dtype=np.int64)
+        keep = (lookup[self._src] >= 0) & (lookup[self._dst] >= 0)
+        sub_src = lookup[self._src[keep]]
+        sub_dst = lookup[self._dst[keep]]
+        return Graph(sub_src, sub_dst, vertices.size, dedup=False), vertices
+
+    # ------------------------------------------------------------------
+    # Neighborhood expansion (used by replication)
+    # ------------------------------------------------------------------
+    def k_hop_in_neighborhood(self, seeds: np.ndarray, hops: int) -> np.ndarray:
+        """All vertices within ``hops`` in-edges of ``seeds`` (inclusive).
+
+        This is the set of vertices whose layer-0 embeddings are required
+        to compute ``hops``-layer GNN outputs for ``seeds`` — exactly the
+        replication closure of §3 in the paper.
+        """
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        member = np.zeros(self._n, dtype=bool)
+        member[np.asarray(seeds, dtype=np.int64)] = True
+        frontier = np.flatnonzero(member)
+        for _ in range(hops):
+            if frontier.size == 0:
+                break
+            starts = self._in_indptr[frontier]
+            stops = self._in_indptr[frontier + 1]
+            total = int((stops - starts).sum())
+            if total == 0:
+                break
+            gathered = np.empty(total, dtype=np.int64)
+            pos = 0
+            for s, e in zip(starts, stops):
+                gathered[pos : pos + (e - s)] = self._in_indices[s:e]
+                pos += e - s
+            fresh = np.unique(gathered)
+            fresh = fresh[~member[fresh]]
+            member[fresh] = True
+            frontier = fresh
+        return np.flatnonzero(member)
+
+    # ------------------------------------------------------------------
+    # Dunder helpers
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Graph(num_vertices={self._n}, num_edges={self.num_edges}, "
+            f"avg_degree={self.avg_degree:.2f})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self._n == other._n
+            and np.array_equal(self._out_indptr, other._out_indptr)
+            and np.array_equal(np.sort(self._src * self._n + self._dst),
+                               np.sort(other._src * other._n + other._dst))
+        )
+
+    def __hash__(self) -> int:
+        return hash((self._n, self.num_edges))

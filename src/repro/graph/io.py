@@ -1,0 +1,49 @@
+"""Plain edge-list I/O.
+
+The real DGCL consumes SNAP-style edge lists (one ``src dst`` pair per
+line, ``#`` comments).  These helpers read and write that format so users
+can bring their own graphs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+__all__ = ["load_edge_list", "save_edge_list"]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def load_edge_list(path: PathLike, num_vertices: int = None) -> Graph:
+    """Load a whitespace-separated edge list; ``#`` lines are comments."""
+    src = []
+    dst = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(f"{path}:{lineno}: expected 'src dst', got {line!r}")
+            src.append(int(parts[0]))
+            dst.append(int(parts[1]))
+    return Graph(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        num_vertices=num_vertices,
+    )
+
+
+def save_edge_list(graph: Graph, path: PathLike) -> None:
+    """Write the graph as a SNAP-style edge list."""
+    src, dst = graph.edges
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"# vertices {graph.num_vertices} edges {graph.num_edges}\n")
+        for u, v in zip(src.tolist(), dst.tolist()):
+            handle.write(f"{u} {v}\n")

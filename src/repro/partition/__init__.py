@@ -1,0 +1,37 @@
+"""Graph partitioning: multilevel k-way, hierarchical, and replication.
+
+DGCL assigns one graph partition per GPU (paper §4.1).  This package
+provides:
+
+* :func:`~repro.partition.metis.partition` — a from-scratch multilevel
+  k-way partitioner in the METIS style (heavy-edge-matching coarsening,
+  greedy initial partition, boundary refinement) minimising edge cut
+  under a balance constraint;
+* :func:`~repro.partition.hierarchical.hierarchical_partition` — the
+  paper's hierarchy-aware variant that cuts across machines first, then
+  sockets, then GPUs, prioritising communication reduction on slow links;
+* :mod:`repro.partition.replication` — the k-hop replication closure and
+  replication factor of §3 (Figure 4), plus the machine-level closure
+  used by DGCL-R.
+"""
+
+from repro.partition.metis import PartitionResult, edge_cut, partition
+from repro.partition.metrics import PartitionMetrics, evaluate_partition
+from repro.partition.hierarchical import hierarchical_partition
+from repro.partition.replication import (
+    machine_replication,
+    replication_closure,
+    replication_factor,
+)
+
+__all__ = [
+    "partition",
+    "PartitionResult",
+    "edge_cut",
+    "PartitionMetrics",
+    "evaluate_partition",
+    "hierarchical_partition",
+    "replication_closure",
+    "replication_factor",
+    "machine_replication",
+]

@@ -1,0 +1,90 @@
+"""K-hop replication: the communication-free baseline of §3.
+
+With replication, each GPU stores — besides its own partition — the
+K-hop in-neighborhood of its local vertices, and recomputes the
+intermediate embeddings of the replicas so that no embedding passing is
+needed during training.  The price is the *replication factor*:
+
+    total vertices stored across GPUs / vertices in the graph
+
+which Figure 4 of the paper plots against GPU count and hop count.
+
+This module computes the closure, the factor, and the machine-level
+variant used by DGCL-R (replicate only across machines, partition
+normally inside each machine — Table 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.topology.topology import Topology
+
+__all__ = [
+    "replication_closure",
+    "replication_factor",
+    "machine_replication",
+]
+
+
+def replication_closure(
+    graph: Graph, assignment: np.ndarray, hops: int
+) -> List[np.ndarray]:
+    """Vertices each part must store for ``hops``-layer training.
+
+    Part ``p`` stores its own vertices plus every vertex within ``hops``
+    in-edges of them.  Returns one sorted vertex-id array per part.
+    """
+    num_parts = int(assignment.max()) + 1 if assignment.size else 0
+    closures = []
+    for p in range(num_parts):
+        local = np.flatnonzero(assignment == p)
+        closures.append(graph.k_hop_in_neighborhood(local, hops))
+    return closures
+
+
+def replication_factor(graph: Graph, assignment: np.ndarray, hops: int) -> float:
+    """Total stored vertices over graph vertices (Figure 4)."""
+    if graph.num_vertices == 0:
+        return 0.0
+    closures = replication_closure(graph, assignment, hops)
+    total = sum(c.size for c in closures)
+    return total / graph.num_vertices
+
+
+def machine_replication(
+    graph: Graph,
+    assignment: np.ndarray,
+    topology: Topology,
+    hops: int,
+) -> List[np.ndarray]:
+    """DGCL-R's closure: replicate across machines only.
+
+    Each *machine* stores the K-hop closure of the union of its GPUs'
+    partitions; inside the machine the closure vertices are the remote
+    vertices whose layer-0..K-1 embeddings the machine must compute
+    locally.  Returns one sorted vertex-id array per machine (keyed by
+    sorted machine id order).
+    """
+    members = topology.machine_members()
+    closures = []
+    for _, devs in sorted(members.items()):
+        local = np.flatnonzero(np.isin(assignment, devs))
+        closures.append(graph.k_hop_in_neighborhood(local, hops))
+    return closures
+
+
+def machine_replication_factor(
+    graph: Graph,
+    assignment: np.ndarray,
+    topology: Topology,
+    hops: int,
+) -> float:
+    """Stored vertices across machines over graph vertices."""
+    if graph.num_vertices == 0:
+        return 0.0
+    closures = machine_replication(graph, assignment, topology, hops)
+    return sum(c.size for c in closures) / graph.num_vertices

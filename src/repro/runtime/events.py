@@ -1,0 +1,234 @@
+"""A small generator-coroutine discrete-event simulator.
+
+Processes are Python generators that ``yield`` wait conditions:
+
+* ``Timeout(dt)`` — resume after ``dt`` simulated seconds;
+* ``WaitFlag(flag, value)`` — resume when ``flag`` reaches ``value``;
+* ``WaitEvent(event)`` — resume when an :class:`Event` is triggered;
+* ``AllOf([...])`` — resume when every sub-condition has resolved.
+
+The engine is deliberately minimal — the runtime package needs exactly
+these four primitives — but fully deterministic: simultaneous events
+fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Event",
+    "WaitEvent",
+    "Flag",
+    "WaitFlag",
+    "AllOf",
+]
+
+
+class Timeout:
+    """Resume the process after ``delay`` simulated seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+
+class Event:
+    """A one-shot event processes can wait on."""
+
+    __slots__ = ("triggered", "_waiters", "payload")
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self.payload: Any = None
+        self._waiters: List[Callable[[], None]] = []
+
+    def trigger(self, payload: Any = None) -> None:
+        """Fire the event (idempotent); wakes every waiter."""
+        if self.triggered:
+            return
+        self.triggered = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for wake in waiters:
+            wake()
+
+    def add_waiter(self, wake: Callable[[], None]) -> None:
+        """Register a wake callback (fires immediately if already met)."""
+        if self.triggered:
+            wake()
+        else:
+            self._waiters.append(wake)
+
+
+class WaitEvent:
+    """Resume the process when ``event`` triggers."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: Event) -> None:
+        self.event = event
+
+
+class Flag:
+    """An integer cell with waiters — the paper's ready/done flags."""
+
+    __slots__ = ("value", "_waiters", "name")
+
+    def __init__(self, name: str = "", value: int = 0) -> None:
+        self.name = name
+        self.value = value
+        self._waiters: List[tuple] = []  # (target, wake)
+
+    def set(self, value: int) -> None:
+        """Store ``value`` and wake waiters whose target is reached."""
+        self.value = value
+        if not self._waiters:
+            return
+        ready = [(t, w) for t, w in self._waiters if self.value >= t]
+        self._waiters = [(t, w) for t, w in self._waiters if self.value < t]
+        for _, wake in ready:
+            wake()
+
+    def increment(self) -> None:
+        """Add one to the flag value."""
+        self.set(self.value + 1)
+
+    def add_waiter(self, target: int, wake: Callable[[], None]) -> None:
+        """Register a wake callback (fires immediately if already met)."""
+        if self.value >= target:
+            wake()
+        else:
+            self._waiters.append((target, wake))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Flag({self.name!r}, value={self.value})"
+
+
+class WaitFlag:
+    """Resume once ``flag.value >= target`` (monotone flags only)."""
+
+    __slots__ = ("flag", "target")
+
+    def __init__(self, flag: Flag, target: int = 1) -> None:
+        self.flag = flag
+        self.target = target
+
+
+class AllOf:
+    """Resume when every sub-condition resolves."""
+
+    __slots__ = ("conditions",)
+
+    def __init__(self, conditions: Iterable[Any]) -> None:
+        self.conditions = list(conditions)
+
+
+class Process:
+    """One coroutine driven by the simulator."""
+
+    __slots__ = ("sim", "generator", "name", "finished", "done_event")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str) -> None:
+        self.sim = sim
+        self.generator = generator
+        self.name = name
+        self.finished = False
+        self.done_event = Event()
+
+    def _advance(self) -> None:
+        try:
+            condition = next(self.generator)
+        except StopIteration:
+            self.finished = True
+            self.done_event.trigger()
+            return
+        self._wait_on(condition)
+
+    def _wait_on(self, condition: Any) -> None:
+        if isinstance(condition, Timeout):
+            self.sim.schedule(condition.delay, self._advance)
+        elif isinstance(condition, WaitFlag):
+            condition.flag.add_waiter(
+                condition.target, lambda: self.sim.schedule(0.0, self._advance)
+            )
+        elif isinstance(condition, WaitEvent):
+            condition.event.add_waiter(
+                lambda: self.sim.schedule(0.0, self._advance)
+            )
+        elif isinstance(condition, AllOf):
+            remaining = len(condition.conditions)
+            if remaining == 0:
+                self.sim.schedule(0.0, self._advance)
+                return
+            state = {"left": remaining}
+
+            def one_done() -> None:
+                state["left"] -= 1
+                if state["left"] == 0:
+                    self.sim.schedule(0.0, self._advance)
+
+            for sub in condition.conditions:
+                if isinstance(sub, WaitFlag):
+                    sub.flag.add_waiter(sub.target, one_done)
+                elif isinstance(sub, WaitEvent):
+                    sub.event.add_waiter(one_done)
+                elif isinstance(sub, Timeout):
+                    self.sim.schedule(sub.delay, one_done)
+                else:
+                    raise TypeError(f"cannot wait on {sub!r} inside AllOf")
+        else:
+            raise TypeError(f"process {self.name!r} yielded {condition!r}")
+
+
+class Simulator:
+    """Deterministic event queue with a simulated clock."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: List[tuple] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), callback))
+
+    def spawn(self, generator: Generator, name: str = "proc") -> Process:
+        """Start a new coroutine process at the current time."""
+        process = Process(self, generator, name)
+        self._processes.append(process)
+        self.schedule(0.0, process._advance)
+        return process
+
+    def run(self, until: Optional[float] = None, max_events: int = 10_000_000) -> float:
+        """Drain the event queue; returns the final clock value."""
+        events = 0
+        while self._queue:
+            time, _, callback = self._queue[0]
+            if until is not None and time > until:
+                break
+            heapq.heappop(self._queue)
+            if time < self.now - 1e-15:
+                raise RuntimeError("event queue went backwards")
+            self.now = max(self.now, time)
+            callback()
+            events += 1
+            if events > max_events:
+                raise RuntimeError(
+                    "event budget exhausted — livelocked protocol?"
+                )
+        stuck = [p.name for p in self._processes if not p.finished]
+        if not self._queue and stuck and until is None:
+            raise RuntimeError(f"deadlock: processes never finished: {stuck}")
+        return self.now

@@ -1,0 +1,141 @@
+"""Incremental flow engine for the protocol runtime.
+
+The batch simulator in :mod:`repro.simulator.network` runs a fixed flow
+set to completion.  Here, processes post transfers *while the clock
+runs*, so the engine must re-solve the max-min fair allocation whenever
+the active set changes and keep exactly one pending completion event.
+
+The fairness model (and its numerical-sweep safeguards) is shared with
+the batch simulator via :func:`repro.simulator.network._max_min_rates`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.runtime.events import Event, Simulator
+from repro.simulator.network import DEFAULT_ALPHA, _ActiveFlow, _max_min_rates
+from repro.topology.links import PhysicalConnection
+
+__all__ = ["LiveNetwork", "TransferHandle"]
+
+
+class TransferHandle:
+    """The caller's view of one in-flight transfer."""
+
+    __slots__ = ("done", "start_time", "finish_time", "size_bytes", "tag")
+
+    def __init__(self, size_bytes: float, tag: object = None) -> None:
+        self.done = Event()
+        self.start_time: Optional[float] = None
+        self.finish_time: Optional[float] = None
+        self.size_bytes = size_bytes
+        self.tag = tag
+
+
+class _LiveFlow:
+    __slots__ = ("path", "remaining", "rate", "handle")
+
+    def __init__(self, path, size_bytes: float, handle: TransferHandle) -> None:
+        self.path = path
+        self.remaining = float(size_bytes)
+        self.rate = 0.0
+        self.handle = handle
+
+    # duck-type what _max_min_rates needs
+    @property
+    def flow(self):
+        return self
+
+
+class LiveNetwork:
+    """Max-min fair bandwidth sharing with dynamic arrivals."""
+
+    def __init__(self, sim: Simulator, alpha: float = DEFAULT_ALPHA) -> None:
+        self.sim = sim
+        self.alpha = alpha
+        self._active: List[_LiveFlow] = []
+        self._last_update = 0.0
+        self._completion_token = 0  # invalidates stale completion events
+
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        path: Tuple[PhysicalConnection, ...],
+        size_bytes: float,
+        tag: object = None,
+    ) -> TransferHandle:
+        """Start a transfer after the setup latency; returns its handle."""
+        if not path:
+            raise ValueError("transfer needs a non-empty path")
+        handle = TransferHandle(size_bytes, tag)
+
+        def begin() -> None:
+            handle.start_time = self.sim.now
+            self._progress_to_now()
+            if size_bytes <= 0:
+                self._finish(_LiveFlow(path, 0.0, handle))
+                return
+            self._active.append(_LiveFlow(path, size_bytes, handle))
+            self._reschedule()
+
+        self.sim.schedule(self.alpha, begin)
+        return handle
+
+    # ------------------------------------------------------------------
+    def _progress_to_now(self) -> None:
+        dt = self.sim.now - self._last_update
+        if dt > 0:
+            for flow in self._active:
+                flow.remaining -= flow.rate * dt
+        self._last_update = self.sim.now
+
+    def _finish(self, flow: _LiveFlow) -> None:
+        flow.handle.finish_time = self.sim.now
+        flow.handle.done.trigger()
+
+    def _reschedule(self) -> None:
+        """Recompute rates and (re)arm the next completion event."""
+        self._completion_token += 1
+        token = self._completion_token
+        if not self._active:
+            return
+        _max_min_rates(self._active)
+        soonest: Optional[_LiveFlow] = None
+        soonest_dt = float("inf")
+        for flow in self._active:
+            if flow.rate > 0:
+                dt = flow.remaining / flow.rate
+            elif flow.remaining <= 0:
+                dt = 0.0
+            else:
+                continue
+            if dt < soonest_dt:
+                soonest, soonest_dt = flow, dt
+        if soonest is None:
+            raise RuntimeError("active flows but none can make progress")
+        # Numerical sweep as in the batch engine: sub-microbyte residues
+        # complete immediately instead of stalling the clock.
+        if soonest_dt <= 0 or soonest.remaining <= max(
+            1e-6, 1e-12 * soonest.handle.size_bytes
+        ):
+            soonest_dt = 0.0
+
+        def complete() -> None:
+            if token != self._completion_token:
+                return  # the active set changed; a newer event is armed
+            self._progress_to_now()
+            threshold = lambda f: max(1e-6, 1e-12 * f.handle.size_bytes)
+            finished = [f for f in self._active if f.remaining <= threshold(f)]
+            if not finished:
+                finished = [min(self._active, key=lambda f: f.remaining)]
+            self._active = [f for f in self._active if f not in finished]
+            for flow in finished:
+                self._finish(flow)
+            self._reschedule()
+
+        self.sim.schedule(soonest_dt, complete)
+
+    @property
+    def active_transfers(self) -> int:
+        return len(self._active)

@@ -1,0 +1,225 @@
+"""The DGCL master/client protocol, executed message by message.
+
+This is §4.1 + §6.1 of the paper running for real against a simulated
+clock:
+
+1. every client registers with the master; the master scatters the
+   "start layer" signal once all are connected (§6.3's gather/scatter
+   bootstrap);
+2. per stage, a client raises its ready flag, then for every planned
+   send it spin-waits on the peer's ready flag, pushes the payload over
+   the live network, and raises its per-peer done flag; for every
+   planned receive it waits on the sender's done flag and retrieves the
+   rows from its buffer;
+3. a client becomes ready for stage ``k+1`` only when its stage-``k``
+   sends and retrieves have all completed — no global barrier, so
+   independent pairs drift apart and a transient straggler delays only
+   the peers that actually talk to it (asserted in the test suite);
+4. when its last stage completes, the client notifies the master, which
+   declares the allgather finished when all clients have.
+
+The ``centralized`` mode replaces (3) with a master-driven stage
+barrier, paying a control round-trip per stage — the design §6.1
+rejects; keeping both makes the trade-off measurable.
+
+Embeddings really move: the runner returns the gathered per-device
+blocks, which the tests compare against
+:class:`~repro.comm.allgather.CompiledAllgather`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.allgather import BufferMaps
+from repro.core.plan import CommPlan, CommTuple
+from repro.core.relation import CommRelation
+from repro.runtime.events import (
+    AllOf,
+    Event,
+    Simulator,
+    Timeout,
+    WaitEvent,
+    WaitFlag,
+)
+from repro.runtime.flags import DEFAULT_FLAG_LATENCY, FlagBoard
+from repro.runtime.network import LiveNetwork
+from repro.simulator.network import DEFAULT_ALPHA
+
+__all__ = ["ProtocolRunner", "ProtocolReport"]
+
+#: Control-plane latency of one master<->client message; ~20 us on
+#: hardware (socket round trip), scaled by the twin factor.
+DEFAULT_CONTROL_LATENCY = 2e-7
+
+
+@dataclass
+class ProtocolReport:
+    """Timing record of one protocol-level graphAllgather."""
+
+    total_time: float
+    device_finish: Dict[int, float] = field(default_factory=dict)
+    stage_finish: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    transfers: int = 0
+
+
+class ProtocolRunner:
+    """Runs one graphAllgather through the full master/client protocol."""
+
+    def __init__(
+        self,
+        relation: CommRelation,
+        plan: CommPlan,
+        coordination: str = "decentralized",
+        alpha: float = DEFAULT_ALPHA,
+        flag_latency: float = DEFAULT_FLAG_LATENCY,
+        control_latency: float = DEFAULT_CONTROL_LATENCY,
+        device_delays: Optional[Dict[int, float]] = None,
+    ) -> None:
+        if coordination not in ("decentralized", "centralized"):
+            raise ValueError("coordination must be decentralized or centralized")
+        plan.validate(relation)
+        self.relation = relation
+        self.plan = plan
+        self.coordination = coordination
+        self.alpha = alpha
+        self.flag_latency = flag_latency
+        self.control_latency = control_latency
+        self.device_delays = dict(device_delays or {})
+
+        self._tuples = sorted(plan.tuples(), key=lambda t: t.stage)
+        self._maps = BufferMaps(relation, self._tuples)
+        self.num_devices = relation.num_devices
+        self.num_stages = plan.num_stages
+
+        # Per-device send/receive schedules: stage -> list of tuple idx.
+        self._sends: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.num_devices)
+        ]
+        self._recvs: List[Dict[int, List[int]]] = [
+            {} for _ in range(self.num_devices)
+        ]
+        for i, t in enumerate(self._tuples):
+            self._sends[t.src].setdefault(t.stage, []).append(i)
+            self._recvs[t.dst].setdefault(t.stage, []).append(i)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, local_embeddings: Sequence[np.ndarray]
+    ) -> Tuple[List[np.ndarray], ProtocolReport]:
+        """Execute the allgather; returns (gathered blocks, report)."""
+        sim = Simulator()
+        network = LiveNetwork(sim, alpha=self.alpha)
+        flags = FlagBoard(sim, flag_latency=self.flag_latency)
+        buffers = self._maps.make_buffers(list(local_embeddings))
+        report = ProtocolReport(total_time=0.0)
+
+        registered = [Event() for _ in range(self.num_devices)]
+        start_signal = Event()
+        finished = [Event() for _ in range(self.num_devices)]
+        # Centralized mode: per-stage go signals from the master.
+        stage_go = [Event() for _ in range(self.num_stages)]
+        stage_done_count = [
+            {"left": self.num_devices} for _ in range(self.num_stages)
+        ]
+
+        def master():
+            yield AllOf([WaitEvent(e) for e in registered])
+            yield Timeout(self.control_latency)  # scatter "start"
+            start_signal.trigger()
+            if self.coordination == "centralized":
+                for k in range(self.num_stages):
+                    yield Timeout(self.control_latency)
+                    stage_go[k].trigger()
+                    yield WaitEvent(stage_go_done[k])
+            yield AllOf([WaitEvent(e) for e in finished])
+
+        stage_go_done = [Event() for _ in range(self.num_stages)]
+
+        def sender(device: int, idx: int, done_event: Event):
+            t = self._tuples[idx]
+            # Spin on the peer's ready flag (remote poll latency).
+            yield Timeout(self.flag_latency)
+            yield WaitFlag(flags.ready_flag(t.dst, t.stage), 1)
+            handle = network.transfer(
+                t.link.connections, t.units * self._bytes_per_unit, tag=idx
+            )
+            yield WaitEvent(handle.done)
+            # Payload now sits in the peer's buffer.
+            _, _, src_rows, dst_rows = self._maps.ops[idx]
+            buffers[t.dst][dst_rows] = buffers[device][src_rows]
+            flags.set_done(t.src, t.dst, t.stage)
+            report.transfers += 1
+            done_event.trigger()
+
+        def receiver(device: int, idx: int, done_event: Event):
+            t = self._tuples[idx]
+            yield Timeout(self.flag_latency)
+            yield WaitFlag(flags.done_flag(t.src, t.dst, t.stage), 1)
+            # Retrieval from the staging buffer is a local copy.
+            done_event.trigger()
+
+        def client(device: int):
+            yield Timeout(self.control_latency)  # connect to the master
+            registered[device].trigger()
+            yield WaitEvent(start_signal)
+            extra = self.device_delays.get(device, 0.0)
+            if extra:
+                yield Timeout(extra)
+            for k in range(self.num_stages):
+                if self.coordination == "centralized":
+                    yield WaitEvent(stage_go[k])
+                flags.set_ready(device, k)
+                waits = []
+                for idx in self._sends[device].get(k, []):
+                    ev = Event()
+                    sim.spawn(sender(device, idx, ev), f"send{idx}")
+                    waits.append(WaitEvent(ev))
+                for idx in self._recvs[device].get(k, []):
+                    ev = Event()
+                    sim.spawn(receiver(device, idx, ev), f"recv{idx}")
+                    waits.append(WaitEvent(ev))
+                if waits:
+                    yield AllOf(waits)
+                report.stage_finish[(device, k)] = sim.now
+                if self.coordination == "centralized":
+                    counter = stage_done_count[k]
+                    counter["left"] -= 1
+                    if counter["left"] == 0:
+                        stage_go_done[k].trigger()
+            yield Timeout(self.control_latency)  # notify the master
+            report.device_finish[device] = sim.now
+            finished[device].trigger()
+
+        sim.spawn(master(), "master")
+        for d in range(self.num_devices):
+            sim.spawn(client(d), f"client{d}")
+        total = sim.run()
+        report.total_time = total
+        gathered = [
+            buffers[d][self._maps.out_rows[d]] for d in range(self.num_devices)
+        ]
+        return gathered, report
+
+    def run_timed(self, bytes_per_unit: float) -> ProtocolReport:
+        """Timing-only run with synthetic one-column payloads."""
+        self._bytes_per_unit = bytes_per_unit
+        blocks = [
+            np.zeros((self.relation.local_vertices[d].size, 1), dtype=np.float32)
+            for d in range(self.num_devices)
+        ]
+        _, report = self.run(blocks)
+        return report
+
+    _bytes_per_unit: float = 4.0
+
+    def run_data(
+        self, local_embeddings: Sequence[np.ndarray], bytes_per_float: int = 4
+    ) -> Tuple[List[np.ndarray], ProtocolReport]:
+        """Run with real embedding payloads (bytes from the row width)."""
+        dim = local_embeddings[0].shape[1] if local_embeddings[0].ndim == 2 else 1
+        self._bytes_per_unit = dim * bytes_per_float
+        return self.run(local_embeddings)

@@ -1,0 +1,147 @@
+"""Compute-time and memory models for simulated GNN execution.
+
+The paper treats single-GPU computation as a black box (every scheme
+runs the same DGL kernels); only its *magnitude relative to
+communication* matters for the evaluation shapes.  We model a GNN
+layer's cost with two terms:
+
+* **aggregation** is memory-bound: time = bytes touched / effective
+  scatter-gather bandwidth;
+* **dense updates** are compute-bound: time = FLOPs / effective matmul
+  throughput.
+
+The effective constants are calibrated so that, at twin scale, the
+computation-to-communication ratios land in the regimes the paper
+reports (e.g. communication > 50 % of a GCN epoch on 8 GPUs for dense
+graphs, computation dominating GIN on sparse graphs).
+
+The module also carries the training-memory model used for simulated
+OOM decisions: activations (plus gradients) per layer, the CSR
+adjacency, and a fixed framework overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "LayerComputeCost",
+    "ComputeModel",
+    "training_memory_bytes",
+    "partition_memory_bytes",
+]
+
+#: Effective neighbor-aggregation bandwidth (bytes/s).  DGL's fused SpMM
+#: on a V100 streams HBM2 at ~900 GB/s; dense graphs reuse cached source
+#: rows heavily (Reddit averages 478 in-edges per vertex), so the
+#: *effective* rate per edge-byte comes out near this figure.  Calibrated
+#: against the computation/communication split of the paper's Figure 7.
+DEFAULT_AGG_BANDWIDTH = 0.8e12
+
+#: Effective dense-matmul throughput (FLOP/s).  V100 fp32 peaks at
+#: ~15.7 TFLOP/s; GNN-sized skinny GEMMs reach a modest fraction.
+DEFAULT_DENSE_FLOPS = 2e12
+
+#: Extra cost factor of atomic gradient accumulation in the backward
+#: pass (§6.2): colliding atomicAdd traffic runs this much slower than
+#: the plain streaming aggregation the non-atomic scheme uses.
+DEFAULT_ATOMIC_SLOWDOWN = 4.0
+
+#: Fixed per-kernel launch overhead; ~4 us on hardware, scaled by the
+#: twin factor (1/100).
+DEFAULT_KERNEL_LATENCY = 4e-8
+
+
+@dataclass(frozen=True)
+class LayerComputeCost:
+    """Hardware-independent cost of one layer pass on one device."""
+
+    agg_bytes: float = 0.0
+    dense_flops: float = 0.0
+    num_kernels: int = 1
+
+    def __add__(self, other: "LayerComputeCost") -> "LayerComputeCost":
+        return LayerComputeCost(
+            self.agg_bytes + other.agg_bytes,
+            self.dense_flops + other.dense_flops,
+            self.num_kernels + other.num_kernels,
+        )
+
+    def scaled(self, factor: float) -> "LayerComputeCost":
+        """This cost with agg bytes and FLOPs multiplied by ``factor``."""
+        return LayerComputeCost(
+            self.agg_bytes * factor, self.dense_flops * factor, self.num_kernels
+        )
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Converts :class:`LayerComputeCost` into simulated seconds."""
+
+    agg_bandwidth: float = DEFAULT_AGG_BANDWIDTH
+    dense_flops: float = DEFAULT_DENSE_FLOPS
+    atomic_slowdown: float = DEFAULT_ATOMIC_SLOWDOWN
+    kernel_latency: float = DEFAULT_KERNEL_LATENCY
+
+    def seconds(self, cost: LayerComputeCost) -> float:
+        """Simulated seconds this cost takes on the modelled device."""
+        return (
+            cost.agg_bytes / self.agg_bandwidth
+            + cost.dense_flops / self.dense_flops
+            + cost.num_kernels * self.kernel_latency
+        )
+
+    def gradient_reduce_seconds(self, received_bytes: float, atomic: bool) -> float:
+        """Time to fold received gradients into local buffers.
+
+        With atomic accumulation every byte pays the atomic slowdown;
+        the non-atomic scheme streams at full aggregation bandwidth.
+        """
+        factor = self.atomic_slowdown if atomic else 1.0
+        return received_bytes * factor / self.agg_bandwidth
+
+
+def partition_memory_bytes(
+    num_local: int,
+    num_remote: int,
+    num_edges: int,
+    layer_dims: Sequence[int],
+    boundary_dims: Sequence[int],
+    bytes_per_float: int = 4,
+    activation_copies: float = 4.0,
+    framework_overhead: int = 16_000_000,
+) -> int:
+    """Peak training memory of a *partitioned* device.
+
+    Local rows store the full activation stack (``layer_dims``), but
+    remote rows only buffer the gathered embeddings and their gradients
+    at each layer boundary (``boundary_dims``) — they are recomputed
+    nowhere and carry no optimizer state.
+    """
+    local = sum(num_local * d for d in layer_dims) * bytes_per_float
+    remote = sum(num_remote * d * 2 for d in boundary_dims) * bytes_per_float
+    adjacency = 2 * (num_edges + num_local + num_remote + 1) * 8
+    return int(local * activation_copies + remote + adjacency + framework_overhead)
+
+
+def training_memory_bytes(
+    num_rows: int,
+    num_edges: int,
+    layer_dims: Sequence[int],
+    bytes_per_float: int = 4,
+    activation_copies: float = 4.0,
+    framework_overhead: int = 16_000_000,
+) -> int:
+    """Peak training memory of one device's partition.
+
+    ``layer_dims`` lists the embedding width of every layer boundary
+    (input features, hidden sizes, output).  Full-graph training stores
+    each layer's activations for the backward pass, plus gradients and a
+    transient workspace (``activation_copies``), the CSR adjacency
+    (two int64 arrays), and a fixed framework overhead (CUDA context,
+    kernels, optimizer state for the small GNN weights).
+    """
+    activations = sum(num_rows * d for d in layer_dims) * bytes_per_float
+    adjacency = 2 * (num_edges + num_rows + 1) * 8
+    return int(activations * activation_copies + adjacency + framework_overhead)

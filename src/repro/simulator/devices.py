@@ -1,0 +1,82 @@
+"""Simulated device memory accounting.
+
+Real GPUs crash with out-of-memory when a training strategy (notably
+Replication on dense/large graphs — Figure 7) exceeds their capacity.
+The simulator reproduces that with a per-device byte budget: strategies
+allocate their working set up front and get a :class:`SimulatedOOMError`
+when the budget does not stretch, which the benchmarks report as "OOM"
+exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["SimulatedOOMError", "DeviceMemory"]
+
+
+class SimulatedOOMError(RuntimeError):
+    """A simulated device ran out of memory."""
+
+    def __init__(self, device: int, requested: int, capacity: int, in_use: int):
+        self.device = device
+        self.requested = requested
+        self.capacity = capacity
+        self.in_use = in_use
+        super().__init__(
+            f"device {device} OOM: requested {requested} B with "
+            f"{capacity - in_use} B free ({in_use}/{capacity} B in use)"
+        )
+
+
+class DeviceMemory:
+    """Byte-level allocator for one simulated device."""
+
+    def __init__(self, device: int, capacity_bytes: int) -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.device = device
+        self.capacity_bytes = int(capacity_bytes)
+        self._allocations: Dict[str, int] = {}
+
+    @property
+    def in_use(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.in_use
+
+    @property
+    def peak_tracking(self) -> Dict[str, int]:
+        return dict(self._allocations)
+
+    def allocate(self, name: str, num_bytes: int) -> None:
+        """Reserve ``num_bytes`` under ``name``; raises on exhaustion."""
+        num_bytes = int(num_bytes)
+        if num_bytes < 0:
+            raise ValueError("allocation size must be non-negative")
+        if name in self._allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if num_bytes > self.free_bytes:
+            raise SimulatedOOMError(
+                self.device, num_bytes, self.capacity_bytes, self.in_use
+            )
+        self._allocations[name] = num_bytes
+
+    def free(self, name: str) -> None:
+        """Release a named allocation."""
+        try:
+            del self._allocations[name]
+        except KeyError:
+            raise KeyError(f"no allocation named {name!r}") from None
+
+    def reset(self) -> None:
+        """Drop every allocation."""
+        self._allocations.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DeviceMemory(device={self.device}, "
+            f"used={self.in_use}/{self.capacity_bytes} B)"
+        )

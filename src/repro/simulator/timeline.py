@@ -1,0 +1,89 @@
+"""Execution timeline inspection.
+
+Turns an :class:`~repro.simulator.executor.ExecutionReport` into
+structured events and a text Gantt chart — the view a systems developer
+reaches for when a plan's stages straggle.  Example::
+
+    report = PlanExecutor(topology).execute(plan, 1024)
+    print(render_gantt(report))
+
+    0->1 NV1      s0 |=====                                   |  0.0-1.2us
+    0->5 QPI      s0 |=============                           |  0.0-3.4us
+    ...
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.simulator.executor import ExecutionReport
+
+__all__ = ["TimelineEvent", "timeline_events", "render_gantt"]
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One transfer's lifetime on the simulated clock."""
+
+    label: str
+    stage: Optional[int]
+    start: float
+    finish: float
+    size_bytes: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+def timeline_events(report: ExecutionReport) -> List[TimelineEvent]:
+    """Extract per-transfer events, ordered by start time."""
+    events = []
+    for result in report.flows:
+        tag = result.flow.tag
+        if tag is not None and hasattr(tag, "src"):
+            label = f"{tag.src}->{tag.dst} {tag.link.kind.value}"
+            stage = getattr(tag, "stage", None)
+        else:
+            label = "transfer"
+            stage = None
+        events.append(
+            TimelineEvent(
+                label=label,
+                stage=stage,
+                start=result.start_time,
+                finish=result.finish_time,
+                size_bytes=result.flow.size_bytes,
+            )
+        )
+    events.sort(key=lambda e: (e.start, e.finish, e.label))
+    return events
+
+
+def render_gantt(report: ExecutionReport, width: int = 48,
+                 max_rows: int = 60) -> str:
+    """ASCII Gantt chart of the report's transfers."""
+    events = timeline_events(report)
+    if not events:
+        return "(no transfers)"
+    horizon = max(e.finish for e in events)
+    if horizon <= 0:
+        horizon = 1.0
+    label_width = max(len(e.label) for e in events) + 4
+    lines = []
+    shown = events[:max_rows]
+    for e in shown:
+        start_col = int(round(width * e.start / horizon))
+        end_col = max(start_col + 1, int(round(width * e.finish / horizon)))
+        bar = " " * start_col + "=" * (end_col - start_col)
+        bar = bar.ljust(width)[:width]
+        stage = f"s{e.stage}" if e.stage is not None else "  "
+        lines.append(
+            f"{e.label:<{label_width}}{stage:>3} |{bar}| "
+            f"{e.start * 1e6:7.2f}-{e.finish * 1e6:7.2f}us"
+        )
+    if len(events) > max_rows:
+        lines.append(f"... {len(events) - max_rows} more transfers")
+    lines.append(f"total: {horizon * 1e6:.2f} us, {len(events)} transfers")
+    return "\n".join(lines)

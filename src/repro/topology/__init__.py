@@ -1,0 +1,44 @@
+"""Hardware communication topology model.
+
+The planner and the simulator both operate on a :class:`Topology`: a set
+of devices (GPUs, plus optional host-memory staging nodes) connected by
+*logical links*, each of which is a path over one or more *physical
+connections*.  Physical connections carry identity — there is exactly one
+QPI per server, one upstream lane per PCIe switch, one IB NIC per machine
+— which is what lets the cost model and the simulator account for
+contention the way §5.1 of the paper prescribes.
+"""
+
+from repro.topology.links import (
+    BANDWIDTH_GBPS,
+    LinkKind,
+    PhysicalConnection,
+)
+from repro.topology.topology import Link, Topology, TopologyBuilder
+from repro.topology.presets import (
+    dgx1,
+    dual_dgx1,
+    fully_connected,
+    multi_dgx1,
+    pcie_only,
+    ring,
+    single_device,
+    topology_for_gpu_count,
+)
+
+__all__ = [
+    "LinkKind",
+    "PhysicalConnection",
+    "BANDWIDTH_GBPS",
+    "Link",
+    "Topology",
+    "TopologyBuilder",
+    "dgx1",
+    "dual_dgx1",
+    "multi_dgx1",
+    "pcie_only",
+    "ring",
+    "fully_connected",
+    "single_device",
+    "topology_for_gpu_count",
+]

@@ -1,0 +1,94 @@
+"""Physical link kinds and their bandwidths (paper Table 1).
+
+The paper measured the following speeds on its testbed:
+
+=========  ==============  =================================
+kind       speed (GB/s)    meaning
+=========  ==============  =================================
+NV2        48.35           two bonded NVLinks between GPUs
+NV1        24.22           one NVLink between GPUs
+PCIe       11.13           PCIe 3.0 x16 through a switch
+QPI        9.56            the inter-socket CPU interconnect
+IB         6.37            InfiniBand NIC between machines
+Ethernet   3.12            commodity Ethernet
+=========  ==============  =================================
+
+These constants parameterise the simulated hardware; changing them (or
+supplying custom :class:`PhysicalConnection` objects) models different
+machines.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+__all__ = ["LinkKind", "BANDWIDTH_GBPS", "PhysicalConnection"]
+
+
+class LinkKind(enum.Enum):
+    """The kinds of physical connection found in the paper's testbed."""
+
+    NV2 = "NV2"
+    NV1 = "NV1"
+    PCIE = "PCIe"
+    QPI = "QPI"
+    IB = "IB"
+    ETHERNET = "Ethernet"
+    #: GPU <-> host-memory staging (used by the Swap baseline); rides PCIe.
+    HOST = "Host"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_nvlink(self) -> bool:
+        return self in (LinkKind.NV1, LinkKind.NV2)
+
+
+#: Measured bandwidth of each link kind in gigabytes per second (Table 1).
+BANDWIDTH_GBPS = {
+    LinkKind.NV2: 48.35,
+    LinkKind.NV1: 24.22,
+    LinkKind.PCIE: 11.13,
+    LinkKind.QPI: 9.56,
+    LinkKind.IB: 6.37,
+    LinkKind.ETHERNET: 3.12,
+    LinkKind.HOST: 11.13,  # host staging moves over PCIe
+}
+
+
+@dataclass(frozen=True)
+class PhysicalConnection:
+    """One direction of one physical wire.
+
+    Two logical links that include the *same* ``PhysicalConnection``
+    object contend: the cost model aggregates their traffic and the
+    simulator divides the connection's bandwidth among their flows.
+    Full-duplex hardware is modelled by creating one connection object
+    per direction (see :class:`~repro.topology.topology.TopologyBuilder`).
+
+    Attributes
+    ----------
+    name:
+        Unique identifier, e.g. ``"qpi:m0:0->1"``.
+    kind:
+        The hardware kind; decides the default bandwidth.
+    bandwidth:
+        Gigabytes per second.  Defaults to Table 1 for the kind.
+    """
+
+    name: str
+    kind: LinkKind
+    bandwidth: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0.0:
+            object.__setattr__(self, "bandwidth", BANDWIDTH_GBPS[self.kind])
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth * 1e9
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PhysicalConnection({self.name}, {self.kind}, {self.bandwidth:.2f} GB/s)"

@@ -1,0 +1,295 @@
+"""Ready-made topologies matching the paper's hardware configurations.
+
+* :func:`dgx1` — one NVIDIA DGX-1: 8 V100s in the hybrid cube-mesh NVLink
+  topology of Figure 3, four PCIe switches (two per CPU socket) and a QPI
+  between the sockets.
+* :func:`dual_dgx1` — the paper's default configuration: two DGX-1
+  servers whose GPUs reach the other machine through one shared IB NIC
+  per machine.
+* :func:`pcie_only` — the paper's second configuration: 8 1080-Ti GPUs
+  with no NVLink at all.
+* :func:`ring`, :func:`fully_connected`, :func:`single_device` — simple
+  shapes for tests and examples.
+
+Device memory defaults are the testbed card capacities scaled by the same
+1/100 factor as the dataset twins (16 GB V100 -> 160 MB, 12 GB 1080-Ti ->
+120 MB) so that out-of-memory behaviour reproduces at twin scale.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.topology.links import LinkKind, PhysicalConnection
+from repro.topology.topology import Topology, TopologyBuilder
+
+__all__ = [
+    "dgx1",
+    "dual_dgx1",
+    "multi_dgx1",
+    "pcie_only",
+    "ring",
+    "fully_connected",
+    "single_device",
+    "topology_for_gpu_count",
+]
+
+#: 16 GB V100 scaled by the dataset twin factor (1/100).
+V100_MEMORY_BYTES = 160_000_000
+#: 12 GB GTX 1080-Ti scaled by the dataset twin factor (1/100).
+GTX1080TI_MEMORY_BYTES = 120_000_000
+
+# The DGX-1 (V100) hybrid cube-mesh: (gpu_a, gpu_b, kind).  Each V100 has
+# six NVLink lanes; NV2 pairs bond two lanes.  This is the matrix printed
+# by ``nvidia-smi topo -m`` on the paper's machines (Figure 3).
+_DGX1_NVLINKS = [
+    (0, 1, LinkKind.NV1),
+    (0, 2, LinkKind.NV1),
+    (0, 3, LinkKind.NV2),
+    (0, 4, LinkKind.NV2),
+    (1, 2, LinkKind.NV2),
+    (1, 3, LinkKind.NV1),
+    (1, 5, LinkKind.NV2),
+    (2, 3, LinkKind.NV2),
+    (2, 6, LinkKind.NV1),
+    (3, 7, LinkKind.NV1),
+    (4, 5, LinkKind.NV1),
+    (4, 6, LinkKind.NV1),
+    (4, 7, LinkKind.NV2),
+    (5, 6, LinkKind.NV2),
+    (5, 7, LinkKind.NV1),
+    (6, 7, LinkKind.NV2),
+]
+
+# GPU -> (socket, pcie switch) inside one DGX-1; two GPUs per switch,
+# two switches per socket (Figure 3).
+_DGX1_SWITCH_OF = [0, 0, 1, 1, 2, 2, 3, 3]
+_DGX1_SOCKET_OF = [0, 0, 0, 0, 1, 1, 1, 1]
+
+
+def _wire_machine(
+    builder: TopologyBuilder,
+    machine: int,
+    base: int,
+    with_nvlink: bool,
+    memory_bytes: int,
+) -> None:
+    """Add one 8-GPU dual-socket server's devices and internal links."""
+    for g in range(8):
+        builder.add_device(
+            machine=machine,
+            socket=_DGX1_SOCKET_OF[g],
+            switch=machine * 4 + _DGX1_SWITCH_OF[g],
+            memory_bytes=memory_bytes,
+        )
+
+    def gpu_out(g: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:gpu{g}:out", LinkKind.PCIE)
+
+    def gpu_in(g: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:gpu{g}:in", LinkKind.PCIE)
+
+    def switch_up(s: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:sw{s}:up", LinkKind.PCIE)
+
+    def switch_down(s: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:sw{s}:down", LinkKind.PCIE)
+
+    def qpi(src_socket: int, dst_socket: int) -> PhysicalConnection:
+        return builder.connection(
+            f"qpi:m{machine}:{src_socket}->{dst_socket}", LinkKind.QPI
+        )
+
+    if with_nvlink:
+        for a, b, kind in _DGX1_NVLINKS:
+            builder.add_duplex_link(base + a, base + b, kind,
+                                    name=f"nv:m{machine}:{a}-{b}")
+
+    # PCIe fabric: every pair gets a direct (possibly slow) logical link.
+    for a in range(8):
+        for b in range(8):
+            if a == b:
+                continue
+            sa, sb = _DGX1_SWITCH_OF[a], _DGX1_SWITCH_OF[b]
+            ka, kb = _DGX1_SOCKET_OF[a], _DGX1_SOCKET_OF[b]
+            hops = [gpu_out(a)]
+            if sa == sb:
+                pass  # peer-to-peer through the shared switch
+            elif ka == kb:
+                hops += [switch_up(sa), switch_down(sb)]
+            else:
+                hops += [switch_up(sa), qpi(ka, kb), switch_down(sb)]
+            hops.append(gpu_in(b))
+            builder.add_link(base + a, base + b, hops)
+
+    # Host staging (used by Swap): GPU <-> socket CPU memory over PCIe.
+    for g in range(8):
+        s = _DGX1_SWITCH_OF[g]
+        builder.set_host_path(
+            base + g,
+            write=(gpu_out(g), switch_up(s)),
+            read=(switch_down(s), gpu_in(g)),
+        )
+
+
+def dgx1(
+    num_gpus: int = 8,
+    memory_bytes: int = V100_MEMORY_BYTES,
+    name: Optional[str] = None,
+) -> Topology:
+    """One DGX-1 server, optionally restricted to its first ``num_gpus``.
+
+    With 4 or fewer GPUs every retained pair still has a direct NVLink,
+    matching the paper's observation that DGCL and peer-to-peer coincide
+    in that regime.
+    """
+    if not 1 <= num_gpus <= 8:
+        raise ValueError("a DGX-1 has between 1 and 8 GPUs")
+    builder = TopologyBuilder(name or "dgx1")
+    _wire_machine(builder, machine=0, base=0, with_nvlink=True,
+                  memory_bytes=memory_bytes)
+    topo = builder.build()
+    if num_gpus < 8:
+        topo = topo.restrict(range(num_gpus), name=f"dgx1[{num_gpus}]")
+    return topo
+
+
+def multi_dgx1(
+    num_machines: int,
+    memory_bytes: int = V100_MEMORY_BYTES,
+    ib_bandwidth: float = 0.0,
+    name: Optional[str] = None,
+) -> Topology:
+    """``num_machines`` DGX-1 servers on an InfiniBand fabric.
+
+    All GPUs of one machine share a single IB NIC (one connection per
+    directed machine pair), so cross-machine traffic contends exactly as
+    in the paper's two-server testbed; more machines generalise the
+    hierarchy the paper's §4.1 discussion anticipates.
+    """
+    if num_machines < 1:
+        raise ValueError("need at least one machine")
+    builder = TopologyBuilder(name or f"dgx1x{num_machines}")
+    for machine in range(num_machines):
+        _wire_machine(builder, machine=machine, base=machine * 8,
+                      with_nvlink=True, memory_bytes=memory_bytes)
+
+    def switch_up(machine: int, s: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:sw{s}:up", LinkKind.PCIE)
+
+    def switch_down(machine: int, s: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:sw{s}:down", LinkKind.PCIE)
+
+    def ib_out(machine: int) -> PhysicalConnection:
+        # One NIC per machine (paper §7): all outbound traffic shares
+        # one send lane regardless of the destination machine.
+        return builder.connection(f"ib:m{machine}:out", LinkKind.IB,
+                                  ib_bandwidth)
+
+    def ib_in(machine: int) -> PhysicalConnection:
+        return builder.connection(f"ib:m{machine}:in", LinkKind.IB,
+                                  ib_bandwidth)
+
+    def gpu_out(machine: int, g: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:gpu{g}:out", LinkKind.PCIE)
+
+    def gpu_in(machine: int, g: int) -> PhysicalConnection:
+        return builder.connection(f"pcie:m{machine}:gpu{g}:in", LinkKind.PCIE)
+
+    for ma in range(num_machines):
+        for mb in range(num_machines):
+            if ma == mb:
+                continue
+            for a in range(8):
+                for b in range(8):
+                    sa, sb = _DGX1_SWITCH_OF[a], _DGX1_SWITCH_OF[b]
+                    builder.add_link(
+                        ma * 8 + a,
+                        mb * 8 + b,
+                        (gpu_out(ma, a), switch_up(ma, sa), ib_out(ma),
+                         ib_in(mb), switch_down(mb, sb), gpu_in(mb, b)),
+                    )
+    return builder.build()
+
+
+def dual_dgx1(
+    memory_bytes: int = V100_MEMORY_BYTES,
+    ib_bandwidth: float = 0.0,
+    name: str = "dual-dgx1",
+) -> Topology:
+    """Two DGX-1 servers connected by InfiniBand (the default testbed)."""
+    return multi_dgx1(2, memory_bytes, ib_bandwidth, name=name)
+
+
+def pcie_only(
+    num_gpus: int = 8,
+    memory_bytes: int = GTX1080TI_MEMORY_BYTES,
+    name: str = "pcie-only",
+) -> Topology:
+    """The second testbed: 8 GTX 1080-Ti GPUs connected only by PCIe."""
+    if not 1 <= num_gpus <= 8:
+        raise ValueError("the PCIe box has between 1 and 8 GPUs")
+    builder = TopologyBuilder(name)
+    _wire_machine(builder, machine=0, base=0, with_nvlink=False,
+                  memory_bytes=memory_bytes)
+    topo = builder.build()
+    if num_gpus < 8:
+        topo = topo.restrict(range(num_gpus), name=f"{name}[{num_gpus}]")
+    return topo
+
+
+def ring(
+    num_devices: int,
+    kind: LinkKind = LinkKind.NV1,
+    bandwidth: float = 0.0,
+    memory_bytes: int = V100_MEMORY_BYTES,
+) -> Topology:
+    """A bidirectional ring — the shape NCCL assumes for allreduce."""
+    if num_devices < 2:
+        raise ValueError("a ring needs at least 2 devices")
+    builder = TopologyBuilder(f"ring{num_devices}")
+    for _ in range(num_devices):
+        builder.add_device(memory_bytes=memory_bytes)
+    for i in range(num_devices):
+        j = (i + 1) % num_devices
+        builder.add_duplex_link(i, j, kind, bandwidth, name=f"ring:{i}-{j}")
+    return builder.build()
+
+
+def fully_connected(
+    num_devices: int,
+    kind: LinkKind = LinkKind.NV1,
+    bandwidth: float = 0.0,
+    memory_bytes: int = V100_MEMORY_BYTES,
+) -> Topology:
+    """Every pair gets its own dedicated duplex wire (an NVSwitch-alike)."""
+    builder = TopologyBuilder(f"full{num_devices}")
+    for _ in range(num_devices):
+        builder.add_device(memory_bytes=memory_bytes)
+    for i in range(num_devices):
+        for j in range(i + 1, num_devices):
+            builder.add_duplex_link(i, j, kind, bandwidth, name=f"full:{i}-{j}")
+    return builder.build()
+
+
+def single_device(memory_bytes: int = V100_MEMORY_BYTES) -> Topology:
+    """One GPU, no links — the degenerate case for 1-GPU baselines."""
+    builder = TopologyBuilder("single")
+    builder.add_device(memory_bytes=memory_bytes)
+    return builder.build()
+
+
+def topology_for_gpu_count(
+    num_gpus: int, memory_bytes: int = V100_MEMORY_BYTES
+) -> Topology:
+    """The topology the paper uses for a given GPU count.
+
+    1-8 GPUs live on one DGX-1; 16 GPUs span two servers over IB.
+    """
+    if num_gpus == 1:
+        return single_device(memory_bytes)
+    if 2 <= num_gpus <= 8:
+        return dgx1(num_gpus, memory_bytes)
+    if num_gpus == 16:
+        return dual_dgx1(memory_bytes)
+    raise ValueError(f"the paper's testbed has 1-8 or 16 GPUs, not {num_gpus}")

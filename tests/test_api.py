@@ -1,0 +1,102 @@
+"""Tests for the Listing-1 style user API."""
+
+import numpy as np
+import pytest
+
+import repro.api as dgcl
+from repro.api import DGCLSession
+from repro.graph.datasets import synthetic_features
+from repro.graph.generators import rmat
+from repro.topology import dgx1
+
+
+@pytest.fixture(autouse=True)
+def fresh_session():
+    dgcl.shutdown()
+    yield
+    dgcl.shutdown()
+
+
+@pytest.fixture()
+def graph():
+    return rmat(150, 900, seed=8)
+
+
+class TestModuleApi:
+    def test_listing1_workflow(self, graph):
+        """The paper's Listing 1, end to end."""
+        dgcl.init(dgx1())
+        plan = dgcl.build_comm_info(graph)
+        assert plan.num_stages >= 1
+        features = synthetic_features(graph, 12, seed=0)
+        local = dgcl.dispatch_features(features)
+        assert len(local) == 8
+        gathered = dgcl.graph_allgather(local)
+        graphs = dgcl.local_graphs()
+        for d, (block, lg) in enumerate(zip(gathered, graphs)):
+            assert block.shape == (lg.num_local + lg.num_remote, 12)
+            assert np.array_equal(block, features[lg.global_ids])
+
+    def test_scatter_gradients_roundtrip(self, graph):
+        dgcl.init(dgx1())
+        dgcl.build_comm_info(graph)
+        features = synthetic_features(graph, 4, seed=1)
+        full = dgcl.graph_allgather(dgcl.dispatch_features(features))
+        grads = dgcl.scatter_gradients([np.ones_like(f) for f in full])
+        session = dgcl.init.__globals__["_SESSION"]
+        # each vertex receives 1 (its own) + #consuming devices
+        rel = session.relation
+        for d, g in enumerate(grads):
+            for i, v in enumerate(rel.local_vertices[d][:20]):
+                consumers = {
+                    int(rel.assignment[w])
+                    for w in graph.out_neighbors(int(v))
+                    if rel.assignment[w] != d
+                }
+                assert g[i, 0] == pytest.approx(1 + len(consumers))
+
+    def test_requires_init(self, graph):
+        with pytest.raises(RuntimeError, match="init"):
+            dgcl.build_comm_info(graph)
+
+    def test_requires_build(self, graph):
+        dgcl.init(dgx1())
+        with pytest.raises(RuntimeError, match="build_comm_info"):
+            dgcl.dispatch_features(np.zeros((graph.num_vertices, 3)))
+        with pytest.raises(RuntimeError):
+            dgcl.graph_allgather([])
+        with pytest.raises(RuntimeError):
+            dgcl.local_graphs()
+        with pytest.raises(RuntimeError):
+            dgcl.communication_plan()
+
+    def test_simulated_clock_advances(self, graph):
+        dgcl.init(dgx1())
+        dgcl.build_comm_info(graph)
+        session = dgcl.init.__globals__["_SESSION"]
+        features = synthetic_features(graph, 8, seed=2)
+        assert session.simulated_comm_seconds == 0.0
+        dgcl.graph_allgather(dgcl.dispatch_features(features))
+        assert session.simulated_comm_seconds > 0.0
+
+
+class TestSessionObject:
+    def test_explicit_session(self, graph):
+        session = DGCLSession(dgx1(4))
+        session.build_comm_info(graph, seed=1)
+        features = synthetic_features(graph, 6, seed=3)
+        local = session.dispatch_features(features)
+        full = session.graph_allgather(local)
+        assert len(full) == 4
+
+    def test_custom_assignment(self, graph):
+        session = DGCLSession(dgx1(4))
+        assignment = np.arange(graph.num_vertices) % 4
+        session.build_comm_info(graph, assignment=assignment)
+        assert np.array_equal(session.relation.assignment, assignment)
+
+    def test_feature_length_checked(self, graph):
+        session = DGCLSession(dgx1(4))
+        session.build_comm_info(graph)
+        with pytest.raises(ValueError):
+            session.dispatch_features(np.zeros((3, 3)))

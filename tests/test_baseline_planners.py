@@ -1,0 +1,77 @@
+"""Tests for the peer-to-peer planner and static routing."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, peer_to_peer_plan
+from repro.core.baseline_planners import static_route
+from repro.graph.csr import Graph
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.topology import LinkKind, dgx1, ring
+
+
+class TestStaticRoute:
+    def test_prefers_direct_link(self):
+        topo = dgx1()
+        route = static_route(topo, 0, 1)
+        assert len(route) == 1
+        assert route[0].is_nvlink
+
+    def test_multi_hop_on_ring(self):
+        topo = ring(6)
+        route = static_route(topo, 0, 3)
+        assert len(route) == 3
+        assert route[0].src == 0 and route[-1].dst == 3
+        # consecutive hops chain
+        for a, b in zip(route, route[1:]):
+            assert a.dst == b.src
+
+    def test_self_route_empty(self):
+        assert static_route(dgx1(), 2, 2) == []
+
+    def test_unreachable_raises(self):
+        from repro.topology.topology import TopologyBuilder
+
+        b = TopologyBuilder()
+        b.add_device()
+        b.add_device()
+        topo = b.build()  # no links at all
+        with pytest.raises(RuntimeError, match="no route"):
+            static_route(topo, 0, 1)
+
+
+class TestPeerToPeerPlan:
+    @pytest.fixture(scope="class")
+    def relation(self):
+        graph = rmat(200, 1600, seed=6)
+        r = partition(graph, 8, seed=0)
+        return CommRelation(graph, r.assignment, 8)
+
+    def test_single_stage_on_complete_topology(self, relation):
+        plan = peer_to_peer_plan(relation, dgx1())
+        assert plan.num_stages == 1
+
+    def test_uses_direct_links_only(self, relation):
+        plan = peer_to_peer_plan(relation, dgx1())
+        for t in plan.tuples():
+            assert t.link.src == t.src and t.link.dst == t.dst
+
+    def test_covers_relation(self, relation):
+        plan = peer_to_peer_plan(relation, dgx1())
+        plan.validate(relation)
+
+    def test_tuple_per_pair(self, relation):
+        """One batched transfer per communicating pair (per link)."""
+        plan = peer_to_peer_plan(relation, dgx1())
+        pairs = {(t.src, t.dst) for t in plan.tuples()}
+        expected = {
+            (i, j) for (i, j), v in relation.send_pairs().items() if v.size
+        }
+        assert pairs == expected
+
+    def test_pair_payload_matches_send_set(self, relation):
+        plan = peer_to_peer_plan(relation, dgx1())
+        for t in plan.tuples():
+            expected = relation.send_set(t.src, t.dst)
+            assert np.array_equal(t.vertices, expected)

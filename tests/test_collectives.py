@@ -1,0 +1,78 @@
+"""Tests for the ring allreduce used for model synchronization."""
+
+import numpy as np
+import pytest
+
+from repro.comm.collectives import RingAllreduce, ring_allreduce, ring_allreduce_time
+from repro.topology import LinkKind, dgx1, fully_connected, ring, single_device
+
+
+def random_blocks(n, shape=(11, 5), seed=0):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal(shape).astype(np.float32) for _ in range(n)]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("topo_builder", [
+        lambda: ring(2), lambda: ring(5), lambda: dgx1(8),
+        lambda: fully_connected(3),
+    ])
+    def test_allreduce_sums(self, topo_builder):
+        topo = topo_builder()
+        blocks = random_blocks(topo.num_devices)
+        out = ring_allreduce(topo, blocks)
+        expected = np.sum(blocks, axis=0)
+        assert len(out) == topo.num_devices
+        for block in out:
+            assert np.allclose(block, expected, atol=1e-4)
+
+    def test_single_device_identity(self):
+        topo = single_device()
+        blocks = random_blocks(1)
+        out = ring_allreduce(topo, blocks)
+        assert np.allclose(out[0], blocks[0])
+
+    def test_custom_order(self):
+        topo = dgx1(4)
+        blocks = random_blocks(4)
+        out = ring_allreduce(topo, blocks, order=[3, 1, 0, 2])
+        assert np.allclose(out[2], np.sum(blocks, axis=0), atol=1e-4)
+
+    def test_order_must_be_permutation(self):
+        with pytest.raises(ValueError):
+            RingAllreduce(dgx1(4), order=[0, 1, 2, 2])
+
+    def test_block_count_checked(self):
+        with pytest.raises(ValueError):
+            ring_allreduce(dgx1(4), random_blocks(3))
+
+    def test_shape_mismatch_checked(self):
+        blocks = random_blocks(4)
+        blocks[1] = blocks[1][:, :2]
+        with pytest.raises(ValueError):
+            ring_allreduce(dgx1(4), blocks)
+
+    def test_preserves_dtype(self):
+        out = ring_allreduce(dgx1(4), random_blocks(4))
+        assert out[0].dtype == np.float32
+
+
+class TestTiming:
+    def test_single_device_free(self):
+        assert ring_allreduce_time(single_device(), 1e6) == 0.0
+
+    def test_time_grows_with_payload(self):
+        topo = ring(4)
+        assert ring_allreduce_time(topo, 1e7) > ring_allreduce_time(topo, 1e5)
+
+    def test_bandwidth_optimality_shape(self):
+        """Doubling the ring size doesn't double the time: per-device
+        traffic is 2 (n-1)/n of the payload, which saturates."""
+        small = ring_allreduce_time(ring(2), 1e8)
+        large = ring_allreduce_time(ring(8), 1e8)
+        assert large < 2.5 * small
+
+    def test_faster_links_are_faster(self):
+        nv = ring_allreduce_time(ring(4, LinkKind.NV2), 1e7)
+        eth = ring_allreduce_time(ring(4, LinkKind.ETHERNET), 1e7)
+        assert nv < eth

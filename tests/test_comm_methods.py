@@ -1,0 +1,105 @@
+"""Tests for automatic communication method selection (§6.2)."""
+
+import pytest
+
+from repro.comm.methods import (
+    CommMethod,
+    MethodProfile,
+    MethodTable,
+    method_profile,
+    select_method,
+)
+from repro.core import CommRelation, SPSTPlanner
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.simulator.executor import PlanExecutor
+from repro.topology import dgx1, dual_dgx1
+
+
+class TestSelection:
+    def test_same_socket_uses_virtual_memory(self):
+        topo = dgx1()
+        assert select_method(topo, 0, 1) == CommMethod.CUDA_VIRTUAL_MEMORY
+        assert select_method(topo, 2, 3) == CommMethod.CUDA_VIRTUAL_MEMORY
+
+    def test_cross_socket_uses_pinned_memory(self):
+        topo = dgx1()
+        assert select_method(topo, 0, 5) == CommMethod.PINNED_HOST_MEMORY
+
+    def test_cross_machine_uses_nic_helper(self):
+        topo = dual_dgx1()
+        assert select_method(topo, 0, 12) == CommMethod.NIC_HELPER
+
+    def test_automatic_choice_is_the_best_profile(self):
+        """§6.2's point: for every pair class, the picked mechanism has
+        the highest efficiency of the available ones."""
+        topo = dual_dgx1()
+        for a, b in [(0, 1), (0, 5), (0, 12)]:
+            auto = method_profile(topo, a, b)
+            assert auto.efficiency == 1.0
+            for method in CommMethod:
+                try:
+                    other = method_profile(topo, a, b, method)
+                except ValueError:
+                    continue
+                assert other.efficiency <= auto.efficiency
+
+    def test_virtual_memory_rejected_across_machines(self):
+        topo = dual_dgx1()
+        with pytest.raises(ValueError):
+            method_profile(topo, 0, 12, CommMethod.CUDA_VIRTUAL_MEMORY)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            MethodProfile(CommMethod.NIC_HELPER, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            MethodProfile(CommMethod.NIC_HELPER, 0.5, 1.0)
+
+
+class TestMethodTable:
+    def test_summary_counts_all_pairs(self):
+        table = MethodTable(dgx1())
+        assert sum(table.summary().values()) == 8 * 7
+
+    def test_forced_method_falls_back_when_impossible(self):
+        table = MethodTable(dual_dgx1(), force=CommMethod.CUDA_VIRTUAL_MEMORY)
+        # cross-machine pair cannot use virtual memory: falls back
+        assert table.profile(0, 12).method == CommMethod.NIC_HELPER
+        # same-socket keeps the forced (and optimal) mechanism
+        assert table.profile(0, 1).method == CommMethod.CUDA_VIRTUAL_MEMORY
+
+    def test_forced_pinned_hurts_same_socket(self):
+        auto = MethodTable(dgx1())
+        forced = MethodTable(dgx1(), force=CommMethod.PINNED_HOST_MEMORY)
+        assert forced.profile(0, 1).efficiency < auto.profile(0, 1).efficiency
+
+
+class TestExecutorIntegration:
+    @pytest.fixture(scope="class")
+    def planned(self):
+        graph = rmat(250, 1800, seed=4)
+        r = partition(graph, 8, seed=0)
+        rel = CommRelation(graph, r.assignment, 8)
+        topo = dgx1()
+        return topo, SPSTPlanner(topo, seed=0).plan(rel)
+
+    def test_auto_methods_match_ideal_closely(self, planned):
+        """Automatic selection runs near the ideal-transfer model: every
+        pair uses its efficiency-1.0 mechanism, paying only setup."""
+        topo, plan = planned
+        ideal = PlanExecutor(topo).execute(plan, 1024).total_time
+        auto = PlanExecutor(topo, methods=MethodTable(topo)).execute(
+            plan, 1024
+        ).total_time
+        assert auto >= ideal
+        assert auto < 1.3 * ideal
+
+    def test_wrong_method_everywhere_is_slower(self, planned):
+        topo, plan = planned
+        auto = PlanExecutor(topo, methods=MethodTable(topo)).execute(
+            plan, 1024
+        ).total_time
+        forced = PlanExecutor(
+            topo, methods=MethodTable(topo, force=CommMethod.NIC_HELPER)
+        ).execute(plan, 1024).total_time
+        assert forced > 1.5 * auto

@@ -1,0 +1,143 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import (
+    configuration_model,
+    erdos_renyi,
+    grid_graph,
+    locality_power_law,
+    planted_partition,
+    power_law_degrees,
+    rmat,
+    star_graph,
+)
+
+
+class TestRmat:
+    def test_edge_count_close_to_target(self):
+        g = rmat(1000, 8000, seed=1)
+        # dedup drops some; should stay within 20 % of target
+        assert 0.8 * 8000 <= g.num_edges <= 8000
+
+    def test_deterministic(self):
+        a, b = rmat(500, 2000, seed=7), rmat(500, 2000, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert rmat(500, 2000, seed=1) != rmat(500, 2000, seed=2)
+
+    def test_skewed_degrees(self):
+        g = rmat(2000, 20000, seed=2)
+        deg = g.out_degree()
+        # power-law-ish: max degree far above the mean
+        assert deg.max() > 5 * deg.mean()
+
+    def test_no_self_loops(self):
+        src, dst = rmat(200, 1000, seed=3).edges
+        assert (src != dst).all()
+
+    def test_undirected_flag_symmetrises(self):
+        g = rmat(200, 800, seed=4, undirected=True)
+        src, dst = g.edges
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((v, u) in pairs for u, v in pairs)
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat(100, 100, a=0.6, b=0.3, c=0.3)
+
+
+class TestErdosRenyi:
+    def test_exact_edge_count(self):
+        g = erdos_renyi(300, 1500, seed=0)
+        assert 0.9 * 1500 <= g.num_edges <= 1500
+
+    def test_deterministic(self):
+        assert erdos_renyi(100, 400, seed=5) == erdos_renyi(100, 400, seed=5)
+
+
+class TestPowerLawDegrees:
+    def test_mean_near_target(self):
+        deg = power_law_degrees(5000, 10.0, seed=0)
+        assert 8.0 <= deg.mean() <= 12.0
+
+    def test_minimum_degree_one(self):
+        deg = power_law_degrees(1000, 3.0, seed=1)
+        assert deg.min() >= 1
+
+    def test_capped_by_graph_size(self):
+        deg = power_law_degrees(50, 5.0, seed=2)
+        assert deg.max() < 50
+
+    def test_invalid_average(self):
+        with pytest.raises(ValueError):
+            power_law_degrees(100, 0.0)
+
+
+class TestConfigurationModel:
+    def test_out_degrees_bounded_by_request(self):
+        degrees = np.array([3, 2, 1, 0, 4])
+        g = configuration_model(degrees, seed=0)
+        assert (g.out_degree() <= degrees).all()
+
+    def test_rejects_negative_degrees(self):
+        with pytest.raises(ValueError):
+            configuration_model([1, -2])
+
+
+class TestPlantedPartition:
+    def test_intra_community_bias(self):
+        g = planted_partition(600, 6000, num_communities=6, p_intra=0.95, seed=1)
+        # With strong intra bias, a vertex's neighbors cluster: compare
+        # against the uniform expectation of 1/6 within-community edges.
+        # Reconstruct communities from the generator's own RNG stream.
+        rng = np.random.default_rng(1)
+        community = rng.integers(0, 6, 600)
+        src, dst = g.edges
+        intra = (community[src] == community[dst]).mean()
+        assert intra > 0.5
+
+    def test_invalid_p_intra(self):
+        with pytest.raises(ValueError):
+            planted_partition(100, 100, 4, p_intra=1.5)
+
+
+class TestLocalityPowerLaw:
+    def test_edges_are_mostly_short_range(self):
+        g = locality_power_law(2000, 6.0, rewire_p=0.05, seed=0)
+        src, dst = g.edges
+        dist = np.minimum(np.abs(src - dst), 2000 - np.abs(src - dst))
+        assert np.median(dist) < 100
+
+    def test_rewire_fraction_goes_long(self):
+        near = locality_power_law(2000, 6.0, rewire_p=0.0, seed=0)
+        far = locality_power_law(2000, 6.0, rewire_p=0.9, seed=0)
+        def median_dist(g):
+            src, dst = g.edges
+            return np.median(np.minimum(np.abs(src - dst), 2000 - np.abs(src - dst)))
+        assert median_dist(far) > 3 * median_dist(near)
+
+
+class TestFixedShapes:
+    def test_grid_graph_degree_structure(self):
+        g = grid_graph(3, 4)
+        assert g.num_vertices == 12
+        # corner vertices have (out-)degree 2, interior 4
+        assert g.out_degree().min() == 2
+        assert g.out_degree().max() == 4
+
+    def test_grid_symmetric(self):
+        g = grid_graph(3, 3)
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_star_graph_out(self):
+        g = star_graph(5)
+        assert g.num_vertices == 6
+        assert g.out_degree()[0] == 5
+        assert (g.in_degree()[1:] == 1).all()
+
+    def test_star_graph_in(self):
+        g = star_graph(5, directed_out=False)
+        assert g.in_degree()[0] == 5

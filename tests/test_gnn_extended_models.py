@@ -1,0 +1,118 @@
+"""Tests for the extended model zoo: GraphSAGE and GAT.
+
+Gradient-checked like the core trio, plus the decisive integration
+check: distributed training through a DGCL plan matches single-device
+training for both models.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.gnn import SingleDeviceTrainer, build_gat, build_sage
+from repro.gnn.distributed import DistributedTrainer
+from repro.gnn.layers import GATLayer, SAGELayer
+from repro.graph.datasets import synthetic_features, synthetic_labels
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.topology import dgx1
+
+from tests.test_gnn_functional import numerical_layer_grad_check
+
+
+class TestGradients:
+    def test_sage_gradients(self):
+        numerical_layer_grad_check(SAGELayer)
+
+    def test_sage_no_activation(self):
+        numerical_layer_grad_check(SAGELayer, activation=False)
+
+    def test_gat_gradients(self):
+        numerical_layer_grad_check(GATLayer)
+
+    def test_gat_no_activation(self):
+        numerical_layer_grad_check(GATLayer, activation=False)
+
+
+class TestForwardSemantics:
+    def test_sage_concat_width(self):
+        layer = SAGELayer(6, 4)
+        assert layer.params["W"].shape == (12, 4)
+
+    def test_gat_attention_normalised(self):
+        """Attention coefficients over each vertex's in-edges sum to 1."""
+        from repro.gnn.layers import GraphContext
+
+        g = rmat(40, 200, seed=1)
+        ctx = GraphContext.from_graph(g)
+        layer = GATLayer(5, 3, seed=0)
+        rng = np.random.default_rng(0)
+        h = rng.standard_normal((40, 5)).astype(np.float64)
+        _, cache = layer.forward(ctx, h)
+        alpha = cache[5]
+        v = np.repeat(np.arange(ctx.num_dst), np.diff(ctx.in_indptr))
+        sums = np.zeros(ctx.num_dst)
+        np.add.at(sums, v, alpha)
+        deg = ctx.in_degrees()
+        assert np.allclose(sums[deg > 0], 1.0, atol=1e-9)
+
+    def test_gat_isolated_vertex_zero_output(self):
+        from repro.gnn.layers import GraphContext
+        from repro.graph.csr import Graph
+
+        g = Graph([0], [1], 3)
+        ctx = GraphContext.from_graph(g)
+        layer = GATLayer(4, 2, activation=False, seed=0)
+        h = np.ones((3, 4), dtype=np.float64)
+        out, _ = layer.forward(ctx, h)
+        # vertex 2 has no in-edges: output is just the bias
+        assert np.allclose(out[2], layer.params["b"])
+
+
+class TestDistributedEquivalence:
+    @pytest.fixture(scope="class")
+    def task(self):
+        g = rmat(200, 1300, seed=9)
+        feats = synthetic_features(g, 20, seed=4)
+        labels = synthetic_labels(g, 4, seed=4)
+        r = partition(g, 8, seed=0)
+        rel = CommRelation(g, r.assignment, 8)
+        plan = SPSTPlanner(dgx1(), seed=0).plan(rel)
+        return g, feats, labels, rel, plan
+
+    @pytest.mark.parametrize("builder", [build_sage, build_gat])
+    def test_matches_reference(self, task, builder):
+        g, feats, labels, rel, plan = task
+        ref = SingleDeviceTrainer(g, builder(20, 10, 4, seed=5), feats,
+                                  labels, lr=0.1)
+        dist = DistributedTrainer(rel, plan, builder(20, 10, 4, seed=5),
+                                  feats, labels, lr=0.1)
+        for _ in range(2):
+            a = ref.run_epoch()
+            b = dist.run_epoch()
+            assert a.loss == pytest.approx(b.loss, rel=1e-4)
+            assert np.allclose(a.logits, b.logits, atol=1e-3)
+
+    def test_training_reduces_loss(self, task):
+        g, feats, labels, rel, plan = task
+        dist = DistributedTrainer(rel, plan, build_sage(20, 10, 4, seed=6),
+                                  feats, labels, lr=0.5)
+        losses = dist.train(8)
+        assert losses[-1] < losses[0]
+
+
+class TestCostSignatures:
+    def test_sage_doubles_gcn_dense(self):
+        from repro.gnn import build_gcn
+
+        sage = build_sage(64, 64, 8).layers[0]
+        gcn = build_gcn(64, 64, 8).layers[0]
+        assert sage.compute_cost(100, 120, 500).dense_flops == pytest.approx(
+            2 * gcn.compute_cost(100, 120, 500).dense_flops
+        )
+
+    def test_gat_pays_per_edge_flops(self):
+        layer = GATLayer(32, 32)
+        sparse = layer.compute_cost(100, 120, 100)
+        dense = layer.compute_cost(100, 120, 10_000)
+        assert dense.dense_flops > sparse.dense_flops

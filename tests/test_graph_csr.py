@@ -1,0 +1,143 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = Graph([0, 1, 2], [1, 2, 0], 3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.avg_degree == pytest.approx(1.0)
+
+    def test_num_vertices_inferred(self):
+        g = Graph([0, 5], [3, 2])
+        assert g.num_vertices == 6
+
+    def test_dedup_removes_duplicate_edges(self):
+        g = Graph([0, 0, 0], [1, 1, 2], 3)
+        assert g.num_edges == 2
+
+    def test_dedup_disabled_keeps_duplicates(self):
+        g = Graph([0, 0], [1, 1], 3, dedup=False)
+        assert g.num_edges == 2
+
+    def test_drop_self_loops(self):
+        g = Graph([0, 1], [0, 2], 3, drop_self_loops=True)
+        assert g.num_edges == 1
+        assert not g.has_edge(0, 0)
+
+    def test_empty_graph(self):
+        g = Graph([], [], 4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+        assert g.avg_degree == 0.0
+
+    def test_zero_vertices(self):
+        g = Graph([], [], 0)
+        assert g.num_vertices == 0
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError, match="same length"):
+            Graph([0, 1], [1], 3)
+
+    def test_rejects_negative_ids(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Graph([-1], [0], 2)
+
+    def test_rejects_out_of_range_endpoint(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            Graph([0], [5], 3)
+
+
+class TestNeighborhoods:
+    def test_out_neighbors(self):
+        g = Graph([0, 0, 1], [1, 2, 2], 3)
+        assert sorted(g.out_neighbors(0).tolist()) == [1, 2]
+        assert g.out_neighbors(2).tolist() == []
+
+    def test_in_neighbors(self):
+        g = Graph([0, 0, 1], [1, 2, 2], 3)
+        assert sorted(g.in_neighbors(2).tolist()) == [0, 1]
+        assert g.in_neighbors(0).tolist() == []
+
+    def test_degrees_sum_to_edges(self, small_graph):
+        assert small_graph.out_degree().sum() == small_graph.num_edges
+        assert small_graph.in_degree().sum() == small_graph.num_edges
+
+    def test_csr_consistency(self, small_graph):
+        src, dst = small_graph.edges
+        # Every edge must be findable through both CSR directions.
+        for u, v in list(zip(src.tolist(), dst.tolist()))[:50]:
+            assert v in small_graph.out_neighbors(u)
+            assert u in small_graph.in_neighbors(v)
+
+    def test_has_edge(self):
+        g = Graph([0], [1], 3)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 0)
+
+
+class TestDerivedGraphs:
+    def test_undirected_symmetrises(self):
+        g = Graph([0], [1], 2).undirected()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_reverse(self):
+        g = Graph([0, 1], [1, 2], 3).reverse()
+        assert g.has_edge(1, 0)
+        assert g.has_edge(2, 1)
+        assert not g.has_edge(0, 1)
+
+    def test_subgraph_relabels(self):
+        g = Graph([0, 1, 2, 3], [1, 2, 3, 0], 4)
+        sub, ids = g.subgraph(np.array([1, 2]))
+        assert sub.num_vertices == 2
+        assert sub.num_edges == 1  # only 1 -> 2 survives
+        assert sub.has_edge(0, 1)
+        assert ids.tolist() == [1, 2]
+
+    def test_subgraph_empty_selection(self, small_graph):
+        sub, ids = small_graph.subgraph(np.array([], dtype=np.int64))
+        assert sub.num_vertices == 0
+        assert sub.num_edges == 0
+
+
+class TestKHop:
+    def test_zero_hops_is_identity(self, tiny_graph):
+        out = tiny_graph.k_hop_in_neighborhood(np.array([2]), 0)
+        assert out.tolist() == [2]
+
+    def test_one_hop_adds_in_neighbors(self, tiny_graph):
+        out = tiny_graph.k_hop_in_neighborhood(np.array([2]), 1)
+        assert out.tolist() == [0, 1, 2]
+
+    def test_two_hops(self, tiny_graph):
+        out = tiny_graph.k_hop_in_neighborhood(np.array([4]), 2)
+        # 4's in-nbrs {1, 3}; their in-nbrs {0, 2}
+        assert out.tolist() == [0, 1, 2, 3, 4]
+
+    def test_hops_monotone(self, small_graph):
+        seeds = np.array([0, 1])
+        sizes = [
+            small_graph.k_hop_in_neighborhood(seeds, h).size for h in range(4)
+        ]
+        assert sizes == sorted(sizes)
+
+    def test_negative_hops_rejected(self, tiny_graph):
+        with pytest.raises(ValueError):
+            tiny_graph.k_hop_in_neighborhood(np.array([0]), -1)
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph([0, 1], [1, 2], 3)
+        b = Graph([1, 0], [2, 1], 3)
+        assert a == b
+
+    def test_unequal_graphs(self):
+        assert Graph([0], [1], 3) != Graph([0], [2], 3)

@@ -1,0 +1,137 @@
+"""Tests for the flow-level network simulator."""
+
+import pytest
+
+from repro.simulator.network import Flow, NetworkSimulator
+from repro.topology.links import LinkKind, PhysicalConnection
+
+
+def conn(name="c", kind=LinkKind.NV1, bw=0.0):
+    return PhysicalConnection(name, kind, bw)
+
+
+class TestSingleFlow:
+    def test_alpha_beta_time(self):
+        c = conn(bw=10.0)  # 10 GB/s
+        sim = NetworkSimulator(alpha=1e-6)
+        results = sim.run([Flow((c,), 10e9)])
+        assert len(results) == 1
+        assert results[0].finish_time == pytest.approx(1.0 + 1e-6)
+
+    def test_zero_byte_flow_costs_alpha(self):
+        sim = NetworkSimulator(alpha=1e-6)
+        results = sim.run([Flow((conn(),), 0.0)])
+        assert results[0].finish_time == pytest.approx(1e-6)
+
+    def test_multi_hop_bottleneck(self):
+        fast = conn("f", bw=20.0)
+        slow = conn("s", bw=5.0)
+        sim = NetworkSimulator(alpha=0.0)
+        t = sim.makespan([Flow((fast, slow), 5e9)])
+        assert t == pytest.approx(1.0)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            Flow((conn(),), -1.0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Flow((), 10.0)
+
+
+class TestSharing:
+    def test_equal_split_two_flows(self):
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        t = sim.makespan([Flow((c,), 5e9), Flow((c,), 5e9)])
+        assert t == pytest.approx(1.0)  # 10 GB total over 10 GB/s
+
+    def test_qpi_contention_matches_table3(self):
+        """Paper Table 3: attainable bandwidth ~ b/n with n users."""
+        qpi = conn("qpi", LinkKind.QPI)
+        sim = NetworkSimulator(alpha=0.0)
+        size = 1e9
+        for n in (1, 2, 3):
+            flows = [Flow((qpi,), size) for _ in range(n)]
+            t = sim.makespan(flows)
+            attainable = size / t / 1e9
+            assert attainable == pytest.approx(9.56 / n, rel=1e-6)
+
+    def test_short_flow_releases_capacity(self):
+        """After the short flow drains, the long one speeds up."""
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        results = sim.run([Flow((c,), 2e9, tag="short"),
+                           Flow((c,), 10e9, tag="long")])
+        by_tag = {r.flow.tag: r.finish_time for r in results}
+        # short: 2 GB at 5 GB/s = 0.4 s; long: 2 GB at 5 + 8 GB at 10
+        assert by_tag["short"] == pytest.approx(0.4)
+        assert by_tag["long"] == pytest.approx(0.4 + 0.8)
+
+    def test_max_min_fairness_bottleneck_isolated(self):
+        """A flow avoiding the bottleneck keeps its full rate."""
+        shared = conn("sh", bw=10.0)
+        private = conn("pr", bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        results = sim.run([
+            Flow((shared,), 5e9, tag="a"),
+            Flow((shared,), 5e9, tag="b"),
+            Flow((private,), 5e9, tag="c"),
+        ])
+        by_tag = {r.flow.tag: r.finish_time for r in results}
+        assert by_tag["c"] == pytest.approx(0.5)
+        assert by_tag["a"] == pytest.approx(1.0)
+
+
+class TestReleasesAndInjection:
+    def test_staggered_release(self):
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        results = sim.run([Flow((c,), 1e9, release_time=5.0)])
+        assert results[0].finish_time == pytest.approx(5.1)
+
+    def test_on_complete_injection(self):
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        injected = []
+
+        def chain(result, now):
+            if result.flow.tag == "first" and not injected:
+                injected.append(True)
+                return [Flow((c,), 1e9, release_time=now, tag="second")]
+            return []
+
+        results = sim.run([Flow((c,), 1e9, tag="first")], on_complete=chain)
+        by_tag = {r.flow.tag: r.finish_time for r in results}
+        assert by_tag["second"] == pytest.approx(0.2)
+
+    def test_injection_in_past_rejected(self):
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=0.0)
+
+        def bad(result, now):
+            return [Flow((c,), 1.0, release_time=now - 1.0)]
+
+        with pytest.raises(ValueError):
+            sim.run([Flow((c,), 1e9)], on_complete=bad)
+
+    def test_no_flows(self):
+        assert NetworkSimulator().run([]) == []
+
+
+class TestNumericalRobustness:
+    def test_many_tiny_flows_terminate(self):
+        c = conn(bw=10.0)
+        sim = NetworkSimulator(alpha=1e-9)
+        flows = [Flow((c,), 1e-3 * (i + 1)) for i in range(50)]
+        results = sim.run(flows)
+        assert len(results) == 50
+
+    def test_residual_bytes_do_not_stall(self):
+        """Regression: float residues below the resolution of `now`
+        froze the event loop (seen with the Swap executor on orkut)."""
+        shared = conn("s", bw=2.39)
+        sim = NetworkSimulator(alpha=5e-8)
+        flows = [Flow((shared,), 2.6e6 + 0.2616 * i) for i in range(20)]
+        results = sim.run(flows)
+        assert len(results) == 20

@@ -1,0 +1,245 @@
+"""Tests for multilevel, hierarchical partitioning and replication."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import Graph
+from repro.graph.generators import grid_graph, planted_partition
+from repro.partition import (
+    edge_cut,
+    hierarchical_partition,
+    partition,
+    replication_closure,
+    replication_factor,
+)
+from repro.partition.hierarchical import partition_tree, recursive_partition
+from repro.partition.replication import (
+    machine_replication,
+    machine_replication_factor,
+)
+from repro.topology import dgx1, dual_dgx1, single_device
+
+from tests.conftest import assert_valid_assignment
+
+
+class TestMultilevel:
+    def test_covers_all_vertices(self, community_graph):
+        r = partition(community_graph, 4, seed=0)
+        assert_valid_assignment(r.assignment, community_graph.num_vertices, 4)
+        assert set(np.unique(r.assignment)) == {0, 1, 2, 3}
+
+    def test_respects_balance(self, community_graph):
+        r = partition(community_graph, 4, seed=0, balance_factor=1.05)
+        sizes = r.part_sizes()
+        assert sizes.max() <= 1.08 * community_graph.num_vertices / 4
+
+    def test_beats_random_cut(self, community_graph):
+        r = partition(community_graph, 4, seed=0)
+        rng = np.random.default_rng(0)
+        random_cut = edge_cut(
+            community_graph,
+            rng.integers(0, 4, community_graph.num_vertices),
+        )
+        assert r.edge_cut < 0.6 * random_cut
+
+    def test_grid_cut_is_low(self):
+        g = grid_graph(16, 16)
+        r = partition(g, 4, seed=0)
+        # 4-way split of a 16x16 torus-less grid: ideal ~32 undirected
+        # cut edges (64 directed); accept anything below 3x ideal.
+        assert r.edge_cut <= 192
+
+    def test_single_part(self, small_graph):
+        r = partition(small_graph, 1)
+        assert r.edge_cut == 0
+        assert (r.assignment == 0).all()
+
+    def test_deterministic(self, community_graph):
+        a = partition(community_graph, 4, seed=3)
+        b = partition(community_graph, 4, seed=3)
+        assert np.array_equal(a.assignment, b.assignment)
+
+    def test_more_parts_than_vertices_rejected(self):
+        g = Graph([0], [1], 2)
+        with pytest.raises(ValueError):
+            partition(g, 5)
+
+    def test_zero_parts_rejected(self, small_graph):
+        with pytest.raises(ValueError):
+            partition(small_graph, 0)
+
+    def test_edge_cut_function(self):
+        g = Graph([0, 1, 2], [1, 2, 0], 3)
+        assert edge_cut(g, np.array([0, 0, 0])) == 0
+        assert edge_cut(g, np.array([0, 1, 1])) == 2  # 0->1 and 2->0
+
+    def test_disconnected_graph(self):
+        # two disjoint triangles: a clean 2-way split exists
+        g = Graph([0, 1, 2, 3, 4, 5], [1, 2, 0, 4, 5, 3], 6)
+        r = partition(g, 2, seed=0)
+        assert r.edge_cut == 0
+
+
+class TestHierarchical:
+    def test_partition_tree_collapses_single_levels(self):
+        tree = partition_tree(single_device())
+        assert tree == 0
+
+    def test_partition_tree_dgx1(self):
+        tree = partition_tree(dgx1())
+        # two sockets of four devices each
+        assert tree == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_partition_tree_dual(self):
+        tree = partition_tree(dual_dgx1())
+        assert len(tree) == 2  # machines
+        assert tree[0] == [[0, 1, 2, 3], [4, 5, 6, 7]]
+
+    def test_assignment_valid(self, community_graph):
+        r = hierarchical_partition(community_graph, dgx1(), seed=0)
+        assert_valid_assignment(r.assignment, community_graph.num_vertices, 8)
+        assert r.num_parts == 8
+
+    def test_machine_cut_below_flat_gpu_cut(self, community_graph):
+        """Hierarchical cuts prioritise the machine boundary."""
+        topo = dual_dgx1()
+        r = hierarchical_partition(community_graph, topo, seed=0)
+        machine = np.asarray(topo.machine_of)[r.assignment]
+        src, dst = community_graph.edges
+        machine_cut = int((machine[src] != machine[dst]).sum())
+        # The machine boundary is one bisection; it must cut far fewer
+        # edges than the full 16-way partition does.
+        assert machine_cut < r.edge_cut
+
+    def test_single_device_trivial(self, small_graph):
+        r = hierarchical_partition(small_graph, single_device())
+        assert (r.assignment == 0).all()
+
+    def test_recursive_partition_leaf(self, small_graph):
+        out = recursive_partition(small_graph, 3)
+        assert (out == 3).all()
+
+    def test_recursive_partition_flat_list(self, community_graph):
+        out = recursive_partition(community_graph, [2, 5, 7])
+        assert set(np.unique(out)) <= {2, 5, 7}
+
+
+class TestReplication:
+    def test_closure_contains_local(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        closures = replication_closure(small_graph, r.assignment, 2)
+        for p, closure in enumerate(closures):
+            local = np.flatnonzero(r.assignment == p)
+            assert np.isin(local, closure).all()
+
+    def test_zero_hops_factor_is_one(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        assert replication_factor(small_graph, r.assignment, 0) == pytest.approx(1.0)
+
+    def test_factor_monotone_in_hops(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        factors = [
+            replication_factor(small_graph, r.assignment, h) for h in range(4)
+        ]
+        assert factors == sorted(factors)
+
+    def test_factor_bounded_by_parts(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        assert replication_factor(small_graph, r.assignment, 3) <= 4.0
+
+    def test_closure_matches_khop_semantics(self, tiny_graph):
+        assignment = np.array([0, 0, 0, 1, 1, 1])
+        closures = replication_closure(tiny_graph, assignment, 1)
+        # part 1 holds {3,4,5}; in-neighbors add {1, 2}
+        assert closures[1].tolist() == [1, 2, 3, 4, 5]
+
+    def test_machine_replication(self, small_graph):
+        topo = dual_dgx1()
+        r = hierarchical_partition(small_graph, topo, seed=0)
+        closures = machine_replication(small_graph, r.assignment, topo, 2)
+        assert len(closures) == 2
+        factor = machine_replication_factor(small_graph, r.assignment, topo, 2)
+        assert 1.0 <= factor <= 2.0
+
+
+class TestPartitionMetrics:
+    def test_metrics_consistent_with_relation(self, small_graph):
+        from repro.core import CommRelation
+        from repro.partition import evaluate_partition
+
+        r = partition(small_graph, 4, seed=0)
+        metrics = evaluate_partition(small_graph, r.assignment)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        for d in range(4):
+            assert metrics.remote_rows[d] == rel.remote_vertices[d].size
+        assert metrics.send_rows.sum() == rel.total_volume_vertices()
+        assert metrics.edge_cut == r.edge_cut
+
+    def test_hierarchy_cuts(self, community_graph):
+        from repro.partition import evaluate_partition
+
+        topo = dual_dgx1()
+        r = hierarchical_partition(community_graph, topo, seed=0)
+        metrics = evaluate_partition(community_graph, r.assignment, topo)
+        assert 0 < metrics.machine_cut < metrics.edge_cut
+        assert metrics.socket_cut > 0
+        assert metrics.machine_cut + metrics.socket_cut <= metrics.edge_cut
+
+    def test_replication_option(self, small_graph):
+        from repro.partition import evaluate_partition
+
+        r = partition(small_graph, 4, seed=0)
+        metrics = evaluate_partition(small_graph, r.assignment,
+                                     with_replication=True)
+        assert 1.0 <= metrics.replication_factor_2hop <= 4.0
+
+    def test_summary_renders(self, small_graph):
+        from repro.partition import evaluate_partition
+
+        r = partition(small_graph, 4, seed=0)
+        text = evaluate_partition(small_graph, r.assignment).summary()
+        assert "edge cut" in text and "imbalance" in text
+
+    def test_rejects_wrong_length(self, small_graph):
+        from repro.partition import evaluate_partition
+
+        with pytest.raises(ValueError):
+            evaluate_partition(small_graph, np.zeros(3, dtype=np.int64))
+
+
+class TestUnequalGroups:
+    def test_recursive_partition_unequal_machines(self):
+        """A 2-device machine plus a 6-device machine: the top-level
+        split must weight children by their device counts."""
+        from repro.topology.topology import TopologyBuilder
+        from repro.topology import LinkKind
+        from repro.partition.hierarchical import (
+            hierarchical_partition,
+            partition_tree,
+        )
+        from repro.graph.generators import planted_partition
+
+        b = TopologyBuilder("lopsided")
+        for machine, count in ((0, 2), (1, 6)):
+            base = len([None for _ in range(machine * 2)])
+            for i in range(count):
+                b.add_device(machine=machine, socket=0)
+        devices = list(range(8))
+        for i in devices:
+            for j in devices:
+                if i < j:
+                    b.add_duplex_link(i, j, LinkKind.NV1, name=f"l{i}-{j}")
+        topo = b.build()
+
+        tree = partition_tree(topo)
+        assert tree == [[0, 1], [2, 3, 4, 5, 6, 7]]
+
+        g = planted_partition(400, 3200, num_communities=8, p_intra=0.9,
+                              seed=5)
+        result = hierarchical_partition(g, topo, seed=0)
+        sizes = np.bincount(result.assignment, minlength=8)
+        assert (sizes > 0).all()
+        # machine 1 holds ~3x machine 0's vertices (6 devices vs 2)
+        m0 = sizes[:2].sum()
+        m1 = sizes[2:].sum()
+        assert 1.5 < m1 / m0 < 6.0

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These target the structures whose correctness everything else rests on:
+the CSR graph, the segment reductions, the partitioner, the cost model,
+the SPST planner and the functional allgather.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.allgather import CompiledAllgather
+from repro.core import CommRelation, SPSTPlanner, StagedCostModel
+from repro.gnn.functional import segment_sum, softmax_cross_entropy
+from repro.graph.csr import Graph
+from repro.partition import partition
+from repro.simulator.network import Flow, NetworkSimulator
+from repro.topology import LinkKind, dgx1, fully_connected
+from repro.topology.links import PhysicalConnection
+
+
+@st.composite
+def random_graph(draw, max_vertices=40, max_edges=150):
+    n = draw(st.integers(min_value=2, max_value=max_vertices))
+    m = draw(st.integers(min_value=0, max_value=max_edges))
+    src = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    dst = draw(
+        st.lists(st.integers(0, n - 1), min_size=m, max_size=m)
+    )
+    return Graph(np.asarray(src, dtype=np.int64),
+                 np.asarray(dst, dtype=np.int64), n,
+                 drop_self_loops=True)
+
+
+class TestGraphProperties:
+    @given(random_graph())
+    @settings(max_examples=40, deadline=None)
+    def test_csr_roundtrip(self, g):
+        """Every edge appears exactly once in each CSR direction."""
+        src, dst = g.edges
+        out_pairs = sorted(
+            (int(u), int(v))
+            for u in range(g.num_vertices)
+            for v in g.out_neighbors(u)
+        )
+        in_pairs = sorted(
+            (int(u), int(v))
+            for v in range(g.num_vertices)
+            for u in g.in_neighbors(v)
+        )
+        edge_pairs = sorted(zip(src.tolist(), dst.tolist()))
+        assert out_pairs == edge_pairs == in_pairs
+
+    @given(random_graph())
+    @settings(max_examples=30, deadline=None)
+    def test_undirected_contains_original(self, g):
+        u = g.undirected()
+        src, dst = g.edges
+        for a, b in list(zip(src.tolist(), dst.tolist()))[:30]:
+            assert u.has_edge(a, b) and u.has_edge(b, a)
+
+    @given(random_graph(), st.integers(0, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_khop_closure_is_closed(self, g, hops):
+        seeds = np.array([0], dtype=np.int64)
+        closure = g.k_hop_in_neighborhood(seeds, hops)
+        if hops >= g.num_vertices:
+            return
+        # the closure of the closure at 0 extra hops is itself
+        again = g.k_hop_in_neighborhood(closure, 0)
+        assert np.array_equal(again, closure)
+
+
+class TestSegmentSumProperties:
+    @given(
+        st.lists(st.integers(0, 6), min_size=1, max_size=20),
+        st.integers(1, 5),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_matches_python_loop(self, seg_sizes, dim, rnd):
+        indptr = np.zeros(len(seg_sizes) + 1, dtype=np.int64)
+        np.cumsum(seg_sizes, out=indptr[1:])
+        total = int(indptr[-1])
+        rng = np.random.default_rng(rnd.randint(0, 10**6))
+        values = rng.standard_normal((total, dim))
+        fast = segment_sum(values, indptr)
+        for i, size in enumerate(seg_sizes):
+            expected = values[indptr[i]: indptr[i + 1]].sum(axis=0) if size else 0
+            assert np.allclose(fast[i], expected, atol=1e-9)
+
+
+class TestPartitionProperties:
+    @given(random_graph(max_vertices=60, max_edges=300),
+           st.integers(2, 5), st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_partition_valid_and_balanced(self, g, parts, seed):
+        if parts > g.num_vertices:
+            return
+        r = partition(g, parts, seed=seed)
+        assert r.assignment.shape == (g.num_vertices,)
+        assert 0 <= r.assignment.min() and r.assignment.max() < parts
+        sizes = r.part_sizes()
+        # every vertex assigned exactly once
+        assert sizes.sum() == g.num_vertices
+
+
+class TestCostModelProperties:
+    @given(st.lists(
+        st.tuples(st.integers(0, 7), st.integers(0, 7),
+                  st.integers(0, 6), st.floats(0.1, 100)),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=30, deadline=None)
+    def test_incremental_matches_actual(self, transfers):
+        topo = dgx1()
+        model = StagedCostModel(topo)
+        for a, b, stage, units in transfers:
+            if a == b:
+                continue
+            link = topo.direct_link(a, b)
+            predicted = model.incremental_cost(link, stage, units)
+            before = model.total_cost()
+            model.add(link, stage, units)
+            after = model.total_cost()
+            assert after - before == pytest.approx(predicted, rel=1e-9, abs=1e-18)
+
+    @given(st.floats(0.5, 50))
+    @settings(max_examples=10, deadline=None)
+    def test_cost_scales_linearly_with_units(self, factor):
+        topo = dgx1()
+        a, b = StagedCostModel(topo), StagedCostModel(topo)
+        for (x, y, s) in [(0, 1, 0), (1, 5, 1), (0, 5, 0), (3, 7, 2)]:
+            link = topo.direct_link(x, y)
+            a.add(link, s, 10.0)
+            b.add(link, s, 10.0 * factor)
+        assert b.total_cost() == pytest.approx(factor * a.total_cost())
+
+
+class TestPlannerProperties:
+    @given(random_graph(max_vertices=30, max_edges=120),
+           st.integers(2, 8), st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_spst_plan_always_valid(self, g, devices, seed):
+        if devices > g.num_vertices:
+            return
+        rng = np.random.default_rng(seed)
+        assignment = rng.integers(0, devices, g.num_vertices)
+        rel = CommRelation(g, assignment, devices)
+        plan = SPSTPlanner(dgx1(8), seed=seed).plan(rel)
+        plan.validate(rel)
+
+    @given(random_graph(max_vertices=25, max_edges=100), st.integers(0, 5))
+    @settings(max_examples=15, deadline=None)
+    def test_allgather_delivers_required_rows(self, g, seed):
+        rng = np.random.default_rng(seed)
+        devices = 4
+        assignment = rng.integers(0, devices, g.num_vertices)
+        rel = CommRelation(g, assignment, devices)
+        plan = SPSTPlanner(dgx1(4), seed=seed).plan(rel)
+        ag = CompiledAllgather(rel, plan)
+        h = rng.standard_normal((g.num_vertices, 2)).astype(np.float32)
+        blocks = [h[rel.local_vertices[d]] for d in range(devices)]
+        full = ag.forward(blocks)
+        for d in range(devices):
+            layout = np.concatenate(
+                [rel.local_vertices[d], rel.remote_vertices[d]]
+            )
+            assert np.array_equal(full[d], h[layout])
+
+
+class TestNetworkProperties:
+    @given(st.lists(st.floats(1e3, 1e9), min_size=1, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_shared_link_serialises_total_bytes(self, sizes):
+        """Makespan on one shared wire == total bytes / bandwidth."""
+        c = PhysicalConnection("c", LinkKind.NV1, 10.0)
+        sim = NetworkSimulator(alpha=0.0)
+        t = sim.makespan([Flow((c,), s) for s in sizes])
+        assert t == pytest.approx(sum(sizes) / 10e9, rel=1e-6)
+
+    @given(st.lists(st.floats(1e3, 1e8), min_size=2, max_size=8),
+           st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_disjoint_links_parallelise(self, sizes, dim):
+        sim = NetworkSimulator(alpha=0.0)
+        flows = [
+            Flow((PhysicalConnection(f"c{i}", LinkKind.NV1, 10.0),), s)
+            for i, s in enumerate(sizes)
+        ]
+        t = sim.makespan(flows)
+        assert t == pytest.approx(max(sizes) / 10e9, rel=1e-6)
+
+
+class TestLossProperties:
+    @given(st.integers(2, 10), st.integers(1, 6), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_xent_grad_rows_sum_to_zero(self, classes, rows, seed):
+        rng = np.random.default_rng(seed)
+        logits = rng.standard_normal((rows, classes))
+        labels = rng.integers(0, classes, rows)
+        loss, grad = softmax_cross_entropy(logits, labels)
+        assert loss >= 0
+        assert np.allclose(grad.sum(axis=1), 0.0, atol=1e-9)

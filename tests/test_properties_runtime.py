@@ -1,0 +1,170 @@
+"""Property-based tests for the newer subsystems: live network,
+collectives, serialization, protocol runtime and method selection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.comm.collectives import ring_allreduce
+from repro.comm.methods import MethodTable, select_method
+from repro.core import CommRelation, SPSTPlanner
+from repro.core.serialize import load_plan, save_plan
+from repro.graph.csr import Graph
+from repro.runtime import LiveNetwork, ProtocolRunner, Simulator
+from repro.runtime.events import Timeout, WaitEvent
+from repro.topology import dgx1, dual_dgx1, fully_connected, ring
+from repro.topology.links import LinkKind, PhysicalConnection
+
+
+class TestLiveNetworkProperties:
+    @given(
+        st.lists(st.tuples(st.floats(1e3, 1e8), st.floats(0.0, 1.0)),
+                 min_size=1, max_size=10)
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_shared_wire_conserves_bytes(self, arrivals):
+        """Total completion time on one wire >= total bytes / bandwidth,
+        and every transfer finishes."""
+        sim = Simulator()
+        conn = PhysicalConnection("w", LinkKind.NV1, 10.0)
+        net = LiveNetwork(sim, alpha=0.0)
+        handles = []
+
+        def spawner():
+            last = 0.0
+            for size, gap in sorted(arrivals, key=lambda a: a[1]):
+                wait = gap - last
+                if wait > 0:
+                    yield Timeout(wait)
+                    last = gap
+                handles.append(net.transfer((conn,), size))
+            for h in handles:
+                yield WaitEvent(h.done)
+
+        sim.spawn(spawner(), "spawner")
+        total = sim.run()
+        bytes_total = sum(size for size, _ in arrivals)
+        assert total >= bytes_total / 10e9 - 1e-9
+        assert all(h.finish_time is not None for h in handles)
+
+    @given(st.integers(1, 6), st.floats(1e4, 1e8))
+    @settings(max_examples=20, deadline=None)
+    def test_n_equal_flows_finish_together(self, n, size):
+        sim = Simulator()
+        conn = PhysicalConnection("w", LinkKind.NV1, 10.0)
+        net = LiveNetwork(sim, alpha=0.0)
+        handles = [net.transfer((conn,), size) for _ in range(n)]
+
+        def obs():
+            for h in handles:
+                yield WaitEvent(h.done)
+
+        sim.spawn(obs(), "obs")
+        sim.run()
+        finishes = {round(h.finish_time, 15) for h in handles}
+        assert len(finishes) == 1
+        assert handles[0].finish_time == pytest.approx(n * size / 10e9)
+
+
+class TestCollectiveProperties:
+    @given(st.integers(2, 8), st.integers(1, 40), st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_allreduce_equals_sum(self, n, length, seed):
+        topo = ring(n)
+        rng = np.random.default_rng(seed)
+        blocks = [rng.standard_normal(length).astype(np.float64)
+                  for _ in range(n)]
+        out = ring_allreduce(topo, blocks)
+        expected = np.sum(blocks, axis=0)
+        for block in out:
+            assert np.allclose(block, expected, atol=1e-9)
+
+
+@st.composite
+def relation_on_dgx(draw):
+    n = draw(st.integers(8, 30))
+    m = draw(st.integers(1, 80))
+    src = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    dst = draw(st.lists(st.integers(0, n - 1), min_size=m, max_size=m))
+    g = Graph(np.asarray(src), np.asarray(dst), n, drop_self_loops=True)
+    seed = draw(st.integers(0, 10))
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, 8, n)
+    return CommRelation(g, assignment, 8), seed
+
+
+class TestPlanPipelineProperties:
+    @given(relation_on_dgx())
+    @settings(max_examples=12, deadline=None)
+    def test_serialization_roundtrip(self, rel_seed):
+        import tempfile
+        from pathlib import Path
+
+        rel, seed = rel_seed
+        topo = dgx1()
+        plan = SPSTPlanner(topo, seed=seed).plan(rel)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "p.npz"
+            save_plan(plan, path)
+            loaded = load_plan(path, topo)
+        loaded.validate(rel)
+        assert loaded.estimated_cost(64) == pytest.approx(
+            plan.estimated_cost(64)
+        )
+
+    @given(relation_on_dgx())
+    @settings(max_examples=8, deadline=None)
+    def test_protocol_delivers_required_rows(self, rel_seed):
+        rel, seed = rel_seed
+        plan = SPSTPlanner(dgx1(), seed=seed).plan(rel)
+        n = rel.graph.num_vertices
+        rng = np.random.default_rng(seed)
+        h = rng.standard_normal((n, 2)).astype(np.float32)
+        blocks = [h[rel.local_vertices[d]] for d in range(8)]
+        gathered, report = ProtocolRunner(rel, plan).run_data(blocks)
+        for d in range(8):
+            layout = np.concatenate(
+                [rel.local_vertices[d], rel.remote_vertices[d]]
+            )
+            assert np.array_equal(gathered[d], h[layout])
+
+    @given(relation_on_dgx())
+    @settings(max_examples=10, deadline=None)
+    def test_backward_tuples_are_an_involution(self, rel_seed):
+        """Reversing twice restores (src, dst, stage) exactly."""
+        rel, seed = rel_seed
+        topo = dgx1()
+        plan = SPSTPlanner(topo, seed=seed).plan(rel)
+        fwd = plan.tuples()
+        if not fwd:
+            return
+        total = plan.num_stages
+        bwd = plan.backward_tuples()
+        twice = sorted(
+            (t.dst, t.src, total - 1 - t.stage, tuple(t.vertices))
+            for t in bwd
+        )
+        once = sorted(
+            (t.src, t.dst, t.stage, tuple(t.vertices)) for t in fwd
+        )
+        assert twice == once
+
+
+class TestMethodSelectionProperties:
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_selection_is_symmetric_in_class(self, a, b):
+        """The method depends only on the pair's placement class, so it
+        is symmetric under swapping endpoints."""
+        if a == b:
+            return
+        topo = dual_dgx1()
+        assert select_method(topo, a, b) == select_method(topo, b, a)
+
+    @given(st.integers(0, 15), st.integers(0, 15))
+    @settings(max_examples=40, deadline=None)
+    def test_table_profiles_have_unit_efficiency_on_auto(self, a, b):
+        if a == b:
+            return
+        table = MethodTable(dual_dgx1())
+        assert table.profile(a, b).efficiency == 1.0

@@ -1,0 +1,175 @@
+"""Tests for the communication relation, including the paper's Figure 1.
+
+The paper's running example partitions a 12-vertex graph onto 4 GPUs and
+states (§4.1): for GPU 1 holding {a, b, c}, the local vertices are
+V_l = {a, b, c} and the remote vertices V_r = {d, f, j, k}.  We encode
+that graph and check the relation reproduces the paper's sets.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.relation import CommRelation
+from repro.graph.csr import Graph
+from repro.partition import partition
+
+
+def figure1_graph():
+    """The example graph of paper Figure 1a (letters -> indices).
+
+    a=0 b=1 c=2 d=3 e=4 f=5 g=6 h=7 i=8 j=9 k=10 l=11.  Edges are the
+    undirected adjacencies drawn in the figure, symmetrised; the exact
+    set reproduces N(a) = {b, c, d, f, j}.
+    """
+    pairs = [
+        (0, 1), (0, 2), (0, 3), (0, 5), (0, 9),   # a-b a-c a-d a-f a-j
+        (1, 2),                                   # b-c
+        (2, 10),                                  # c-k
+        (3, 4), (3, 5),                           # d-e d-f
+        (4, 7), (4, 8),                           # e-h e-i
+        (5, 7),                                   # f-h
+        (6, 8),                                   # g-i
+        (9, 10), (9, 11),                         # j-k j-l
+    ]
+    src = np.array([p[0] for p in pairs] + [p[1] for p in pairs])
+    dst = np.array([p[1] for p in pairs] + [p[0] for p in pairs])
+    return Graph(src, dst, 12)
+
+
+#: Figure 1b: GPU1={a,b,c}, GPU2={d,e,f}, GPU3={g,h,i}, GPU4={j,k,l}
+FIG1_ASSIGNMENT = np.array([0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3])
+
+
+class TestFigure1Example:
+    def test_local_vertices(self):
+        rel = CommRelation(figure1_graph(), FIG1_ASSIGNMENT, 4)
+        assert rel.local_vertices[0].tolist() == [0, 1, 2]   # {a,b,c}
+
+    def test_remote_vertices_match_paper(self):
+        rel = CommRelation(figure1_graph(), FIG1_ASSIGNMENT, 4)
+        # paper: V_r(GPU1) = {d, f, j, k} = {3, 5, 9, 10}
+        assert rel.remote_vertices[0].tolist() == [3, 5, 9, 10]
+
+    def test_send_sets_are_symmetric_to_needs(self):
+        rel = CommRelation(figure1_graph(), FIG1_ASSIGNMENT, 4)
+        # GPU2 must send d and f to GPU1 (a's neighbors there)
+        assert rel.send_set(1, 0).tolist() == [3, 5]
+        # GPU4 must send j and k to GPU1
+        assert rel.send_set(3, 0).tolist() == [9, 10]
+
+    def test_allgather_semantics(self):
+        """Paper §4.2: after graph Allgather GPU1 holds {a,b,c,d,f,j,k}."""
+        rel = CommRelation(figure1_graph(), FIG1_ASSIGNMENT, 4)
+        rows = np.concatenate([rel.local_vertices[0], rel.remote_vertices[0]])
+        assert sorted(rows.tolist()) == [0, 1, 2, 3, 5, 9, 10]
+
+
+class TestRelationGeneral:
+    def test_every_cross_edge_covered(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        src, dst = small_graph.edges
+        for u, v in zip(src.tolist()[:300], dst.tolist()[:300]):
+            du, dv = r.assignment[u], r.assignment[v]
+            if du != dv:
+                assert u in rel.send_set(du, dv)
+                assert u in rel.remote_vertices[dv]
+
+    def test_classes_partition_cross_vertices(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        seen = set()
+        for cls in rel.classes:
+            ids = set(cls.vertices.tolist())
+            assert not ids & seen, "classes must be disjoint"
+            seen |= ids
+            assert all(r.assignment[v] == cls.source for v in ids)
+        assert len(seen) == rel.num_cross_vertices
+
+    def test_class_destinations_exact(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        for cls in rel.classes[:20]:
+            for v in cls.vertices[:5]:
+                consumers = {
+                    int(r.assignment[w]) for w in small_graph.out_neighbors(v)
+                    if r.assignment[w] != cls.source
+                }
+                assert consumers == set(cls.destinations)
+
+    def test_total_volume(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        by_pairs = sum(v.size for v in rel.send_pairs().values())
+        by_classes = sum(c.size * len(c.destinations) for c in rel.classes)
+        assert rel.total_volume_vertices() == by_pairs == by_classes
+
+    def test_no_cross_edges_no_classes(self):
+        g = Graph([0, 1], [1, 0], 4)
+        rel = CommRelation(g, np.array([0, 0, 1, 1]), 2)
+        assert rel.classes == []
+        assert rel.total_volume_vertices() == 0
+
+    def test_assignment_length_checked(self, small_graph):
+        with pytest.raises(ValueError):
+            CommRelation(small_graph, np.zeros(3, dtype=np.int64), 2)
+
+    def test_assignment_range_checked(self, small_graph):
+        bad = np.zeros(small_graph.num_vertices, dtype=np.int64)
+        bad[0] = 9
+        with pytest.raises(ValueError):
+            CommRelation(small_graph, bad, 2)
+
+
+class TestLocalGraph:
+    def test_layout_local_then_remote(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        lg = rel.local_graph(0)
+        assert lg.num_local == rel.local_vertices[0].size
+        assert lg.num_remote == rel.remote_vertices[0].size
+        assert np.array_equal(lg.global_ids[: lg.num_local],
+                              rel.local_vertices[0])
+        assert np.array_equal(lg.global_ids[lg.num_local :],
+                              rel.remote_vertices[0])
+
+    def test_edges_preserved_and_relabelled(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        lg = rel.local_graph(1)
+        to_global = lg.global_ids
+        src, dst = lg.graph.edges
+        # every local edge maps back to a real global edge with local head
+        for u, v in list(zip(src.tolist(), dst.tolist()))[:100]:
+            assert small_graph.has_edge(int(to_global[u]), int(to_global[v]))
+            assert r.assignment[to_global[v]] == 1
+
+    def test_edge_count_matches_heads(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        total = sum(rel.local_graph(d).graph.num_edges for d in range(4))
+        assert total == small_graph.num_edges
+
+    def test_local_rows_lookup(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        lg = rel.local_graph(0)
+        some = lg.global_ids[[0, lg.num_local, len(lg.global_ids) - 1]]
+        rows = lg.local_rows(some)
+        assert rows.tolist() == [0, lg.num_local, len(lg.global_ids) - 1]
+
+    def test_local_rows_missing_vertex_raises(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        lg = rel.local_graph(0)
+        absent = np.setdiff1d(
+            np.arange(small_graph.num_vertices), lg.global_ids
+        )
+        if absent.size:
+            with pytest.raises(KeyError):
+                lg.local_rows(absent[:1])
+
+    def test_cached(self, small_graph):
+        r = partition(small_graph, 4, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 4)
+        assert rel.local_graph(2) is rel.local_graph(2)

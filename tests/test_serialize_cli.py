@@ -1,0 +1,114 @@
+"""Tests for plan serialization and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.core.serialize import load_plan, save_plan
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.topology import dgx1, pcie_only
+from repro.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def planned():
+    graph = rmat(200, 1400, seed=12)
+    r = partition(graph, 8, seed=0)
+    rel = CommRelation(graph, r.assignment, 8)
+    topo = dgx1()
+    plan = SPSTPlanner(topo, seed=0).plan(rel)
+    return rel, topo, plan
+
+
+class TestSerialization:
+    def test_roundtrip_identical(self, tmp_path, planned):
+        rel, topo, plan = planned
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        loaded = load_plan(path, topo)
+        assert loaded.name == plan.name
+        assert len(loaded.routes) == len(plan.routes)
+        a = [(t.src, t.dst, t.stage, t.vertices.tolist()) for t in plan.tuples()]
+        b = [(t.src, t.dst, t.stage, t.vertices.tolist()) for t in loaded.tuples()]
+        assert a == b
+
+    def test_loaded_plan_validates_and_costs_the_same(self, tmp_path, planned):
+        rel, topo, plan = planned
+        path = tmp_path / "plan.npz"
+        save_plan(plan, path)
+        loaded = load_plan(path, topo)
+        loaded.validate(rel)
+        assert loaded.estimated_cost(1024) == pytest.approx(
+            plan.estimated_cost(1024)
+        )
+
+    def test_loaded_plan_executes(self, tmp_path, planned):
+        from repro.comm.allgather import CompiledAllgather
+
+        rel, topo, plan = planned
+        path = tmp_path / "p.npz"
+        save_plan(plan, path)
+        loaded = load_plan(path, topo)
+        rng = np.random.default_rng(0)
+        h = rng.standard_normal((rel.graph.num_vertices, 3)).astype(np.float32)
+        blocks = [h[rel.local_vertices[d]] for d in range(8)]
+        out_a = CompiledAllgather(rel, plan).forward(blocks)
+        out_b = CompiledAllgather(rel, loaded).forward(blocks)
+        for x, y in zip(out_a, out_b):
+            assert np.array_equal(x, y)
+
+    def test_wrong_topology_rejected(self, tmp_path, planned):
+        rel, topo, plan = planned
+        path = tmp_path / "p.npz"
+        save_plan(plan, path)
+        with pytest.raises(ValueError, match="devices"):
+            load_plan(path, dgx1(4))
+        with pytest.raises(ValueError, match="link count"):
+            load_plan(path, pcie_only(8))
+
+    def test_empty_plan_roundtrip(self, tmp_path):
+        from repro.core.plan import CommPlan
+
+        topo = dgx1(4)
+        plan = CommPlan(topo, [], name="empty")
+        path = tmp_path / "e.npz"
+        save_plan(plan, path)
+        loaded = load_plan(path, topo)
+        assert loaded.routes == ()
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "reddit" in out and "dgx1" in out
+
+    def test_plan_and_save(self, tmp_path, capsys):
+        out_path = tmp_path / "cli_plan.npz"
+        code = main([
+            "plan", "--dataset", "web-google", "--gpus", "4",
+            "--output", str(out_path),
+        ])
+        assert code == 0
+        assert out_path.exists()
+        out = capsys.readouterr().out
+        assert "estimated allgather cost" in out
+
+    def test_evaluate_single_scheme(self, capsys):
+        code = main([
+            "evaluate", "--dataset", "web-google", "--gpus", "4",
+            "--scheme", "dgcl",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "dgcl" in out and "ok" in out
+
+    @pytest.mark.slow
+    def test_train_matches_reference(self, capsys):
+        code = main([
+            "train", "--dataset", "web-google", "--gpus", "4",
+            "--epochs", "2",
+        ])
+        assert code == 0
+        assert "matches single-device reference: True" in capsys.readouterr().out

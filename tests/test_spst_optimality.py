@@ -1,0 +1,158 @@
+"""SPST vs brute-force optimal plans on tiny instances.
+
+The SPST algorithm is greedy, so it carries no optimality guarantee;
+the paper argues it is good in practice.  Here we *measure* the greedy
+gap: enumerate every feasible plan (all per-unit rooted trees with
+stage = depth, all combinations across units) on 4-device topologies
+and compare the exhaustive optimum against SPST's result.
+"""
+
+import itertools
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import StagedCostModel
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.core.relation import MulticastClass
+from repro.core.spst import SPSTPlanner
+from repro.topology import LinkKind, dgx1, fully_connected
+from repro.topology.topology import TopologyBuilder
+
+
+def contended_topology():
+    """4 devices, fast ring, plus a shared slow bus hitting device 3."""
+    b = TopologyBuilder("tiny-bus")
+    for _ in range(4):
+        b.add_device()
+    for i in range(4):
+        b.add_duplex_link(i, (i + 1) % 4, LinkKind.NV1, name=f"r{i}")
+    bus = b.connection("bus", LinkKind.QPI)
+    b.add_link(0, 2, (bus,))
+    b.add_link(1, 3, (bus,))
+    return b.build()
+
+
+def all_trees(topology, source: int, dests: Tuple[int, ...]):
+    """Every (link, stage) tree rooted at ``source`` covering ``dests``.
+
+    Enumerated as parent functions over every superset of the terminals.
+    """
+    devices = list(topology.devices())
+    terminals = set(dests) | {source}
+    others = [d for d in devices if d not in terminals]
+    trees = []
+    for r in range(len(others) + 1):
+        for extra in itertools.combinations(others, r):
+            nodes = sorted(terminals | set(extra))
+            non_roots = [n for n in nodes if n != source]
+            # every parent assignment; filter to connected DAGs (trees)
+            parent_options = []
+            for n in non_roots:
+                options = []
+                for p in nodes:
+                    if p == n:
+                        continue
+                    options.extend(topology.links_between(p, n))
+                parent_options.append(options)
+            for combo in itertools.product(*parent_options):
+                parent: Dict[int, object] = dict(zip(non_roots, combo))
+                # compute depths; reject cycles (unreachable nodes)
+                depth = {source: 0}
+                progress = True
+                while progress and len(depth) < len(nodes):
+                    progress = False
+                    for n, link in parent.items():
+                        if n not in depth and link.src in depth:
+                            depth[n] = depth[link.src] + 1
+                            progress = True
+                if len(depth) != len(nodes):
+                    continue
+                edges = tuple(
+                    (link, depth[link.src]) for n, link in parent.items()
+                )
+                trees.append(edges)
+    return trees
+
+
+def optimal_cost(topology, units: Sequence[MulticastClass]) -> float:
+    """Exhaustive minimum of t(S) over all per-unit tree choices."""
+    per_unit_trees = [
+        all_trees(topology, u.source, u.destinations) for u in units
+    ]
+    best = float("inf")
+    for combo in itertools.product(*per_unit_trees):
+        model = StagedCostModel(topology)
+        for unit, edges in zip(units, combo):
+            for link, stage in edges:
+                model.add(link, stage, unit.size)
+        best = min(best, model.total_cost())
+    return best
+
+
+def make_units(specs) -> List[MulticastClass]:
+    units = []
+    offset = 0
+    for source, dests, weight in specs:
+        units.append(
+            MulticastClass(
+                source=source,
+                destinations=tuple(dests),
+                vertices=np.arange(offset, offset + weight, dtype=np.int64),
+            )
+        )
+        offset += weight
+    return units
+
+
+class _UnitRelation:
+    def __init__(self, units, num_devices):
+        self.classes = list(units)
+        self.num_devices = num_devices
+
+
+CASES = [
+    # (topology builder, unit specs)
+    (lambda: fully_connected(4, LinkKind.NV1),
+     [(0, (1, 2, 3), 5), (1, (0,), 5), (2, (3,), 5)]),
+    (lambda: fully_connected(4, LinkKind.NV1),
+     [(0, (1,), 9), (0, (1,), 3), (2, (1,), 6)]),
+    (contended_topology,
+     [(0, (2,), 4), (1, (3,), 4)]),
+    (contended_topology,
+     [(0, (2, 3), 4), (1, (2,), 2), (3, (0,), 2)]),
+    (lambda: dgx1(4),
+     [(0, (1, 2, 3), 3), (3, (0, 1), 3)]),
+]
+
+
+class TestGreedyGap:
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_spst_close_to_exhaustive_optimum(self, case):
+        builder, specs = CASES[case]
+        topology = builder()
+        units = make_units(specs)
+        optimum = optimal_cost(topology, units)
+        relation = _UnitRelation(units, topology.num_devices)
+        best_greedy = float("inf")
+        for seed in range(4):
+            plan = SPSTPlanner(
+                topology, granularity="chunk", chunks_per_class=1,
+                seed=seed, refine_passes=2,
+            ).plan(relation)
+            best_greedy = min(best_greedy, plan.cost_model().total_cost())
+        assert best_greedy >= optimum - 1e-18  # optimum really is a bound
+        assert best_greedy <= 1.35 * optimum, (
+            f"case {case}: greedy {best_greedy:.3e} vs optimal {optimum:.3e}"
+        )
+
+    def test_single_unit_single_dest_is_exactly_optimal(self):
+        """With one unit and one destination, Dijkstra IS optimal."""
+        topology = contended_topology()
+        units = make_units([(0, (2,), 7)])
+        optimum = optimal_cost(topology, units)
+        plan = SPSTPlanner(topology, chunks_per_class=1, seed=0).plan(
+            _UnitRelation(units, 4)
+        )
+        assert plan.cost_model().total_cost() == pytest.approx(optimum)

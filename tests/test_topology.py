@@ -1,0 +1,247 @@
+"""Unit tests for the hardware topology model and presets."""
+
+import pytest
+
+from repro.topology.links import BANDWIDTH_GBPS, LinkKind, PhysicalConnection
+from repro.topology.presets import (
+    dgx1,
+    dual_dgx1,
+    fully_connected,
+    pcie_only,
+    ring,
+    single_device,
+    topology_for_gpu_count,
+)
+from repro.topology.topology import Link, Topology, TopologyBuilder
+
+
+class TestLinks:
+    def test_table1_bandwidths(self):
+        # Paper Table 1, GB/s.
+        assert BANDWIDTH_GBPS[LinkKind.NV2] == 48.35
+        assert BANDWIDTH_GBPS[LinkKind.NV1] == 24.22
+        assert BANDWIDTH_GBPS[LinkKind.PCIE] == 11.13
+        assert BANDWIDTH_GBPS[LinkKind.QPI] == 9.56
+        assert BANDWIDTH_GBPS[LinkKind.IB] == 6.37
+        assert BANDWIDTH_GBPS[LinkKind.ETHERNET] == 3.12
+
+    def test_connection_defaults_to_kind_bandwidth(self):
+        c = PhysicalConnection("x", LinkKind.QPI)
+        assert c.bandwidth == 9.56
+        assert c.bytes_per_second == pytest.approx(9.56e9)
+
+    def test_connection_custom_bandwidth(self):
+        c = PhysicalConnection("x", LinkKind.IB, bandwidth=12.5)
+        assert c.bandwidth == 12.5
+
+    def test_nvlink_kinds(self):
+        assert LinkKind.NV1.is_nvlink and LinkKind.NV2.is_nvlink
+        assert not LinkKind.PCIE.is_nvlink
+
+
+class TestLink:
+    def test_bottleneck_and_kind(self):
+        fast = PhysicalConnection("a", LinkKind.PCIE)
+        slow = PhysicalConnection("b", LinkKind.QPI)
+        link = Link(0, 1, (fast, slow, fast))
+        assert link.bottleneck_bandwidth == 9.56
+        assert link.kind == LinkKind.QPI
+        assert not link.is_nvlink
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ValueError):
+            Link(0, 1, ())
+
+    def test_rejects_self_link(self):
+        c = PhysicalConnection("a", LinkKind.NV1)
+        with pytest.raises(ValueError):
+            Link(2, 2, (c,))
+
+
+class TestBuilder:
+    def test_duplex_link_uses_separate_connections(self):
+        b = TopologyBuilder()
+        b.add_device()
+        b.add_device()
+        b.add_duplex_link(0, 1, LinkKind.NV1)
+        topo = b.build()
+        fwd = topo.direct_link(0, 1)
+        rev = topo.direct_link(1, 0)
+        assert fwd.connections[0] is not rev.connections[0]
+
+    def test_shared_connection_is_one_object(self):
+        b = TopologyBuilder()
+        for _ in range(3):
+            b.add_device()
+        shared = b.connection("bus", LinkKind.QPI)
+        b.add_link(0, 2, (shared,))
+        b.add_link(1, 2, (shared,))
+        topo = b.build()
+        l1 = topo.direct_link(0, 2)
+        l2 = topo.direct_link(1, 2)
+        assert l1.connections[0] is l2.connections[0]
+
+    def test_conflicting_connection_names_rejected(self):
+        b = TopologyBuilder()
+        b.add_device(); b.add_device()
+        b.add_link(0, 1, (PhysicalConnection("dup", LinkKind.NV1),))
+        b.add_link(1, 0, (PhysicalConnection("dup", LinkKind.NV2),))
+        with pytest.raises(ValueError, match="dup"):
+            b.build()
+
+
+class TestDgx1:
+    def test_eight_devices_connected(self):
+        topo = dgx1()
+        assert topo.num_devices == 8
+        assert topo.is_strongly_connected()
+
+    def test_every_pair_has_a_direct_link(self):
+        topo = dgx1()
+        for a in range(8):
+            for b in range(8):
+                if a != b:
+                    assert topo.direct_link(a, b) is not None
+
+    def test_nvlink_two_hop_property(self):
+        """Paper §3: all GPU pairs reachable within two NVLink hops."""
+        topo = dgx1()
+        nv = {(l.src, l.dst) for l in topo.links if l.is_nvlink}
+        for a in range(8):
+            for b in range(8):
+                if a == b or (a, b) in nv:
+                    continue
+                assert any((a, m) in nv and (m, b) in nv for m in range(8)), (a, b)
+
+    def test_each_gpu_has_six_nvlink_lanes(self):
+        topo = dgx1()
+        lanes = [0] * 8
+        for link in topo.links:
+            if link.is_nvlink:
+                lanes[link.src] += 2 if link.kind == LinkKind.NV2 else 1
+        # each direction counted once per GPU: 6 outgoing lanes each
+        assert lanes == [6] * 8
+
+    def test_cross_socket_path_traverses_qpi(self):
+        topo = dgx1()
+        links = topo.links_between(0, 5)
+        slow = [l for l in links if not l.is_nvlink]
+        assert slow and any(
+            c.kind == LinkKind.QPI for l in slow for c in l.connections
+        )
+
+    def test_restriction_keeps_nvlink_clique(self):
+        """First 4 GPUs keep direct NVLink (paper: DGCL == p2p there)."""
+        topo = dgx1(4)
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert topo.direct_link(a, b).is_nvlink
+
+    def test_invalid_gpu_count(self):
+        with pytest.raises(ValueError):
+            dgx1(9)
+
+    def test_host_paths_present(self):
+        topo = dgx1()
+        for d in topo.devices():
+            assert topo.has_host_staging(d)
+            assert topo.host_write_path(d)
+            assert topo.host_read_path(d)
+
+
+class TestDualDgx1:
+    def test_sixteen_devices_two_machines(self):
+        topo = dual_dgx1()
+        assert topo.num_devices == 16
+        assert topo.num_machines() == 2
+        assert topo.is_strongly_connected()
+
+    def test_cross_machine_links_share_one_nic_per_machine(self):
+        topo = dual_dgx1()
+        ib_conns = set()
+        for link in topo.links:
+            if topo.machine_of[link.src] != topo.machine_of[link.dst]:
+                ib_hops = [c for c in link.connections if c.kind == LinkKind.IB]
+                assert len(ib_hops) == 2  # sender NIC out + receiver NIC in
+                ib_conns.update(h.name for h in ib_hops)
+        assert ib_conns == {"ib:m0:out", "ib:m0:in", "ib:m1:out", "ib:m1:in"}
+
+    def test_multi_dgx1_scales_and_shares_nics(self):
+        from repro.topology import multi_dgx1
+
+        topo = multi_dgx1(3)
+        assert topo.num_devices == 24
+        assert topo.num_machines() == 3
+        assert topo.is_strongly_connected()
+        # m0 -> m1 and m0 -> m2 traffic contend on m0's single NIC.
+        l1 = topo.direct_link(0, 8)
+        l2 = topo.direct_link(0, 16)
+        shared = {c.name for c in l1.connections} & {
+            c.name for c in l2.connections
+        }
+        assert "ib:m0:out" in shared
+
+    def test_multi_dgx1_validates_count(self):
+        from repro.topology import multi_dgx1
+
+        with pytest.raises(ValueError):
+            multi_dgx1(0)
+
+    def test_machine_members(self):
+        topo = dual_dgx1()
+        members = topo.machine_members()
+        assert sorted(members[0]) == list(range(8))
+        assert sorted(members[1]) == list(range(8, 16))
+
+
+class TestOtherPresets:
+    def test_pcie_only_has_no_nvlink(self):
+        topo = pcie_only()
+        assert not any(l.is_nvlink for l in topo.links)
+        assert topo.is_strongly_connected()
+
+    def test_pcie_only_memory_default(self):
+        topo = pcie_only()
+        assert topo.memory_bytes[0] == 120_000_000
+
+    def test_ring_shape(self):
+        topo = ring(6)
+        assert topo.num_links == 12  # duplex
+        assert topo.direct_link(0, 3) is None
+        assert topo.is_strongly_connected()
+
+    def test_ring_too_small(self):
+        with pytest.raises(ValueError):
+            ring(1)
+
+    def test_fully_connected(self):
+        topo = fully_connected(4, LinkKind.NV2)
+        assert topo.num_links == 12
+        assert all(l.kind == LinkKind.NV2 for l in topo.links)
+
+    def test_single_device(self):
+        topo = single_device()
+        assert topo.num_devices == 1
+        assert topo.num_links == 0
+
+    def test_topology_for_gpu_count(self):
+        assert topology_for_gpu_count(1).num_devices == 1
+        assert topology_for_gpu_count(4).num_devices == 4
+        assert topology_for_gpu_count(16).num_machines() == 2
+        with pytest.raises(ValueError):
+            topology_for_gpu_count(12)
+
+
+class TestRestrict:
+    def test_restrict_relabels(self):
+        topo = dgx1()
+        sub = topo.restrict([2, 3, 4])
+        assert sub.num_devices == 3
+        assert sub.direct_link(0, 1) is not None  # old 2-3 NV2
+        assert sub.direct_link(0, 1).kind == LinkKind.NV2
+
+    def test_restrict_preserves_metadata(self):
+        topo = dgx1()
+        sub = topo.restrict([0, 4])
+        assert sub.socket_of == (0, 1)
