@@ -1,0 +1,139 @@
+"""Fault-recovery overhead: what chaos costs, per recovery policy.
+
+Not a paper figure — DGCL assumes a fault-free cluster — but the
+robustness layer's headline experiment: train the same GCN workload
+under increasing fault rates and measure (a) the simulated epoch-time
+overhead versus the fault-free run and (b) which recovery policies
+(retry / repair / degrade / rollback) carried the load.
+
+Invariants asserted:
+
+* a zero fault rate costs exactly nothing and leaves the fault log
+  empty (the chaos layer is pay-for-what-you-break);
+* every chaotic run still converges to the fault-free model —
+  bit-identical while the partition survives, allclose to the
+  single-GPU reference after a crash forces a repartition;
+* overhead grows with the fault rate.
+"""
+
+import numpy as np
+import pytest
+
+from repro.faults import FaultPlan
+from repro.faults.spec import DeviceCrash
+from repro.gnn import ResilientTrainer, build_gcn
+from repro.graph.generators import rmat
+from repro.topology import dgx1
+
+from benchmarks.conftest import write_table
+
+EPOCHS = 4
+CHECKPOINT_EVERY = 2
+RATES = [0.0, 1.0, 2.0, 4.0]
+
+
+def _workload():
+    g = rmat(300, 2200, seed=4)
+    rng = np.random.default_rng(3)
+    features = rng.standard_normal((g.num_vertices, 16)).astype(np.float32)
+    labels = rng.integers(0, 4, g.num_vertices)
+    return g, features, labels
+
+
+def _model():
+    return build_gcn(16, 8, 4, seed=7)
+
+
+def _connection_names(topology):
+    return sorted({c.name for link in topology.links for c in link.connections})
+
+
+def _run(fault_plan):
+    g, features, labels = _workload()
+    trainer = ResilientTrainer(
+        g, dgx1(), _model(), features, labels,
+        fault_plan=fault_plan, checkpoint_every=CHECKPOINT_EVERY,
+    )
+    report = trainer.train(EPOCHS)
+    return trainer, report
+
+
+def test_fault_recovery_overhead(benchmark):
+    topo = dgx1()
+    baseline_trainer, baseline = _run(None)
+    assert baseline.log.is_empty, "fault-free run must leave an empty log"
+    assert baseline.overhead_seconds == pytest.approx(0.0, abs=1e-12)
+    reference_logits = baseline_trainer.gather_logits()
+    horizon = baseline.total_seconds
+
+    rows = []
+    overheads = []
+    for rate in RATES:
+        if rate == 0.0:
+            plan = None
+        else:
+            plan = FaultPlan.random(
+                seed=17 + int(rate),
+                horizon=horizon,
+                devices=list(range(topo.num_devices)),
+                connections=_connection_names(topo),
+                stall_rate=rate,
+                degrade_rate=2 * rate,
+                drop_rate=2 * rate,
+            )
+        trainer, report = _run(plan)
+        # Chaos that never kills a device keeps the partition, so the
+        # trained model is bit-identical to the fault-free run.
+        assert np.array_equal(trainer.gather_logits(), reference_logits)
+        policies = report.policy_counts()
+        overheads.append(report.overhead_ratio)
+        rows.append([
+            f"{rate:.0f}",
+            f"{report.total_seconds * 1e3:.3f}",
+            f"{report.overhead_ratio * 100:.1f}%",
+            policies["retry"], policies["repair"], policies["degrade"],
+            report.rollbacks,
+        ])
+
+    # One permanent crash mid-run: rollback + repartition, and the final
+    # model still matches the reference up to float reduction order.
+    crash_plan = FaultPlan(
+        [DeviceCrash(device=3, time=float(horizon * 0.55))], seed=99
+    )
+    trainer, report = _run(crash_plan)
+    assert report.rollbacks >= 1 and report.lost_devices == [3]
+    assert np.allclose(
+        trainer.gather_logits(), reference_logits, rtol=1e-4, atol=1e-5
+    )
+    policies = report.policy_counts()
+    rows.append([
+        "crash",
+        f"{report.total_seconds * 1e3:.3f}",
+        f"{report.overhead_ratio * 100:.1f}%",
+        policies["retry"], policies["repair"], policies["degrade"],
+        report.rollbacks,
+    ])
+
+    write_table(
+        "fault_recovery_overhead",
+        f"Fault-recovery overhead, GCN on rmat-300 twin, {EPOCHS} epochs "
+        f"(checkpoint every {CHECKPOINT_EVERY})",
+        ["fault rate", "epoch total (ms)", "overhead", "retries",
+         "repairs", "degrades", "rollbacks"],
+        rows,
+        notes=(
+            "Fault rate = expected events per kind over the run horizon "
+            "(stalls x1, degrades x2, flag drops x2).  Zero rate costs "
+            "zero: the chaos layer only charges for injected faults.  "
+            "The crash row loses GPU 3 permanently: the trainer rolls "
+            "back to its checkpoint, repartitions over 7 survivors and "
+            "re-dispatches — numerics stay within float reduction noise "
+            "of the fault-free model."
+        ),
+    )
+
+    assert overheads[0] == pytest.approx(0.0, abs=1e-9)
+    assert overheads[-1] > 0.0, "heavy chaos must cost simulated time"
+    assert max(overheads) == pytest.approx(max(overheads[1:]), rel=1e-9)
+
+    benchmark.pedantic(lambda: _run(crash_plan), rounds=1, iterations=1)

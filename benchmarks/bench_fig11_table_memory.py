@@ -8,6 +8,7 @@ vertex *ids*, not embeddings, and are reused across layers and epochs.
 import pytest
 
 from repro.simulator.compute import partition_memory_bytes
+from repro.simulator.devices import DeviceMemory
 
 from benchmarks.conftest import get_workload, write_table
 
@@ -18,6 +19,38 @@ PAPER_8GPU = {  # per-mille, from Figure 11a
 }
 
 
+def replay_device_memory(
+    device: int,
+    num_local: int,
+    num_remote: int,
+    num_edges: int,
+    layer_dims,
+    boundary_dims,
+    bytes_per_float: int = 4,
+    activation_copies: int = 4,
+    framework_overhead: int = 16_000_000,
+) -> DeviceMemory:
+    """Replay one epoch's allocation sequence through the allocator.
+
+    The gathered remote buffers are freed at epoch end, so the final
+    ``in_use`` drops — the *peak* (what Figure 11 normalises against)
+    must not: this exercises ``DeviceMemory``'s high-water tracking.
+    """
+    mem = DeviceMemory(device, capacity_bytes=1 << 40)
+    mem.allocate("framework", framework_overhead)
+    mem.allocate("adjacency", 2 * (num_edges + num_local + num_remote + 1) * 8)
+    for li, dim in enumerate(layer_dims):
+        mem.allocate(
+            f"local_act_{li}",
+            num_local * dim * bytes_per_float * activation_copies,
+        )
+    for li, dim in enumerate(boundary_dims):
+        mem.allocate(f"remote_{li}", num_remote * dim * 2 * bytes_per_float)
+    for li in range(len(boundary_dims)):
+        mem.free(f"remote_{li}")
+    return mem
+
+
 def table_ratio(dataset: str, num_gpus: int) -> float:
     w = get_workload(dataset, "gcn", num_gpus)
     tables = w.spst_plan.table_memory_bytes(bytes_per_id=4)
@@ -26,9 +59,19 @@ def table_ratio(dataset: str, num_gpus: int) -> float:
     training = 0
     for d in range(num_gpus):
         num_local, num_rows, num_edges = w.device_slice(d)
-        training += partition_memory_bytes(
+        mem = replay_device_memory(
+            d, num_local, num_rows - num_local, num_edges, dims, boundary
+        )
+        expected = partition_memory_bytes(
             num_local, num_rows - num_local, num_edges, dims, boundary
         )
+        # The replayed high-water mark is the closed form — and survives
+        # the end-of-epoch frees of the gathered remote buffers.
+        assert mem.peak_bytes == expected, (d, mem.peak_bytes, expected)
+        remote_total = sum((num_rows - num_local) * dim * 2 * 4 for dim in boundary)
+        assert mem.peak_bytes - mem.in_use == remote_total
+        assert f"remote_{len(boundary) - 1}" in mem.peak_tracking
+        training += mem.peak_bytes
     return tables / training
 
 

@@ -113,6 +113,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     spec = workload.spec
     features = synthetic_features(workload.graph, spec.feature_size)
     labels = synthetic_labels(workload.graph, spec.num_classes)
+    if args.fault_spec:
+        return _train_with_faults(args, workload, spec, features, labels)
     dist = DistributedTrainer(
         workload.relation, workload.spst_plan, workload.model, features,
         labels, lr=args.lr,
@@ -132,6 +134,59 @@ def cmd_train(args: argparse.Namespace) -> int:
     ok = np.allclose(ref, dist.loss_history, rtol=1e-4)
     print(f"matches single-device reference: {ok}")
     return 0 if ok else 1
+
+
+def _train_with_faults(args, workload, spec, features, labels) -> int:
+    """``train --fault-spec``: chaos-injected resilient training."""
+    import numpy as np
+
+    from repro.faults import FaultPlan
+    from repro.gnn import ResilientTrainer, SingleDeviceTrainer, build_model
+
+    try:
+        fault_plan = FaultPlan.load(args.fault_spec)
+    except FileNotFoundError:
+        print(f"error: fault spec not found: {args.fault_spec}",
+              file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: invalid fault spec {args.fault_spec}: {exc}",
+              file=sys.stderr)
+        return 2
+    print(f"fault plan: {fault_plan}")
+    trainer = ResilientTrainer(
+        workload.graph,
+        workload.topology,
+        workload.model,
+        features,
+        labels,
+        lr=args.lr,
+        fault_plan=fault_plan,
+        checkpoint_every=args.checkpoint_every,
+    )
+    report = trainer.train(args.epochs)
+    for epoch, loss in enumerate(report.losses):
+        print(f"  epoch {epoch}: loss = {loss:.4f}")
+    print(report.summary())
+    print(report.log.summary())
+    reference = SingleDeviceTrainer(
+        workload.graph,
+        build_model(args.model, spec.feature_size, spec.hidden_size,
+                    spec.num_classes, seed=0),
+        features, labels, lr=args.lr,
+    )
+    ref = reference.train(args.epochs)
+    ok = np.allclose(ref, report.losses, rtol=1e-4)
+    print(f"matches single-device reference: {ok}")
+    return 0 if ok else 1
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: integer that must be >= 1."""
+    parsed = int(value)
+    if parsed < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {parsed}")
+    return parsed
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -165,6 +220,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--model", default="gcn")
     p.add_argument("--epochs", type=int, default=3)
     p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--fault-spec", default=None, metavar="FILE",
+                   help="JSON FaultPlan to inject (chaos training)")
+    p.add_argument("--checkpoint-every", type=_positive_int, default=2,
+                   help="epochs between recovery checkpoints")
     return parser
 
 

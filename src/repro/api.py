@@ -27,6 +27,10 @@ from repro.comm.allgather import CompiledAllgather
 from repro.core.plan import CommPlan
 from repro.core.relation import CommRelation, LocalGraph
 from repro.core.spst import SPSTPlanner
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog
+from repro.faults.repair import repair_plan
+from repro.faults.spec import FaultPlan
 from repro.graph.csr import Graph
 from repro.partition.hierarchical import hierarchical_partition
 from repro.simulator.executor import PlanExecutor
@@ -41,6 +45,8 @@ __all__ = [
     "scatter_gradients",
     "local_graphs",
     "communication_plan",
+    "inject_faults",
+    "fault_log",
     "shutdown",
 ]
 
@@ -48,7 +54,9 @@ __all__ = [
 class DGCLSession:
     """One distributed-training context: topology, plan, runtime."""
 
-    def __init__(self, topology: Topology) -> None:
+    def __init__(
+        self, topology: Topology, fault_plan: Optional[FaultPlan] = None
+    ) -> None:
         self.topology = topology
         self.relation: Optional[CommRelation] = None
         self.plan: Optional[CommPlan] = None
@@ -56,6 +64,68 @@ class DGCLSession:
         self.executor = PlanExecutor(topology)
         #: Simulated seconds spent in communication since init.
         self.simulated_comm_seconds = 0.0
+        #: Chaos layer: None until :meth:`inject_faults` attaches one.
+        self.injector: Optional[FaultInjector] = None
+        self._repaired_conns: set = set()
+        if fault_plan is not None:
+            self.inject_faults(fault_plan)
+
+    # ------------------------------------------------------------------
+    def inject_faults(self, fault_plan) -> FaultInjector:
+        """Attach a :class:`~repro.faults.spec.FaultPlan` to the session.
+
+        Accepts a plan object or a path to a ``--fault-spec`` JSON file.
+        Subsequent collectives are priced under the plan's degraded
+        capacities, dead wires trigger an incremental plan repair, and
+        every intervention lands in :attr:`fault_log`.
+        """
+        if not isinstance(fault_plan, FaultPlan):
+            fault_plan = FaultPlan.load(fault_plan)
+        self.injector = FaultInjector(fault_plan)
+        return self.injector
+
+    @property
+    def fault_log(self) -> FaultLog:
+        """The session's fault log (empty when no faults are injected)."""
+        if self.injector is None:
+            return FaultLog()
+        return self.injector.log
+
+    def _priced_executor(self) -> PlanExecutor:
+        """The executor for the next collective, fault-aware if armed."""
+        if self.injector is None or not self.injector.is_armed:
+            return self.executor
+        self._maybe_repair()
+        capacity_fn = self.injector.capacity_fn_at(self.simulated_comm_seconds)
+        if capacity_fn is None:
+            return self.executor
+        return PlanExecutor(self.topology, capacity_of=capacity_fn)
+
+    def _maybe_repair(self) -> None:
+        """Re-route the plan around wires that died on the session clock."""
+        now = self.simulated_comm_seconds
+        dead = [
+            n
+            for n in self.injector.dead_connections(now)
+            if n not in self._repaired_conns
+        ]
+        if not dead or self.plan is None:
+            return
+        self._repaired_conns.update(dead)
+        log = self.injector.log
+        for name in dead:
+            log.append(now, "link", "detect", name, "dead wire on session clock")
+        result = repair_plan(self.plan, dead_connections=dead)
+        if result.touched:
+            self.plan = result.plan
+            self._allgather = CompiledAllgather(self.relation, self.plan)
+            log.append(
+                now,
+                "link",
+                "repair",
+                ", ".join(dead),
+                f"re-routed {result.touched} vertex classes",
+            )
 
     # ------------------------------------------------------------------
     def build_comm_info(
@@ -105,20 +175,22 @@ class DGCLSession:
         Returns per-device matrices in LocalGraph layout (local rows
         first, then remote rows) and advances the simulated clock.
         """
+        executor = self._priced_executor()
         runtime = self._require_plan()
         result = runtime.forward(local_embeddings)
         dim = local_embeddings[0].shape[1] if local_embeddings[0].ndim == 2 else 1
-        self.simulated_comm_seconds += self.executor.execute(
+        self.simulated_comm_seconds += executor.execute(
             self.plan, dim * 4
         ).total_time
         return result
 
     def scatter_gradients(self, full_grads: List[np.ndarray]) -> List[np.ndarray]:
         """Backward counterpart: return remote-row gradients to owners."""
+        executor = self._priced_executor()
         runtime = self._require_plan()
         result = runtime.backward(full_grads)
         dim = full_grads[0].shape[1]
-        self.simulated_comm_seconds += self.executor.execute(
+        self.simulated_comm_seconds += executor.execute(
             self.plan, dim * 4, backward=True
         ).total_time
         return result
@@ -136,10 +208,12 @@ class DGCLSession:
 _SESSION: Optional[DGCLSession] = None
 
 
-def init(topology: Topology) -> DGCLSession:
+def init(
+    topology: Topology, fault_plan: Optional[FaultPlan] = None
+) -> DGCLSession:
     """Initialise the distributed communication environment."""
     global _SESSION
-    _SESSION = DGCLSession(topology)
+    _SESSION = DGCLSession(topology, fault_plan=fault_plan)
     return _SESSION
 
 
@@ -180,6 +254,16 @@ def communication_plan() -> CommPlan:
     if plan is None:
         raise RuntimeError("call build_comm_info() first")
     return plan
+
+
+def inject_faults(fault_plan) -> FaultInjector:
+    """Attach a fault plan (object or JSON path) to the session."""
+    return _session().inject_faults(fault_plan)
+
+
+def fault_log() -> FaultLog:
+    """The session's fault log (empty without injected faults)."""
+    return _session().fault_log
 
 
 def shutdown() -> None:

@@ -1,0 +1,65 @@
+"""Fault injection and recovery for the DGCL runtime.
+
+The paper's protocol (§6.1) assumes a fault-free cluster; this package
+removes that assumption in a measurable way.  A seedable
+:class:`~repro.faults.spec.FaultPlan` schedules device, link and
+control-plane faults onto the simulated clock; a
+:class:`~repro.faults.injector.FaultInjector` applies them; a
+:class:`~repro.faults.policy.RecoveryPolicy` chooses between *retry*,
+*repair* (incremental SPST re-planning — :mod:`repro.faults.repair`)
+and *degrade* (peer-to-peer fallback); and a
+:class:`~repro.faults.log.FaultLog` records every detection and
+recovery with simulated timestamps, so robustness cost is a benchmark
+quantity like any other (``benchmarks/bench_fault_recovery.py``).
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog, FaultRecord
+from repro.faults.policy import (
+    DefaultPolicy,
+    DeviceLostError,
+    RecoveryPolicy,
+    RetryOnlyPolicy,
+    UnrecoverableFaultError,
+)
+from repro.faults.repair import (
+    RepairResult,
+    alternate_path,
+    filter_topology,
+    repair_plan,
+)
+from repro.faults.spec import (
+    DeviceCrash,
+    DeviceStall,
+    FaultEvent,
+    FaultPlan,
+    FlagDelay,
+    FlagDrop,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultEvent",
+    "DeviceStall",
+    "DeviceCrash",
+    "LinkDegrade",
+    "LinkFlap",
+    "LinkLoss",
+    "FlagDrop",
+    "FlagDelay",
+    "FaultInjector",
+    "FaultLog",
+    "FaultRecord",
+    "RecoveryPolicy",
+    "DefaultPolicy",
+    "RetryOnlyPolicy",
+    "UnrecoverableFaultError",
+    "DeviceLostError",
+    "RepairResult",
+    "repair_plan",
+    "filter_topology",
+    "alternate_path",
+]

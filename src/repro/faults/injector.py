@@ -1,0 +1,237 @@
+"""Deterministic fault injection onto the discrete-event clock.
+
+A :class:`FaultInjector` turns a declarative
+:class:`~repro.faults.spec.FaultPlan` into runtime state the hardened
+protocol consults:
+
+* per-connection **bandwidth scales** over time (degrade / flap / loss),
+  queryable statically (``scales_at``) for batch simulation or armed
+  live (``arm``) so the incremental flow engine re-solves its max-min
+  rates the instant a wire changes;
+* per-device **crash events** and **stall windows**;
+* a **control-plane filter** that drops or delays ready/done flag
+  deliveries, holding dropped values so a timed-out waiter's re-fetch
+  (one control round-trip later) can still succeed — the message was
+  lost, not the setter's state.
+
+Everything is logged to a :class:`~repro.faults.log.FaultLog` with
+simulated timestamps, and everything is deterministic: no wall clock,
+no hidden randomness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.faults.log import FaultLog
+from repro.faults.spec import (
+    DeviceCrash,
+    DeviceStall,
+    FaultPlan,
+    FlagDelay,
+    FlagDrop,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+)
+from repro.runtime.events import Event
+
+__all__ = ["FaultInjector"]
+
+FlagKey = Tuple[str, int, Optional[int], int]  # (kind, device, peer, stage)
+
+
+class FaultInjector:
+    """Runtime state machine over one :class:`FaultPlan`."""
+
+    def __init__(self, plan: Optional[FaultPlan] = None, log: Optional[FaultLog] = None):
+        self.plan = plan if plan is not None else FaultPlan()
+        self.log = log if log is not None else FaultLog()
+        # (time, connection name, scale) transitions, time-ascending.
+        self._transitions: List[Tuple[float, str, float]] = []
+        self._build_transitions()
+        self.reset()
+
+    # ------------------------------------------------------------------
+    @property
+    def is_armed(self) -> bool:
+        """True when the plan schedules at least one fault."""
+        return not self.plan.is_empty
+
+    def reset(self) -> None:
+        """Restore all mutable budgets/scales (one call per run)."""
+        self._scale: Dict[str, float] = {}
+        self._crash_events: Dict[int, Event] = {}
+        self._drop_budget: Dict[FlagKey, int] = {}
+        self._delay_left: Dict[FlagKey, float] = {}
+        # Dropped flag *increments* held for re-fetch (done flags count
+        # transfers, so the unit of loss is one increment).
+        self._held_flags: Dict[FlagKey, int] = {}
+        for ev in self.plan.of_type(FlagDrop):
+            key = (ev.kind, ev.device, ev.peer, ev.stage)
+            self._drop_budget[key] = self._drop_budget.get(key, 0) + ev.count
+        for ev in self.plan.of_type(FlagDelay):
+            key = (ev.kind, ev.device, ev.peer, ev.stage)
+            self._delay_left[key] = ev.delay
+
+    def _build_transitions(self) -> None:
+        steps: List[Tuple[float, str, float]] = []
+        for ev in self.plan.events:
+            if isinstance(ev, LinkDegrade):
+                steps.append((ev.time, ev.connection, ev.factor))
+                if ev.duration is not None:
+                    steps.append((ev.time + ev.duration, ev.connection, 1.0))
+            elif isinstance(ev, LinkLoss):
+                steps.append((ev.time, ev.connection, 0.0))
+            elif isinstance(ev, LinkFlap):
+                for k in range(ev.count):
+                    steps.append((ev.time + 2 * k * ev.period, ev.connection, 0.0))
+                    steps.append((ev.time + (2 * k + 1) * ev.period, ev.connection, 1.0))
+        steps.sort(key=lambda s: s[0])
+        self._transitions = steps
+
+    # ------------------------------------------------------------------
+    # Link plane
+    def scales_at(self, time: float) -> Dict[str, float]:
+        """Bandwidth scale per connection name at one instant."""
+        scales: Dict[str, float] = {}
+        for t, name, scale in self._transitions:
+            if t > time:
+                break
+            scales[name] = scale
+        return {name: s for name, s in scales.items() if s != 1.0}
+
+    def capacity_fn_at(self, time: float):
+        """A static ``capacity_of(conn)`` closure for batch simulators."""
+        scales = self.scales_at(time)
+        if not scales:
+            return None
+
+        def capacity_of(conn) -> float:
+            return conn.bytes_per_second * scales.get(conn.name, 1.0)
+
+        return capacity_of
+
+    def capacity_of(self, conn) -> float:
+        """Live capacity (bytes/s) under the currently applied scales."""
+        return conn.bytes_per_second * self._scale.get(conn.name, 1.0)
+
+    def dead_connections(self, time: float) -> List[str]:
+        """Connections at zero capacity at ``time``."""
+        return sorted(n for n, s in self.scales_at(time).items() if s == 0.0)
+
+    def degraded_connections(self, time: float) -> Dict[str, float]:
+        """Connections below full capacity (but alive) at ``time``."""
+        return {n: s for n, s in self.scales_at(time).items() if 0.0 < s < 1.0}
+
+    # ------------------------------------------------------------------
+    # Device plane
+    def crash_event(self, device: int) -> Event:
+        """The one-shot event fired when ``device`` dies (live mode)."""
+        if device not in self._crash_events:
+            self._crash_events[device] = Event()
+        return self._crash_events[device]
+
+    def is_crashed(self, device: int) -> bool:
+        """True once ``device``'s crash event has fired (live mode)."""
+        ev = self._crash_events.get(device)
+        return ev is not None and ev.triggered
+
+    def crash_time(self, device: int) -> Optional[float]:
+        """Scheduled crash instant of ``device``, or None if it lives."""
+        for ev in self.plan.of_type(DeviceCrash):
+            if ev.device == device:
+                return ev.time
+        return None
+
+    def stall_remaining(self, device: int, now: float) -> float:
+        """Seconds of stall window still ahead of ``now`` for ``device``."""
+        remaining = 0.0
+        for ev in self.plan.of_type(DeviceStall):
+            if ev.device == device and ev.time <= now < ev.time + ev.duration:
+                remaining = max(remaining, ev.time + ev.duration - now)
+        return remaining
+
+    # ------------------------------------------------------------------
+    # Control plane
+    def filter_flag(self, kind: str, device: int, peer: Optional[int], stage: int, now: float):
+        """Intercept one flag delivery: ``"deliver"``, ``"drop"`` or ``("delay", dt)``."""
+        key: FlagKey = (kind, device, peer, stage)
+        if self._drop_budget.get(key, 0) > 0:
+            self._drop_budget[key] -= 1
+            self._held_flags[key] = self._held_flags.get(key, 0) + 1
+            self.log.append(now, "control", "inject", _flag_name(key), "message dropped")
+            return "drop"
+        delay = self._delay_left.pop(key, 0.0)
+        if delay > 0.0:
+            self.log.append(
+                now, "control", "inject", _flag_name(key), f"message delayed {delay * 1e6:.1f} us"
+            )
+            return ("delay", delay)
+        return "deliver"
+
+    def refetch_flag(self, kind: str, device: int, peer: Optional[int], stage: int, now: float) -> str:
+        """A timed-out waiter re-reads the setter's state.
+
+        Three outcomes: ``"recovered"`` — a previously dropped value is
+        released to the waiter; ``"dropped"`` — the chaos budget
+        swallowed this attempt too (counts against the retry budget);
+        ``"absent"`` — the setter simply has not set the flag yet (a
+        slow peer, not a lost message — does *not* burn a retry).
+        """
+        key: FlagKey = (kind, device, peer, stage)
+        if self._drop_budget.get(key, 0) > 0:
+            self._drop_budget[key] -= 1
+            return "dropped"
+        if self._held_flags.get(key, 0) > 0:
+            self._held_flags[key] -= 1
+            return "recovered"
+        return "absent"
+
+    # ------------------------------------------------------------------
+    def arm(self, sim, network=None) -> None:
+        """Schedule the plan's timed faults onto a live simulator.
+
+        ``network`` (a :class:`~repro.runtime.network.LiveNetwork`) is
+        poked whenever capacities change so in-flight flows re-share.
+        """
+        for time, name, scale in self._transitions:
+
+            def apply(name=name, scale=scale) -> None:
+                previous = self._scale.get(name, 1.0)
+                self._scale[name] = scale
+                if scale < previous:
+                    what = "dead" if scale == 0.0 else f"degraded to {scale:.2f}x"
+                    self.log.append(sim.now, "link", "inject", name, what)
+                if network is not None:
+                    network.capacities_changed()
+
+            sim.schedule(time, apply)
+
+        for ev in self.plan.of_type(DeviceCrash):
+
+            def crash(ev=ev) -> None:
+                self.log.append(sim.now, "device", "inject", f"device {ev.device}", "permanent crash")
+                self.crash_event(ev.device).trigger()
+
+            sim.schedule(ev.time, crash)
+
+        for ev in self.plan.of_type(DeviceStall):
+
+            def stall(ev=ev) -> None:
+                self.log.append(
+                    sim.now,
+                    "device",
+                    "inject",
+                    f"device {ev.device}",
+                    f"transient stall {ev.duration * 1e6:.1f} us",
+                )
+
+            sim.schedule(ev.time, stall)
+
+
+def _flag_name(key: FlagKey) -> str:
+    kind, device, peer, stage = key
+    if kind == "ready":
+        return f"ready[d{device},s{stage}]"
+    return f"done[{device}->{peer},s{stage}]"

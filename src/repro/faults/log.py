@@ -1,0 +1,105 @@
+"""Structured fault log: every injection, detection and recovery.
+
+The log is the observable output of the robustness subsystem, the way
+:class:`~repro.simulator.executor.ExecutionReport` is the observable
+output of the network simulator.  Each record carries the simulated
+timestamp at which it happened, so recovery cost can be read straight
+off the log — and, because injection is deterministic, two runs of the
+same :class:`~repro.faults.spec.FaultPlan` produce identical logs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FaultRecord", "FaultLog"]
+
+#: Record actions, in roughly causal order of a fault's life cycle.
+ACTIONS = (
+    "inject",      # the injector fired a planned fault
+    "detect",      # a timeout / heartbeat miss noticed something wrong
+    "retry",       # the same operation was re-issued
+    "repair",      # the plan or path was rebuilt around the fault
+    "degrade",     # fell back to peer-to-peer routing
+    "abort",       # an operation was abandoned (peer confirmed dead)
+    "checkpoint",  # trainer snapshot taken
+    "rollback",    # trainer state restored from a checkpoint
+    "recover",     # the affected operation completed after intervention
+    "giveup",      # retry budget exhausted; escalated as unrecoverable
+)
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One entry: when, what plane, what happened, to whom."""
+
+    time: float
+    category: str  # "device" | "link" | "control" | "trainer"
+    action: str    # one of ACTIONS
+    subject: str   # e.g. "device 3", "qpi:m0:0->1", "done[2->5,s1]"
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        detail = f" ({self.detail})" if self.detail else ""
+        return f"[{self.time * 1e6:10.3f} us] {self.category:7s} {self.action:10s} {self.subject}{detail}"
+
+
+class FaultLog:
+    """Append-only record of a run's fault handling."""
+
+    def __init__(self) -> None:
+        self.records: List[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+    def append(
+        self, time: float, category: str, action: str, subject: str, detail: str = ""
+    ) -> FaultRecord:
+        """Record one fault-handling step at simulated time ``time``."""
+        if action not in ACTIONS:
+            raise ValueError(f"unknown fault-log action {action!r}")
+        record = FaultRecord(time, category, action, subject, detail)
+        self.records.append(record)
+        return record
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+    # ------------------------------------------------------------------
+    def by_action(self, action: str) -> List[FaultRecord]:
+        """Every record whose action matches (e.g. all repairs)."""
+        return [r for r in self.records if r.action == action]
+
+    def counts(self) -> Dict[str, int]:
+        """Record count per action (only non-zero actions appear)."""
+        out: Dict[str, int] = {}
+        for r in self.records:
+            out[r.action] = out.get(r.action, 0) + 1
+        return out
+
+    def policy_counts(self) -> Dict[str, int]:
+        """Recovery interventions per policy: retry / repair / degrade."""
+        counts = self.counts()
+        return {k: counts.get(k, 0) for k in ("retry", "repair", "degrade")}
+
+    def signature(self) -> Tuple[Tuple[float, str, str, str], ...]:
+        """Hashable content view (used to assert log reproducibility)."""
+        return tuple((r.time, r.category, r.action, r.subject) for r in self.records)
+
+    def summary(self) -> str:
+        """Human-readable digest for the CLI and benchmarks."""
+        if not self.records:
+            return "fault log: empty (fault-free run)"
+        lines = [f"fault log: {len(self.records)} records, {self.counts()}"]
+        lines.extend(str(r) for r in self.records)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FaultLog(records={len(self.records)}, counts={self.counts()})"

@@ -1,0 +1,113 @@
+"""Recovery policies and the typed errors the runtime can raise.
+
+A policy maps a detected fault (plus how many times recovery has been
+attempted) to one of three interventions, mirroring the tentpole's
+taxonomy:
+
+* ``"retry"``   — re-issue the timed-out operation unchanged; right for
+  transient faults (stalls, flaps, dropped flag messages);
+* ``"repair"``  — rebuild the affected routes around the fault, either
+  a single transfer's physical path or, between epochs, the touched
+  plan entries via an incremental SPST re-plan;
+* ``"degrade"`` — give up on tree routing for the affected pairs and
+  fall back to direct peer-to-peer transfers.
+
+Policies never invent time: the protocol charges whatever the chosen
+intervention actually costs on the simulated clock.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "RecoveryPolicy",
+    "DefaultPolicy",
+    "RetryOnlyPolicy",
+    "UnrecoverableFaultError",
+    "DeviceLostError",
+]
+
+
+class UnrecoverableFaultError(RuntimeError):
+    """Retry budget exhausted (or no route left) with no fallback."""
+
+    def __init__(self, subject: str, attempts: int, detail: str = "") -> None:
+        self.subject = subject
+        self.attempts = attempts
+        self.detail = detail
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"unrecoverable fault on {subject} after {attempts} attempts{extra}"
+        )
+
+
+class DeviceLostError(RuntimeError):
+    """A permanent device loss confirmed by the failure detector.
+
+    Protocol-level recovery cannot resurrect a crashed GPU; the error
+    carries everything the trainer needs to roll back and repartition.
+    """
+
+    def __init__(self, devices: Sequence[int], time: float, fault_log=None, report=None):
+        self.devices: List[int] = sorted(devices)
+        self.time = time
+        self.fault_log = fault_log
+        self.report = report
+        super().__init__(
+            f"device(s) {self.devices} lost at t={time * 1e6:.1f} us; "
+            "trainer-level rollback required"
+        )
+
+
+class RecoveryPolicy:
+    """Chooses an intervention for one detected fault."""
+
+    #: Recovery attempts before escalating to UnrecoverableFaultError.
+    max_retries: int = 3
+
+    def decide(self, fault_kind: str, attempt: int) -> str:
+        """Return ``"retry"``, ``"repair"`` or ``"degrade"``.
+
+        ``fault_kind`` names the detection site (``"flag-timeout"``,
+        ``"transfer-timeout"``, ``"link-degraded"``, ``"link-dead"``,
+        ``"device-crash"``); ``attempt`` counts from 1.
+        """
+        raise NotImplementedError
+
+
+class DefaultPolicy(RecoveryPolicy):
+    """Escalating policy: retry once, then repair, then degrade.
+
+    Flag waits only ever retry (a re-fetch either succeeds or the peer
+    is dead, which the failure detector handles); data transfers walk
+    the full ladder because a dead path needs a new route.
+    """
+
+    def __init__(self, max_retries: int = 3) -> None:
+        if max_retries < 1:
+            raise ValueError("max_retries must be positive")
+        self.max_retries = max_retries
+
+    def decide(self, fault_kind: str, attempt: int) -> str:
+        if fault_kind in ("flag-timeout", "device-stall"):
+            return "retry"
+        if fault_kind in ("link-dead", "device-crash"):
+            # No point re-trying a dead resource: repair, then degrade.
+            return "repair" if attempt <= 1 else "degrade"
+        # transfer-timeout / link-degraded: transient first.
+        if attempt <= 1:
+            return "retry"
+        if attempt == 2:
+            return "repair"
+        return "degrade"
+
+
+class RetryOnlyPolicy(RecoveryPolicy):
+    """Blind retry — the ablation baseline with no plan surgery."""
+
+    def __init__(self, max_retries: int = 3) -> None:
+        self.max_retries = max_retries
+
+    def decide(self, fault_kind: str, attempt: int) -> str:
+        return "retry"

@@ -1,0 +1,256 @@
+"""Plan repair: re-route around dead hardware, rebuilding only what broke.
+
+Two levels of surgery, matching the recovery policies:
+
+* :func:`repair_plan` — the *plan-level* repair the trainer invokes
+  between epochs.  Routes whose tree touches a dead device or dead
+  connection are withdrawn and re-grown by the SPST algorithm against
+  the cost state of every surviving route, on a topology with the dead
+  hardware filtered out — an incremental re-plan that rebuilds only the
+  touched send/receive table entries.  Classes SPST cannot re-route
+  (no surviving path within the stage budget) fall back to *degraded*
+  peer-to-peer stars over direct links; if even that fails the fault is
+  unrecoverable.
+
+* :func:`alternate_path` — the *transfer-level* repair the hardened
+  protocol uses mid-allgather: the cheapest surviving physical path
+  between two devices under the current (possibly degraded) capacities,
+  with host-memory staging (the Swap baseline's PCIe path) as the last
+  resort.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cost_model import StagedCostModel
+from repro.core.plan import CommPlan, VertexClassRoute
+from repro.core.spst import PlanUnit, SPSTPlanner
+from repro.faults.policy import UnrecoverableFaultError
+from repro.topology.links import PhysicalConnection
+from repro.topology.topology import Link, Topology
+
+__all__ = ["RepairResult", "filter_topology", "repair_plan", "alternate_path"]
+
+
+@dataclass
+class RepairResult:
+    """Outcome of one plan repair."""
+
+    plan: CommPlan
+    repaired_routes: int = 0
+    degraded_routes: int = 0
+    untouched_routes: int = 0
+
+    @property
+    def touched(self) -> int:
+        return self.repaired_routes + self.degraded_routes
+
+
+def filter_topology(
+    topology: Topology,
+    dead_connections: Sequence[str] = (),
+    dead_devices: Sequence[int] = (),
+) -> Topology:
+    """The surviving topology: same devices, broken links removed.
+
+    Device ids are preserved (a crashed device keeps its id but loses
+    every link), so routes and relations keep addressing by the
+    original numbering.
+    """
+    dead_conns = set(dead_connections)
+    dead_devs = set(dead_devices)
+    links = [
+        link
+        for link in topology.links
+        if link.src not in dead_devs
+        and link.dst not in dead_devs
+        and not any(c.name in dead_conns for c in link.connections)
+    ]
+    host_paths = {
+        dev: (topology.host_write_path(dev), topology.host_read_path(dev))
+        for dev in topology.devices()
+        if topology.has_host_staging(dev) and dev not in dead_devs
+    }
+    return Topology(
+        num_devices=topology.num_devices,
+        links=links,
+        machine_of=topology.machine_of,
+        socket_of=topology.socket_of,
+        switch_of=topology.switch_of,
+        host_paths=host_paths,
+        memory_bytes=topology.memory_bytes,
+        name=f"{topology.name}-degraded",
+    )
+
+
+def _route_broken(
+    route: VertexClassRoute, dead_conns: Set[str], dead_devs: Set[int]
+) -> bool:
+    if route.source in dead_devs or any(d in dead_devs for d in route.destinations):
+        return True
+    for link, _ in route.edges:
+        if link.src in dead_devs or link.dst in dead_devs:
+            return True
+        if any(c.name in dead_conns for c in link.connections):
+            return True
+    return False
+
+
+def _degraded_star(topology: Topology, route: VertexClassRoute) -> Optional[VertexClassRoute]:
+    """Peer-to-peer fallback: one direct link per destination, stage 0."""
+    edges: List[Tuple[Link, int]] = []
+    for dst in route.destinations:
+        if dst == route.source:
+            continue
+        link = topology.direct_link(route.source, dst)
+        if link is None:
+            return None
+        edges.append((link, 0))
+    return VertexClassRoute(
+        source=route.source,
+        destinations=route.destinations,
+        vertices=route.vertices,
+        edges=tuple(edges),
+    )
+
+
+def repair_plan(
+    plan: CommPlan,
+    dead_connections: Sequence[str] = (),
+    dead_devices: Sequence[int] = (),
+    seed: int = 0,
+) -> RepairResult:
+    """Incrementally re-plan the routes the dead hardware broke.
+
+    Surviving routes are kept verbatim (their send/receive table
+    entries are untouched); broken routes are re-grown by SPST against
+    the survivors' committed traffic.  Raises
+    :class:`UnrecoverableFaultError` when a broken class has no
+    surviving route at all.
+
+    Note: dead *devices* here must no longer be route endpoints — the
+    trainer repartitions ownership first, then repairs transit routes.
+    This function re-routes traffic that merely *forwarded through* the
+    dead hardware.
+    """
+    dead_conns = set(dead_connections)
+    dead_devs = set(dead_devices)
+    if not dead_conns and not dead_devs:
+        return RepairResult(plan=plan, untouched_routes=len(plan.routes))
+
+    kept: List[VertexClassRoute] = []
+    broken: List[VertexClassRoute] = []
+    for route in plan.routes:
+        (broken if _route_broken(route, dead_conns, dead_devs) else kept).append(route)
+    if not broken:
+        return RepairResult(plan=plan, untouched_routes=len(plan.routes))
+    for route in broken:
+        if route.source in dead_devs or any(d in dead_devs for d in route.destinations):
+            raise UnrecoverableFaultError(
+                f"route {route.source}->{route.destinations}",
+                attempts=0,
+                detail="a dead device owns or consumes these vertices; "
+                "repartition ownership before repairing routes",
+            )
+
+    survivors = filter_topology(plan.topology, dead_conns, dead_devs)
+    planner = SPSTPlanner(survivors, seed=seed)
+    model = StagedCostModel(survivors)
+    for route in kept:
+        model.add_path(list(route.edges), route.weight)
+
+    repaired: List[VertexClassRoute] = []
+    degraded: List[VertexClassRoute] = []
+    for route in broken:
+        unit = PlanUnit(route.source, route.destinations, route.vertices)
+        try:
+            edges = planner._grow_tree(model, unit)
+            repaired.append(
+                VertexClassRoute(
+                    source=route.source,
+                    destinations=route.destinations,
+                    vertices=route.vertices,
+                    edges=tuple(edges),
+                )
+            )
+        except RuntimeError:
+            star = _degraded_star(survivors, route)
+            if star is None:
+                raise UnrecoverableFaultError(
+                    f"route {route.source}->{route.destinations}",
+                    attempts=0,
+                    detail="no surviving path, even peer-to-peer",
+                ) from None
+            model.add_path(list(star.edges), star.weight)
+            degraded.append(star)
+
+    new_plan = CommPlan(
+        survivors, kept + repaired + degraded, name=f"{plan.name}-repaired"
+    )
+    return RepairResult(
+        plan=new_plan,
+        repaired_routes=len(repaired),
+        degraded_routes=len(degraded),
+        untouched_routes=len(kept),
+    )
+
+
+def alternate_path(
+    topology: Topology,
+    src: int,
+    dst: int,
+    capacity_of: Optional[Callable[[PhysicalConnection], float]] = None,
+    avoid: Sequence[str] = (),
+) -> Optional[Tuple[PhysicalConnection, ...]]:
+    """Cheapest surviving physical path ``src -> dst`` for one transfer.
+
+    Dijkstra over the logical links whose every hop still has capacity,
+    weighted by ``1 / capacity`` of the slowest hop.  Falls back to
+    host-memory staging (write ``src`` -> host, read host -> ``dst``)
+    when no GPU route survives; returns None when even that is gone.
+    """
+    avoid_set = set(avoid)
+
+    def live_capacity(conn: PhysicalConnection) -> float:
+        if conn.name in avoid_set:
+            return 0.0
+        return capacity_of(conn) if capacity_of is not None else conn.bytes_per_second
+
+    dist: Dict[int, float] = {src: 0.0}
+    prev: Dict[int, Tuple[int, Link]] = {}
+    heap: List[Tuple[float, int]] = [(0.0, src)]
+    settled: Set[int] = set()
+    while heap:
+        cost, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        if node == dst:
+            path: List[PhysicalConnection] = []
+            cur = dst
+            while cur != src:
+                parent, link = prev[cur]
+                path = list(link.connections) + path
+                cur = parent
+            return tuple(path)
+        for link in topology.links_from(node):
+            capacities = [live_capacity(c) for c in link.connections]
+            if min(capacities) <= 0.0:
+                continue
+            new_cost = cost + 1.0 / min(capacities)
+            if new_cost < dist.get(link.dst, float("inf")):
+                dist[link.dst] = new_cost
+                prev[link.dst] = (node, link)
+                heapq.heappush(heap, (new_cost, link.dst))
+
+    # Last resort: stage through host memory over the PCIe/host paths.
+    if topology.has_host_staging(src) and topology.has_host_staging(dst):
+        staging = tuple(topology.host_write_path(src)) + tuple(
+            topology.host_read_path(dst)
+        )
+        if all(live_capacity(c) > 0.0 for c in staging):
+            return staging
+    return None

@@ -1,0 +1,299 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+The DGCL paper assumes a fault-free cluster; production clusters are
+not.  A :class:`FaultPlan` is a seedable, serialisable schedule of
+faults against the *simulated* clock, covering the three planes the
+runtime exercises:
+
+* **device faults** — :class:`DeviceStall` (a GPU pauses for a while,
+  e.g. ECC scrubbing or a preempting process) and :class:`DeviceCrash`
+  (the GPU is gone for good);
+* **link faults** — :class:`LinkDegrade` (a physical connection loses
+  bandwidth, e.g. a flaky QPI hop), :class:`LinkFlap` (the connection
+  toggles dead/alive), and :class:`LinkLoss` (the wire is dead);
+* **control-plane faults** — :class:`FlagDrop` and :class:`FlagDelay`
+  on the §6.1 ready/done flag messages.
+
+Because every fault carries an explicit simulated timestamp, a plan is
+perfectly reproducible: the same plan injected twice produces the same
+detection, retry, and recovery sequence — which is what makes recovery
+cost measurable like any other benchmark quantity.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "DeviceStall",
+    "DeviceCrash",
+    "LinkDegrade",
+    "LinkFlap",
+    "LinkLoss",
+    "FlagDrop",
+    "FlagDelay",
+    "FaultEvent",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class DeviceStall:
+    """A transient straggler: ``device`` freezes at ``time`` for ``duration``."""
+
+    device: int
+    time: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ValueError("a stall needs a positive duration")
+
+
+@dataclass(frozen=True)
+class DeviceCrash:
+    """A permanent loss: ``device`` stops participating at ``time``."""
+
+    device: int
+    time: float
+
+
+@dataclass(frozen=True)
+class LinkDegrade:
+    """``connection`` runs at ``factor`` of its bandwidth from ``time``.
+
+    ``duration`` None means the degradation is permanent (a worn cable);
+    otherwise the connection heals after ``duration`` seconds.
+    """
+
+    connection: str
+    time: float
+    factor: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.factor < 1.0:
+            raise ValueError("degrade factor must lie strictly in (0, 1)")
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """``connection`` toggles dead/alive ``count`` times, ``period`` apart."""
+
+    connection: str
+    time: float
+    period: float
+    count: int = 2
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ValueError("flap period must be positive")
+        if self.count < 1:
+            raise ValueError("a flap needs at least one down window")
+
+
+@dataclass(frozen=True)
+class LinkLoss:
+    """``connection`` is dead from ``time`` on (capacity zero, no heal)."""
+
+    connection: str
+    time: float
+
+
+@dataclass(frozen=True)
+class FlagDrop:
+    """The first ``count`` deliveries of one coordination flag are lost.
+
+    ``kind`` is ``"ready"`` or ``"done"``; ``device`` is the setter,
+    ``peer`` the receiver a done flag addresses (``None`` for ready
+    flags, which are broadcast).  The setter's state survives — a
+    dropped message can be re-fetched by a timed-out waiter, which is
+    exactly what the hardened protocol's retry path does.
+    """
+
+    kind: str
+    device: int
+    stage: int
+    peer: Optional[int] = None
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ready", "done"):
+            raise ValueError("flag kind must be 'ready' or 'done'")
+        if self.count < 1:
+            raise ValueError("drop count must be positive")
+
+
+@dataclass(frozen=True)
+class FlagDelay:
+    """One coordination flag message arrives ``delay`` seconds late."""
+
+    kind: str
+    device: int
+    stage: int
+    delay: float
+    peer: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ready", "done"):
+            raise ValueError("flag kind must be 'ready' or 'done'")
+        if self.delay <= 0:
+            raise ValueError("flag delay must be positive")
+
+
+FaultEvent = Union[
+    DeviceStall, DeviceCrash, LinkDegrade, LinkFlap, LinkLoss, FlagDrop, FlagDelay
+]
+
+_EVENT_TYPES = {
+    "device-stall": DeviceStall,
+    "device-crash": DeviceCrash,
+    "link-degrade": LinkDegrade,
+    "link-flap": LinkFlap,
+    "link-loss": LinkLoss,
+    "flag-drop": FlagDrop,
+    "flag-delay": FlagDelay,
+}
+_TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
+
+
+class FaultPlan:
+    """An immutable, seed-reproducible schedule of fault events."""
+
+    def __init__(self, events: Iterable[FaultEvent] = (), seed: Optional[int] = None):
+        self.events: Tuple[FaultEvent, ...] = tuple(events)
+        self.seed = seed
+        for ev in self.events:
+            if type(ev) not in _TYPE_NAMES:
+                raise TypeError(f"unknown fault event {ev!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    def of_type(self, *types) -> List[FaultEvent]:
+        """Events of the given dataclass types, in schedule order."""
+        return [ev for ev in self.events if isinstance(ev, types)]
+
+    @property
+    def crashed_devices(self) -> List[int]:
+        return sorted({ev.device for ev in self.of_type(DeviceCrash)})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        horizon: float,
+        devices: Sequence[int],
+        connections: Sequence[str],
+        stall_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        degrade_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        stages: int = 2,
+    ) -> "FaultPlan":
+        """Draw a Poisson-ish fault mix over ``[0, horizon)`` seconds.
+
+        Each ``*_rate`` is the expected number of events of that kind
+        over the horizon; the draw is deterministic in ``seed``.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        events: List[FaultEvent] = []
+        for _ in range(rng.poisson(stall_rate)):
+            events.append(
+                DeviceStall(
+                    device=int(rng.choice(devices)),
+                    time=float(rng.uniform(0, horizon)),
+                    duration=float(rng.uniform(0.02, 0.2)) * horizon,
+                )
+            )
+        for _ in range(rng.poisson(crash_rate)):
+            events.append(
+                DeviceCrash(
+                    device=int(rng.choice(devices)),
+                    time=float(rng.uniform(0.1, 0.9) * horizon),
+                )
+            )
+        if connections:
+            for _ in range(rng.poisson(degrade_rate)):
+                events.append(
+                    LinkDegrade(
+                        connection=str(rng.choice(connections)),
+                        time=float(rng.uniform(0, horizon)),
+                        factor=float(rng.uniform(0.1, 0.7)),
+                    )
+                )
+        for _ in range(rng.poisson(drop_rate)):
+            kind = "ready" if rng.random() < 0.5 else "done"
+            device = int(rng.choice(devices))
+            peer = None
+            if kind == "done":
+                peer = int(rng.choice([d for d in devices if d != device]))
+            events.append(
+                FlagDrop(
+                    kind=kind,
+                    device=device,
+                    stage=int(rng.integers(0, max(1, stages))),
+                    peer=peer,
+                )
+            )
+        events.sort(key=_event_sort_key)
+        return cls(events, seed=seed)
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Serialise the plan (stable field order) for ``--fault-spec``."""
+        payload = {
+            "seed": self.seed,
+            "events": [
+                {"type": _TYPE_NAMES[type(ev)], **asdict(ev)} for ev in self.events
+            ],
+        }
+        return json.dumps(payload, indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        payload = json.loads(text)
+        events = []
+        for entry in payload.get("events", []):
+            entry = dict(entry)
+            kind = entry.pop("type", None)
+            if kind not in _EVENT_TYPES:
+                raise ValueError(f"unknown fault event type {kind!r}")
+            events.append(_EVENT_TYPES[kind](**entry))
+        return cls(events, seed=payload.get("seed"))
+
+    def save(self, path) -> None:
+        """Write the JSON form to ``path`` (read back with :meth:`load`)."""
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path) -> "FaultPlan":
+        """Read a plan previously written by :meth:`save`."""
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kinds: Dict[str, int] = {}
+        for ev in self.events:
+            name = _TYPE_NAMES[type(ev)]
+            kinds[name] = kinds.get(name, 0) + 1
+        return f"FaultPlan(events={len(self.events)}, mix={kinds})"
+
+
+def _event_sort_key(ev: FaultEvent) -> Tuple[float, str]:
+    time = getattr(ev, "time", 0.0)
+    return (float(time), _TYPE_NAMES[type(ev)])

@@ -38,6 +38,8 @@ from repro.gnn.models import (
     build_sage,
 )
 from repro.gnn.optim import Adam
+from repro.gnn.checkpoint import Checkpoint, restore, snapshot
+from repro.gnn.resilient import FaultRecoveryReport, ResilientTrainer
 from repro.gnn.training import SingleDeviceTrainer
 
 __all__ = [
@@ -62,4 +64,9 @@ __all__ = [
     "build_gat",
     "build_model",
     "SingleDeviceTrainer",
+    "Checkpoint",
+    "snapshot",
+    "restore",
+    "ResilientTrainer",
+    "FaultRecoveryReport",
 ]

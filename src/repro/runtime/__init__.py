@@ -22,7 +22,7 @@ Components:
 """
 
 from repro.runtime.bootstrap import BootstrapReport, simulate_bootstrap
-from repro.runtime.events import Flag, Simulator, Timeout, WaitFlag
+from repro.runtime.events import AnyOf, Flag, Simulator, Timeout, WaitFlag
 from repro.runtime.flags import FlagBoard
 from repro.runtime.network import LiveNetwork
 from repro.runtime.protocol import ProtocolReport, ProtocolRunner
@@ -32,6 +32,7 @@ __all__ = [
     "Timeout",
     "WaitFlag",
     "Flag",
+    "AnyOf",
     "LiveNetwork",
     "FlagBoard",
     "ProtocolRunner",

@@ -5,11 +5,18 @@ Processes are Python generators that ``yield`` wait conditions:
 * ``Timeout(dt)`` — resume after ``dt`` simulated seconds;
 * ``WaitFlag(flag, value)`` — resume when ``flag`` reaches ``value``;
 * ``WaitEvent(event)`` — resume when an :class:`Event` is triggered;
-* ``AllOf([...])`` — resume when every sub-condition has resolved.
+* ``AllOf([...])`` — resume when every sub-condition has resolved;
+* ``AnyOf([...])`` — resume when the *first* sub-condition resolves;
+  the ``yield`` expression evaluates to the index of the winner, which
+  is how the hardened protocol tells "flag arrived" from "timed out".
 
 The engine is deliberately minimal — the runtime package needs exactly
-these four primitives — but fully deterministic: simultaneous events
-fire in scheduling order.
+these five primitives — but fully deterministic: simultaneous events
+fire in scheduling order.  Timeouts racing inside an ``AnyOf`` are
+cancelled when they lose; a cancelled timer is skipped by the event
+loop *without advancing the clock*, so arming a timeout that never
+fires costs zero simulated time — the property that lets chaos-mode
+instrumentation leave fault-free timings bit-identical.
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ __all__ = [
     "Flag",
     "WaitFlag",
     "AllOf",
+    "AnyOf",
 ]
 
 
@@ -132,6 +140,40 @@ class AllOf:
         self.conditions = list(conditions)
 
 
+class AnyOf:
+    """Resume when the first sub-condition resolves.
+
+    The ``yield AnyOf([...])`` expression evaluates to the index of the
+    winning condition.  Losing :class:`Timeout` timers are cancelled
+    and skipped without advancing the clock; losing flag/event waiters
+    become no-ops.
+    """
+
+    __slots__ = ("conditions",)
+
+    def __init__(self, conditions: Iterable[Any]) -> None:
+        self.conditions = list(conditions)
+        if not self.conditions:
+            raise ValueError("AnyOf needs at least one condition")
+
+
+class _CancellableTimer:
+    """A scheduled callback that can be disarmed before it fires."""
+
+    __slots__ = ("fn", "cancelled")
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self.fn = fn
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+    def __call__(self) -> None:
+        if not self.cancelled:
+            self.fn()
+
+
 class Process:
     """One coroutine driven by the simulator."""
 
@@ -144,9 +186,9 @@ class Process:
         self.finished = False
         self.done_event = Event()
 
-    def _advance(self) -> None:
+    def _advance(self, value: Any = None) -> None:
         try:
-            condition = next(self.generator)
+            condition = self.generator.send(value)
         except StopIteration:
             self.finished = True
             self.done_event.trigger()
@@ -185,6 +227,29 @@ class Process:
                     self.sim.schedule(sub.delay, one_done)
                 else:
                     raise TypeError(f"cannot wait on {sub!r} inside AllOf")
+        elif isinstance(condition, AnyOf):
+            state = {"fired": False}
+            timers: List[_CancellableTimer] = []
+
+            def fire(index: int) -> None:
+                if state["fired"]:
+                    return
+                state["fired"] = True
+                for timer in timers:
+                    timer.cancel()
+                self.sim.schedule(0.0, lambda: self._advance(index))
+
+            for i, sub in enumerate(condition.conditions):
+                if isinstance(sub, WaitFlag):
+                    sub.flag.add_waiter(sub.target, lambda i=i: fire(i))
+                elif isinstance(sub, WaitEvent):
+                    sub.event.add_waiter(lambda i=i: fire(i))
+                elif isinstance(sub, Timeout):
+                    timer = _CancellableTimer(lambda i=i: fire(i))
+                    timers.append(timer)
+                    self.sim.schedule(sub.delay, timer)
+                else:
+                    raise TypeError(f"cannot wait on {sub!r} inside AnyOf")
         else:
             raise TypeError(f"process {self.name!r} yielded {condition!r}")
 
@@ -216,6 +281,11 @@ class Simulator:
         events = 0
         while self._queue:
             time, _, callback = self._queue[0]
+            if isinstance(callback, _CancellableTimer) and callback.cancelled:
+                # A timer that lost an AnyOf race: drop it WITHOUT
+                # advancing the clock, so arming timeouts is free.
+                heapq.heappop(self._queue)
+                continue
             if until is not None and time > until:
                 break
             heapq.heappop(self._queue)

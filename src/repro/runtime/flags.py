@@ -10,11 +10,20 @@ A :class:`FlagBoard` owns one monotone ready flag per (device, stage)
 and one done flag per (sender, receiver, stage).  Peer access latency
 (the cost of the remote flag poll over the interconnect) is paid by the
 waiting process, not the setter.
+
+Chaos hooks: with an optional
+:class:`~repro.faults.injector.FaultInjector` attached, every set passes
+through the injector's control-plane filter, which may drop the message
+(the *value* is held injector-side — the setter's local state is fine,
+only the notification was lost) or delay it.  A timed-out waiter calls
+``refetch_ready``/``refetch_done`` to re-read the setter's state at the
+cost of an extra control round-trip.  With no injector attached, the
+board behaves exactly as before.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.runtime.events import Flag, Simulator, Timeout, WaitFlag
 
@@ -28,9 +37,16 @@ DEFAULT_FLAG_LATENCY = 1e-8
 class FlagBoard:
     """All coordination flags of one training job."""
 
-    def __init__(self, sim: Simulator, flag_latency: float = DEFAULT_FLAG_LATENCY):
+    def __init__(
+        self,
+        sim: Simulator,
+        flag_latency: float = DEFAULT_FLAG_LATENCY,
+        injector=None,
+    ):
         self.sim = sim
         self.flag_latency = flag_latency
+        #: Optional FaultInjector filtering flag-message deliveries.
+        self.injector = injector
         self._ready: Dict[Tuple[int, int], Flag] = {}
         self._done: Dict[Tuple[int, int, int], Flag] = {}
 
@@ -52,11 +68,54 @@ class FlagBoard:
     # ------------------------------------------------------------------
     def set_ready(self, device: int, stage: int) -> None:
         """Raise a device's ready flag for a stage."""
-        self.ready_flag(device, stage).set(1)
+        self._filtered_set("ready", device, None, stage, self.ready_flag(device, stage))
 
     def set_done(self, src: int, dst: int, stage: int) -> None:
-        """Raise the sender's done flag towards one peer."""
-        self.done_flag(src, dst, stage).set(1)
+        """Count one completed transfer on the (src, dst, stage) flag.
+
+        The flag counts transfers: several vertex classes can ride the
+        same (src, dst, stage) triple, and a receiver gating on the pair
+        waits for *all* of them (it passes the tuple count as the wait
+        target).  With a single class per triple this degenerates to the
+        paper's boolean done flag.
+        """
+        self._filtered_set("done", src, dst, stage, self.done_flag(src, dst, stage))
+
+    def _filtered_set(
+        self, kind: str, device: int, peer: Optional[int], stage: int, flag: Flag
+    ) -> None:
+        if self.injector is None:
+            flag.increment()
+            return
+        verdict = self.injector.filter_flag(kind, device, peer, stage, self.sim.now)
+        if verdict == "deliver":
+            flag.increment()
+        elif verdict == "drop":
+            pass  # value held injector-side; a waiter re-fetch releases it
+        else:  # ("delay", dt)
+            self.sim.schedule(verdict[1], flag.increment)
+
+    def refetch_ready(self, device: int, stage: int) -> str:
+        """Re-read a peer's ready state after a timed-out wait.
+
+        Returns the injector verdict (``"recovered"``, ``"dropped"`` or
+        ``"absent"``); on recovery the flag is set for all waiters.
+        """
+        if self.injector is None:
+            return "absent"
+        verdict = self.injector.refetch_flag("ready", device, None, stage, self.sim.now)
+        if verdict == "recovered":
+            self.ready_flag(device, stage).increment()
+        return verdict
+
+    def refetch_done(self, src: int, dst: int, stage: int) -> str:
+        """Re-read a sender's done state after a timed-out wait."""
+        if self.injector is None:
+            return "absent"
+        verdict = self.injector.refetch_flag("done", src, dst, stage, self.sim.now)
+        if verdict == "recovered":
+            self.done_flag(src, dst, stage).increment()
+        return verdict
 
     def wait_ready(self, device: int, stage: int):
         """Condition + latency for polling a peer's ready flag."""

@@ -7,6 +7,13 @@ the active set changes and keep exactly one pending completion event.
 
 The fairness model (and its numerical-sweep safeguards) is shared with
 the batch simulator via :func:`repro.simulator.network._max_min_rates`.
+
+Chaos support: an optional ``capacity_of`` hook lets a fault injector
+scale (or zero) a connection's bandwidth while flows are in flight —
+``capacities_changed`` re-solves the allocation at the current instant.
+Flows over a dead wire simply stop progressing; the hardened protocol
+notices via its transfer timeout, calls :meth:`LiveNetwork.cancel`, and
+re-issues the payload along a repaired path.
 """
 
 from __future__ import annotations
@@ -23,7 +30,7 @@ __all__ = ["LiveNetwork", "TransferHandle"]
 class TransferHandle:
     """The caller's view of one in-flight transfer."""
 
-    __slots__ = ("done", "start_time", "finish_time", "size_bytes", "tag")
+    __slots__ = ("done", "start_time", "finish_time", "size_bytes", "tag", "cancelled")
 
     def __init__(self, size_bytes: float, tag: object = None) -> None:
         self.done = Event()
@@ -31,6 +38,7 @@ class TransferHandle:
         self.finish_time: Optional[float] = None
         self.size_bytes = size_bytes
         self.tag = tag
+        self.cancelled = False
 
 
 class _LiveFlow:
@@ -51,9 +59,16 @@ class _LiveFlow:
 class LiveNetwork:
     """Max-min fair bandwidth sharing with dynamic arrivals."""
 
-    def __init__(self, sim: Simulator, alpha: float = DEFAULT_ALPHA) -> None:
+    def __init__(
+        self,
+        sim: Simulator,
+        alpha: float = DEFAULT_ALPHA,
+        capacity_of: Optional[Callable[[PhysicalConnection], float]] = None,
+    ) -> None:
         self.sim = sim
         self.alpha = alpha
+        #: Optional bandwidth override (bytes/s) for fault injection.
+        self.capacity_of = capacity_of
         self._active: List[_LiveFlow] = []
         self._last_update = 0.0
         self._completion_token = 0  # invalidates stale completion events
@@ -71,6 +86,8 @@ class LiveNetwork:
         handle = TransferHandle(size_bytes, tag)
 
         def begin() -> None:
+            if handle.cancelled:
+                return
             handle.start_time = self.sim.now
             self._progress_to_now()
             if size_bytes <= 0:
@@ -81,6 +98,35 @@ class LiveNetwork:
 
         self.sim.schedule(self.alpha, begin)
         return handle
+
+    def cancel(self, handle: TransferHandle) -> None:
+        """Abort a transfer (idempotent); its ``done`` never triggers."""
+        handle.cancelled = True
+        survivors = [f for f in self._active if f.handle is not handle]
+        if len(survivors) != len(self._active):
+            self._progress_to_now()
+            self._active = survivors
+            self._reschedule()
+
+    def capacities_changed(self) -> None:
+        """Re-solve rates now — a connection's bandwidth just changed."""
+        self._progress_to_now()
+        self._reschedule()
+
+    def remaining(self, handle: TransferHandle) -> float:
+        """Bytes still to move for ``handle`` (exact at the current time).
+
+        The hardened protocol polls this to tell a slow transfer (still
+        progressing under contention or degradation) from a stalled one
+        (crossing a dead wire).
+        """
+        if handle.done.triggered:
+            return 0.0
+        self._progress_to_now()
+        for flow in self._active:
+            if flow.handle is handle:
+                return max(flow.remaining, 0.0)
+        return handle.size_bytes  # queued, not yet begun
 
     # ------------------------------------------------------------------
     def _progress_to_now(self) -> None:
@@ -100,7 +146,7 @@ class LiveNetwork:
         token = self._completion_token
         if not self._active:
             return
-        _max_min_rates(self._active)
+        _max_min_rates(self._active, capacity_of=self.capacity_of)
         soonest: Optional[_LiveFlow] = None
         soonest_dt = float("inf")
         for flow in self._active:
@@ -113,6 +159,12 @@ class LiveNetwork:
             if dt < soonest_dt:
                 soonest, soonest_dt = flow, dt
         if soonest is None:
+            if self.capacity_of is not None:
+                # Every active flow crosses a dead wire.  Stall silently:
+                # the hardened protocol's transfer timeout will cancel and
+                # re-route; a capacity recovery re-enters via
+                # capacities_changed().
+                return
             raise RuntimeError("active flows but none can make progress")
         # Numerical sweep as in the batch engine: sub-microbyte residues
         # complete immediately instead of stalling the clock.

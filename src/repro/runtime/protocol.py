@@ -22,6 +22,21 @@ The ``centralized`` mode replaces (3) with a master-driven stage
 barrier, paying a control round-trip per stage — the design §6.1
 rejects; keeping both makes the trade-off measurable.
 
+With a :class:`~repro.faults.injector.FaultInjector` attached (and at
+least one scheduled fault), the runner switches to a *hardened* path:
+flag waits carry per-stage timeouts with exponential backoff and
+bounded retries (a timed-out waiter re-fetches the peer's state, one
+control round-trip each); transfers are stall-checked against actual
+byte progress and, on a confirmed stall, retried, re-routed around the
+dead wire (:func:`repro.faults.repair.alternate_path`) or degraded to
+host-memory staging, as chosen by the
+:class:`~repro.faults.policy.RecoveryPolicy`; clients emit heartbeats
+and a master-side failure detector declares a device dead after
+``miss_limit`` silent windows, aborting the run with a typed
+:class:`~repro.faults.policy.DeviceLostError` for the trainer to catch.
+Without an armed injector the legacy fault-free path runs unchanged —
+same events, same clock, bit-identical timings.
+
 Embeddings really move: the runner returns the gathered per-device
 blocks, which the tests compare against
 :class:`~repro.comm.allgather.CompiledAllgather`.
@@ -37,9 +52,18 @@ import numpy as np
 from repro.comm.allgather import BufferMaps
 from repro.core.plan import CommPlan, CommTuple
 from repro.core.relation import CommRelation
+from repro.faults.policy import (
+    DefaultPolicy,
+    DeviceLostError,
+    RecoveryPolicy,
+    UnrecoverableFaultError,
+)
+from repro.faults.repair import alternate_path
 from repro.runtime.events import (
     AllOf,
+    AnyOf,
     Event,
+    Flag,
     Simulator,
     Timeout,
     WaitEvent,
@@ -78,6 +102,8 @@ class ProtocolRunner:
         flag_latency: float = DEFAULT_FLAG_LATENCY,
         control_latency: float = DEFAULT_CONTROL_LATENCY,
         device_delays: Optional[Dict[int, float]] = None,
+        injector=None,
+        policy: Optional[RecoveryPolicy] = None,
     ) -> None:
         if coordination not in ("decentralized", "centralized"):
             raise ValueError("coordination must be decentralized or centralized")
@@ -89,6 +115,19 @@ class ProtocolRunner:
         self.flag_latency = flag_latency
         self.control_latency = control_latency
         self.device_delays = dict(device_delays or {})
+        #: Fault machinery; the hardened path runs only when the
+        #: injector actually schedules faults — otherwise the legacy
+        #: code path executes, event for event.
+        self.injector = injector
+        self.policy = policy if policy is not None else DefaultPolicy()
+        # Hardened-path tunables (simulated seconds).
+        self.flag_timeout = control_latency * 20
+        self.flag_timeout_cap = self.flag_timeout * 64
+        self.stall_check = max(alpha * 4, control_latency * 4)
+        self.stall_checks_limit = 3
+        self.heartbeat_interval = control_latency * 5
+        self.miss_timeout = control_latency * 12
+        self.miss_limit = 3
 
         self._tuples = sorted(plan.tuples(), key=lambda t: t.stage)
         self._maps = BufferMaps(relation, self._tuples)
@@ -107,10 +146,24 @@ class ProtocolRunner:
             self._recvs[t.dst].setdefault(t.stage, []).append(i)
 
     # ------------------------------------------------------------------
+    @property
+    def _armed(self) -> bool:
+        return self.injector is not None and self.injector.is_armed
+
     def run(
         self, local_embeddings: Sequence[np.ndarray]
     ) -> Tuple[List[np.ndarray], ProtocolReport]:
-        """Execute the allgather; returns (gathered blocks, report)."""
+        """Execute the allgather; returns (gathered blocks, report).
+
+        With an armed fault injector this dispatches to the hardened
+        protocol, which may raise
+        :class:`~repro.faults.policy.DeviceLostError` (confirmed device
+        death — roll back and repartition) or
+        :class:`~repro.faults.policy.UnrecoverableFaultError` (retry
+        budget exhausted with no surviving route).
+        """
+        if self._armed:
+            return self._run_hardened(local_embeddings)
         sim = Simulator()
         network = LiveNetwork(sim, alpha=self.alpha)
         flags = FlagBoard(sim, flag_latency=self.flag_latency)
@@ -199,6 +252,376 @@ class ProtocolRunner:
             sim.spawn(client(d), f"client{d}")
         total = sim.run()
         report.total_time = total
+        gathered = [
+            buffers[d][self._maps.out_rows[d]] for d in range(self.num_devices)
+        ]
+        return gathered, report
+
+    # ------------------------------------------------------------------
+    # Hardened protocol (armed fault injector)
+    def _staging_path(self, src: int, dst: int):
+        """Host-memory staging route (degrade fallback), if still alive."""
+        topo = self.plan.topology
+        if not (topo.has_host_staging(src) and topo.has_host_staging(dst)):
+            return None
+        path = tuple(topo.host_write_path(src)) + tuple(topo.host_read_path(dst))
+        if all(self.injector.capacity_of(c) > 0.0 for c in path):
+            return path
+        return None
+
+    def _run_hardened(
+        self, local_embeddings: Sequence[np.ndarray]
+    ) -> Tuple[List[np.ndarray], ProtocolReport]:
+        injector = self.injector
+        policy = self.policy
+        log = injector.log
+        topo = self.plan.topology
+        sim = Simulator()
+        network = LiveNetwork(sim, alpha=self.alpha, capacity_of=injector.capacity_of)
+        flags = FlagBoard(sim, flag_latency=self.flag_latency, injector=injector)
+        buffers = self._maps.make_buffers(list(local_embeddings))
+        report = ProtocolReport(total_time=0.0)
+        injector.arm(sim, network=network)
+
+        registered = [Event() for _ in range(self.num_devices)]
+        start_signal = Event()
+        finished = [Event() for _ in range(self.num_devices)]
+        all_done = Event()
+        stage_go = [Event() for _ in range(self.num_stages)]
+        stage_go_done = [Event() for _ in range(self.num_stages)]
+        stage_done_count = [
+            {"left": self.num_devices} for _ in range(self.num_stages)
+        ]
+        heartbeats = [Flag(f"hb[d{d}]") for d in range(self.num_devices)]
+        end_state = {"time": 0.0}
+        done_total: Dict[Tuple[int, int, int], int] = {}
+        for t in self._tuples:
+            key = (t.src, t.dst, t.stage)
+            done_total[key] = done_total.get(key, 0) + 1
+
+        def master():
+            yield AllOf([WaitEvent(e) for e in registered])
+            yield Timeout(self.control_latency)  # scatter "start"
+            start_signal.trigger()
+            if self.coordination == "centralized":
+                for k in range(self.num_stages):
+                    yield Timeout(self.control_latency)
+                    stage_go[k].trigger()
+                    yield WaitEvent(stage_go_done[k])
+            yield AllOf([WaitEvent(e) for e in finished])
+            end_state["time"] = sim.now
+            all_done.trigger()
+
+        def heartbeat(device: int):
+            crash_ev = injector.crash_event(device)
+            while True:
+                winner = yield AnyOf(
+                    [
+                        Timeout(self.heartbeat_interval),
+                        WaitEvent(crash_ev),
+                        WaitEvent(all_done),
+                    ]
+                )
+                if winner != 0:
+                    return  # crashed (silence) or protocol over
+                heartbeats[device].increment()
+
+        def monitor(device: int):
+            # Master-side failure detector: a device is declared dead
+            # after miss_limit consecutive silent windows.
+            hb = heartbeats[device]
+            target = 1
+            misses = 0
+            while True:
+                winner = yield AnyOf(
+                    [
+                        WaitFlag(hb, target),
+                        Timeout(self.miss_timeout),
+                        WaitEvent(all_done),
+                    ]
+                )
+                if winner == 2:
+                    return
+                if winner == 0:
+                    target = hb.value + 1
+                    misses = 0
+                    continue
+                misses += 1
+                log.append(
+                    sim.now,
+                    "device",
+                    "detect",
+                    f"device {device}",
+                    f"missed heartbeat ({misses}/{self.miss_limit})",
+                )
+                if misses >= self.miss_limit:
+                    # Sweep every peer already known crashed so one
+                    # abort reports simultaneous losses together.
+                    dead = sorted(
+                        {device}
+                        | {
+                            d
+                            for d in range(self.num_devices)
+                            if injector.is_crashed(d)
+                        }
+                    )
+                    log.append(
+                        sim.now,
+                        "device",
+                        "abort",
+                        f"device {device}",
+                        f"confirmed dead; lost devices {dead}",
+                    )
+                    raise DeviceLostError(
+                        dead, sim.now, fault_log=log, report=report
+                    )
+
+        def await_flag(flag, target, kind, fdev, peer, stage, crash_ev, subject):
+            """Flag wait with timeout, re-fetch and exponential backoff.
+
+            Returns True when the flag reached ``target``, False when
+            our own device crashed mid-wait.  Raises
+            UnrecoverableFaultError when the drop budget keeps eating
+            re-fetches.
+            """
+            yield Timeout(self.flag_latency)  # remote poll latency
+            timeout = self.flag_timeout
+            attempt = 0
+            while True:
+                winner = yield AnyOf(
+                    [WaitFlag(flag, target), Timeout(timeout), WaitEvent(crash_ev)]
+                )
+                if winner == 0:
+                    return True
+                if winner == 2:
+                    return False
+                log.append(
+                    sim.now,
+                    "control",
+                    "detect",
+                    subject,
+                    f"wait timed out after {timeout * 1e6:.1f} us",
+                )
+                yield Timeout(self.control_latency * 2)  # re-fetch RTT
+                if kind == "ready":
+                    verdict = flags.refetch_ready(fdev, stage)
+                else:
+                    verdict = flags.refetch_done(fdev, peer, stage)
+                if verdict == "recovered":
+                    # One lost increment released; loop re-checks the
+                    # target (done flags may need several increments).
+                    log.append(
+                        sim.now,
+                        "control",
+                        "recover",
+                        subject,
+                        "re-fetch released a lost flag increment",
+                    )
+                    continue
+                if verdict == "dropped":
+                    attempt += 1
+                    log.append(
+                        sim.now,
+                        "control",
+                        "retry",
+                        subject,
+                        f"re-fetch lost too (attempt {attempt})",
+                    )
+                    if attempt > policy.max_retries:
+                        log.append(
+                            sim.now,
+                            "control",
+                            "giveup",
+                            subject,
+                            "flag retry budget exhausted",
+                        )
+                        raise UnrecoverableFaultError(
+                            subject, attempt, "flag retry budget exhausted"
+                        )
+                # "absent": the peer is just slow — back off and re-wait.
+                timeout = min(timeout * 2, self.flag_timeout_cap)
+
+        def run_transfer(t, size, idx, crash_ev, subject):
+            """One payload with stall detection and the recovery ladder.
+
+            Returns True on delivery, False if our device crashed.
+            """
+            path = t.link.connections
+            attempt = 0
+            while True:
+                handle = network.transfer(path, size, tag=idx)
+                last_remaining = float("inf")
+                stalls = 0
+                stalled = False
+                rem = size
+                while not stalled:
+                    winner = yield AnyOf(
+                        [
+                            WaitEvent(handle.done),
+                            Timeout(self.stall_check),
+                            WaitEvent(crash_ev),
+                        ]
+                    )
+                    if winner == 0:
+                        return True
+                    if winner == 2:
+                        network.cancel(handle)
+                        return False
+                    rem = network.remaining(handle)
+                    if rem < last_remaining - 1e-9:
+                        last_remaining = rem
+                        stalls = 0
+                    else:
+                        stalls += 1
+                        stalled = stalls >= self.stall_checks_limit
+                network.cancel(handle)
+                attempt += 1
+                log.append(
+                    sim.now,
+                    "link",
+                    "detect",
+                    subject,
+                    f"transfer stalled with {rem:.0f} B left "
+                    f"(attempt {attempt})",
+                )
+                if attempt > policy.max_retries:
+                    log.append(
+                        sim.now, "link", "giveup", subject,
+                        "transfer retry budget exhausted",
+                    )
+                    raise UnrecoverableFaultError(
+                        subject, attempt, "transfer retry budget exhausted"
+                    )
+                decision = policy.decide("transfer-timeout", attempt)
+                if decision == "retry":
+                    log.append(
+                        sim.now, "link", "retry", subject,
+                        "re-issuing on the same path",
+                    )
+                    continue
+                new_path = None
+                action = decision
+                if decision == "repair":
+                    new_path = alternate_path(
+                        topo, t.src, t.dst, capacity_of=injector.capacity_of
+                    )
+                if new_path is None:
+                    action = "degrade"
+                    new_path = self._staging_path(t.src, t.dst)
+                if new_path is None:
+                    log.append(
+                        sim.now, "link", "giveup", subject,
+                        "no surviving path, even via host staging",
+                    )
+                    raise UnrecoverableFaultError(
+                        subject,
+                        attempt,
+                        "no surviving path, even via host staging",
+                    )
+                path = new_path
+                hops = "+".join(c.name for c in path)
+                log.append(sim.now, "link", action, subject, f"re-routed via {hops}")
+
+        def sender(device: int, idx: int, done_event: Event):
+            t = self._tuples[idx]
+            crash_ev = injector.crash_event(device)
+            subject = f"send[{t.src}->{t.dst},s{t.stage}]"
+            ok = yield from await_flag(
+                flags.ready_flag(t.dst, t.stage), 1,
+                "ready", t.dst, None, t.stage, crash_ev, subject,
+            )
+            if not ok:
+                return
+            size = t.units * self._bytes_per_unit
+            ok = yield from run_transfer(t, size, idx, crash_ev, subject)
+            if not ok:
+                return
+            _, _, src_rows, dst_rows = self._maps.ops[idx]
+            buffers[t.dst][dst_rows] = buffers[device][src_rows]
+            flags.set_done(t.src, t.dst, t.stage)
+            report.transfers += 1
+            done_event.trigger()
+
+        def receiver(device: int, idx: int, done_event: Event):
+            t = self._tuples[idx]
+            crash_ev = injector.crash_event(device)
+            subject = f"recv[{t.src}->{t.dst},s{t.stage}]"
+            # Several vertex classes can share this (src, dst, stage):
+            # gate on ALL of their transfers, or a late repaired payload
+            # could be forwarded stale in the next stage.
+            target = done_total[(t.src, t.dst, t.stage)]
+            ok = yield from await_flag(
+                flags.done_flag(t.src, t.dst, t.stage), target,
+                "done", t.src, t.dst, t.stage, crash_ev, subject,
+            )
+            if not ok:
+                return
+            done_event.trigger()
+
+        def client(device: int):
+            crash_ev = injector.crash_event(device)
+            winner = yield AnyOf(
+                [Timeout(self.control_latency), WaitEvent(crash_ev)]
+            )
+            if winner == 1:
+                return
+            registered[device].trigger()
+            winner = yield AnyOf([WaitEvent(start_signal), WaitEvent(crash_ev)])
+            if winner == 1:
+                return
+            extra = self.device_delays.get(device, 0.0)
+            if extra:
+                winner = yield AnyOf([Timeout(extra), WaitEvent(crash_ev)])
+                if winner == 1:
+                    return
+            for k in range(self.num_stages):
+                stall = injector.stall_remaining(device, sim.now)
+                if stall > 0:
+                    winner = yield AnyOf([Timeout(stall), WaitEvent(crash_ev)])
+                    if winner == 1:
+                        return
+                if self.coordination == "centralized":
+                    winner = yield AnyOf(
+                        [WaitEvent(stage_go[k]), WaitEvent(crash_ev)]
+                    )
+                    if winner == 1:
+                        return
+                flags.set_ready(device, k)
+                waits = []
+                for idx in self._sends[device].get(k, []):
+                    ev = Event()
+                    sim.spawn(sender(device, idx, ev), f"send{idx}")
+                    waits.append(ev)
+                for idx in self._recvs[device].get(k, []):
+                    ev = Event()
+                    sim.spawn(receiver(device, idx, ev), f"recv{idx}")
+                    waits.append(ev)
+                for ev in waits:
+                    winner = yield AnyOf([WaitEvent(ev), WaitEvent(crash_ev)])
+                    if winner == 1:
+                        return
+                report.stage_finish[(device, k)] = sim.now
+                if self.coordination == "centralized":
+                    counter = stage_done_count[k]
+                    counter["left"] -= 1
+                    if counter["left"] == 0:
+                        stage_go_done[k].trigger()
+            yield Timeout(self.control_latency)  # notify the master
+            report.device_finish[device] = sim.now
+            finished[device].trigger()
+
+        sim.spawn(master(), "master")
+        for d in range(self.num_devices):
+            sim.spawn(client(d), f"client{d}")
+        for d in range(self.num_devices):
+            sim.spawn(heartbeat(d), f"hb{d}")
+            sim.spawn(monitor(d), f"mon{d}")
+        try:
+            sim.run()
+        except DeviceLostError:
+            report.total_time = sim.now
+            raise
+        report.total_time = end_state["time"]
         gathered = [
             buffers[d][self._maps.out_rows[d]] for d in range(self.num_devices)
         ]

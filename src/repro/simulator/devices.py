@@ -38,6 +38,8 @@ class DeviceMemory:
         self.device = device
         self.capacity_bytes = int(capacity_bytes)
         self._allocations: Dict[str, int] = {}
+        self._peak_bytes = 0
+        self._peaks: Dict[str, int] = {}
 
     @property
     def in_use(self) -> int:
@@ -48,8 +50,14 @@ class DeviceMemory:
         return self.capacity_bytes - self.in_use
 
     @property
+    def peak_bytes(self) -> int:
+        """High-water mark of total bytes in use since the last reset."""
+        return self._peak_bytes
+
+    @property
     def peak_tracking(self) -> Dict[str, int]:
-        return dict(self._allocations)
+        """Per-name high-water marks (freed names keep their peak)."""
+        return dict(self._peaks)
 
     def allocate(self, name: str, num_bytes: int) -> None:
         """Reserve ``num_bytes`` under ``name``; raises on exhaustion."""
@@ -63,17 +71,21 @@ class DeviceMemory:
                 self.device, num_bytes, self.capacity_bytes, self.in_use
             )
         self._allocations[name] = num_bytes
+        self._peak_bytes = max(self._peak_bytes, self.in_use)
+        self._peaks[name] = max(self._peaks.get(name, 0), num_bytes)
 
     def free(self, name: str) -> None:
-        """Release a named allocation."""
+        """Release a named allocation (its peak record survives)."""
         try:
             del self._allocations[name]
         except KeyError:
             raise KeyError(f"no allocation named {name!r}") from None
 
     def reset(self) -> None:
-        """Drop every allocation."""
+        """Drop every allocation and clear the peak records."""
         self._allocations.clear()
+        self._peak_bytes = 0
+        self._peaks.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

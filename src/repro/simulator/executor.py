@@ -86,6 +86,7 @@ class PlanExecutor:
         master_latency: float = DEFAULT_MASTER_LATENCY,
         packing_efficiency: float = 1.0,
         methods: Optional[MethodTable] = None,
+        capacity_of=None,
     ) -> None:
         if coordination not in ("decentralized", "centralized"):
             raise ValueError("coordination must be decentralized or centralized")
@@ -93,7 +94,9 @@ class PlanExecutor:
             raise ValueError("packing_efficiency must be in (0, 1]")
         self.topology = topology
         self.alpha = alpha
-        self.network = NetworkSimulator(alpha=alpha)
+        #: Bandwidth override hook (fault injection); None = nominal.
+        self.capacity_of = capacity_of
+        self.network = NetworkSimulator(alpha=alpha, capacity_of=capacity_of)
         self.coordination = coordination
         self.master_latency = master_latency
         self.packing_efficiency = packing_efficiency

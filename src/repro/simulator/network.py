@@ -79,18 +79,40 @@ class _ActiveFlow:
         self.start_time = start_time
 
 
-def _max_min_rates(active: List[_ActiveFlow]) -> None:
-    """Assign max-min fair rates to ``active`` flows, in place."""
+def _max_min_rates(
+    active: List[_ActiveFlow],
+    capacity_of: Optional[Callable[[PhysicalConnection], float]] = None,
+) -> None:
+    """Assign max-min fair rates to ``active`` flows, in place.
+
+    ``capacity_of`` optionally overrides each connection's bandwidth —
+    the fault injector's hook for degraded (scaled) or dead (zero
+    capacity) wires.  Flows crossing a zero-capacity hop get rate 0.
+    """
     if not active:
         return
     remaining_cap: Dict[str, float] = {}
     conn_flows: Dict[str, List[_ActiveFlow]] = {}
+    stalled: List[_ActiveFlow] = []
     for af in active:
+        caps = []
         for conn in af.flow.path:
             if conn.name not in remaining_cap:
-                remaining_cap[conn.name] = conn.bytes_per_second
+                remaining_cap[conn.name] = (
+                    capacity_of(conn) if capacity_of is not None else conn.bytes_per_second
+                )
                 conn_flows[conn.name] = []
+            caps.append(remaining_cap[conn.name])
+        if capacity_of is not None and any(c <= 0.0 for c in caps):
+            af.rate = 0.0
+            stalled.append(af)
+            continue
+        for conn in af.flow.path:
             conn_flows[conn.name].append(af)
+    if stalled:
+        active = [af for af in active if af not in stalled]
+        if not active:
+            return
 
     unfixed = set(range(len(active)))
     index_of = {id(af): i for i, af in enumerate(active)}
@@ -125,10 +147,21 @@ def _max_min_rates(active: List[_ActiveFlow]) -> None:
 
 
 class NetworkSimulator:
-    """Runs a set of flows to completion; returns per-flow timings."""
+    """Runs a set of flows to completion; returns per-flow timings.
 
-    def __init__(self, alpha: float = DEFAULT_ALPHA) -> None:
+    ``capacity_of`` optionally overrides connection bandwidths (the
+    fault injector's static hook, e.g. a degraded QPI hop).  A flow set
+    that can make no progress at all under the overrides raises
+    ``RuntimeError`` rather than spinning forever.
+    """
+
+    def __init__(
+        self,
+        alpha: float = DEFAULT_ALPHA,
+        capacity_of: Optional[Callable[[PhysicalConnection], float]] = None,
+    ) -> None:
         self.alpha = alpha
+        self.capacity_of = capacity_of
 
     def run(
         self,
@@ -158,7 +191,7 @@ class NetworkSimulator:
                 now = next_release
                 continue
 
-            _max_min_rates(active)
+            _max_min_rates(active, capacity_of=self.capacity_of)
             # Time until the first active flow drains.
             time_to_finish = float("inf")
             for af in active:
@@ -166,6 +199,12 @@ class NetworkSimulator:
                     time_to_finish = min(time_to_finish, af.remaining / af.rate)
                 elif af.remaining <= 0:
                     time_to_finish = 0.0
+            if time_to_finish == float("inf") and not pending:
+                stuck = sorted({c.name for af in active for c in af.flow.path})
+                raise RuntimeError(
+                    "flows permanently stalled on dead connections: "
+                    + ", ".join(stuck)
+                )
             next_event = min(now + time_to_finish, next_release)
             dt = next_event - now
             for af in active:

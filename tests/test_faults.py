@@ -1,0 +1,270 @@
+"""Units for the fault layer: specs, logs, injector, repair, peaks."""
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.faults import (
+    DeviceCrash,
+    DeviceStall,
+    FaultInjector,
+    FaultLog,
+    FaultPlan,
+    FlagDelay,
+    FlagDrop,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+    UnrecoverableFaultError,
+    alternate_path,
+    filter_topology,
+    repair_plan,
+)
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.simulator.devices import DeviceMemory
+from repro.topology import dgx1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = rmat(150, 900, seed=4)
+    r = partition(g, 8, seed=0)
+    rel = CommRelation(g, r.assignment, 8)
+    plan = SPSTPlanner(dgx1(), seed=0).plan(rel)
+    return g, rel, plan
+
+
+def used_connection(plan) -> str:
+    route = next(r for r in plan.routes if r.edges)
+    return route.edges[0][0].connections[0].name
+
+
+class TestFaultPlan:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceStall(device=0, time=0.0, duration=0.0)
+        with pytest.raises(ValueError):
+            LinkDegrade(connection="x", time=0.0, factor=1.5)
+        with pytest.raises(ValueError):
+            FlagDrop(kind="nope", device=0, stage=0)
+        with pytest.raises(ValueError):
+            FlagDelay(kind="ready", device=0, stage=0, delay=-1.0)
+        with pytest.raises(TypeError):
+            FaultPlan([object()])
+
+    def test_empty_and_queries(self):
+        plan = FaultPlan()
+        assert plan.is_empty and len(plan) == 0
+        plan = FaultPlan([
+            DeviceCrash(device=3, time=1e-6),
+            LinkLoss(connection="c", time=2e-6),
+        ])
+        assert not plan.is_empty
+        assert plan.crashed_devices == [3]
+        assert len(plan.of_type(LinkLoss)) == 1
+
+    def test_random_is_seed_deterministic(self):
+        kwargs = dict(
+            horizon=1e-5,
+            devices=list(range(8)),
+            connections=["a", "b"],
+            stall_rate=2.0,
+            crash_rate=1.0,
+            degrade_rate=2.0,
+            drop_rate=2.0,
+        )
+        a = FaultPlan.random(seed=5, **kwargs)
+        b = FaultPlan.random(seed=5, **kwargs)
+        c = FaultPlan.random(seed=6, **kwargs)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                DeviceStall(device=1, time=1e-6, duration=2e-6),
+                LinkDegrade(connection="qpi:m0:0->1", time=0.5e-6, factor=0.3),
+                LinkFlap(connection="nv", time=1e-6, period=1e-7, count=3),
+                FlagDrop(kind="done", device=0, stage=1, peer=2, count=2),
+            ],
+            seed=11,
+        )
+        path = tmp_path / "faults.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.events == plan.events
+        assert loaded.seed == 11
+
+
+class TestFaultLog:
+    def test_append_and_views(self):
+        log = FaultLog()
+        assert log.is_empty
+        log.append(1e-6, "link", "inject", "c0", "dead")
+        log.append(2e-6, "link", "repair", "c0")
+        assert len(log) == 2 and not log.is_empty
+        assert [r.subject for r in log.by_action("repair")] == ["c0"]
+        assert log.counts() == {"inject": 1, "repair": 1}
+        assert log.policy_counts() == {"retry": 0, "repair": 1, "degrade": 0}
+        assert len(log.signature()) == 2
+        assert "2 records" in log.summary()
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError):
+            FaultLog().append(0.0, "link", "explode", "c0")
+
+
+class TestFaultInjector:
+    def test_unarmed_when_plan_empty(self):
+        assert not FaultInjector().is_armed
+        assert FaultInjector(FaultPlan()).capacity_fn_at(0.0) is None
+
+    def test_link_timeline(self):
+        plan = FaultPlan([
+            LinkDegrade(connection="a", time=1.0, factor=0.5, duration=2.0),
+            LinkLoss(connection="b", time=2.0),
+            LinkFlap(connection="c", time=5.0, period=1.0, count=1),
+        ])
+        inj = FaultInjector(plan)
+        assert inj.scales_at(0.5) == {}
+        assert inj.scales_at(1.5) == {"a": 0.5}
+        assert inj.degraded_connections(1.5) == {"a": 0.5}
+        assert inj.dead_connections(2.5) == ["b"]
+        assert inj.scales_at(3.5) == {"b": 0.0}  # "a" healed
+        assert inj.dead_connections(5.5) == ["b", "c"]
+        assert inj.dead_connections(6.5) == ["b"]  # "c" flapped back
+
+    def test_capacity_fn(self):
+        class Conn:
+            name = "a"
+            bytes_per_second = 100.0
+
+        inj = FaultInjector(FaultPlan([
+            LinkDegrade(connection="a", time=0.0, factor=0.25)
+        ]))
+        fn = inj.capacity_fn_at(1.0)
+        assert fn(Conn()) == pytest.approx(25.0)
+
+    def test_flag_drop_budget_and_refetch(self):
+        inj = FaultInjector(FaultPlan([
+            FlagDrop(kind="ready", device=2, stage=0, count=1)
+        ]))
+        assert inj.filter_flag("ready", 2, None, 0, 0.0) == "drop"
+        assert inj.filter_flag("ready", 2, None, 0, 0.0) == "deliver"
+        # the dropped increment is held for the first re-fetch
+        assert inj.refetch_flag("ready", 2, None, 0, 0.0) == "recovered"
+        assert inj.refetch_flag("ready", 2, None, 0, 0.0) == "absent"
+
+    def test_refetch_can_burn_budget(self):
+        inj = FaultInjector(FaultPlan([
+            FlagDrop(kind="done", device=0, stage=0, peer=1, count=2)
+        ]))
+        assert inj.filter_flag("done", 0, 1, 0, 0.0) == "drop"
+        assert inj.refetch_flag("done", 0, 1, 0, 0.0) == "dropped"
+        assert inj.refetch_flag("done", 0, 1, 0, 0.0) == "recovered"
+
+    def test_device_plane(self):
+        plan = FaultPlan([
+            DeviceCrash(device=3, time=4e-6),
+            DeviceStall(device=1, time=1e-6, duration=2e-6),
+        ])
+        inj = FaultInjector(plan)
+        assert inj.crash_time(3) == pytest.approx(4e-6)
+        assert inj.crash_time(0) is None
+        assert not inj.is_crashed(3)
+        inj.crash_event(3).trigger()
+        assert inj.is_crashed(3)
+        assert inj.stall_remaining(1, 2e-6) == pytest.approx(1e-6)
+        assert inj.stall_remaining(1, 5e-6) == 0.0
+
+    def test_reset_restores_budgets(self):
+        inj = FaultInjector(FaultPlan([
+            FlagDrop(kind="ready", device=0, stage=0, count=1)
+        ]))
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == "drop"
+        inj.reset()
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == "drop"
+
+
+class TestRepair:
+    def test_filter_topology_removes_dead_wires(self, workload):
+        _, _, plan = workload
+        name = used_connection(plan)
+        topo = plan.topology
+        filtered = filter_topology(topo, dead_connections=[name])
+        assert filtered.num_devices == topo.num_devices
+        remaining = {
+            c.name for link in filtered.links for c in link.connections
+        }
+        assert name not in remaining
+
+    def test_repair_reroutes_broken_routes(self, workload):
+        _, _, plan = workload
+        name = used_connection(plan)
+        result = repair_plan(plan, dead_connections=[name])
+        assert result.touched > 0
+        assert result.untouched_routes + result.touched == len(plan.routes)
+        repaired_conns = {
+            c.name
+            for route in result.plan.routes
+            for link, _ in route.edges
+            for c in link.connections
+        }
+        assert name not in repaired_conns
+
+    def test_repair_noop_without_faults(self, workload):
+        _, _, plan = workload
+        result = repair_plan(plan)
+        assert result.plan is plan and result.touched == 0
+
+    def test_dead_endpoint_is_unrecoverable(self, workload):
+        _, _, plan = workload
+        with pytest.raises(UnrecoverableFaultError):
+            repair_plan(plan, dead_devices=[plan.routes[0].source])
+
+    def test_alternate_path(self):
+        topo = dgx1()
+        direct = alternate_path(topo, 0, 1)
+        assert direct is not None and len(direct) >= 1
+        # kill every direct wire between 0 and 1: the path must detour
+        avoid = {
+            c.name
+            for link in topo.links
+            if {link.src, link.dst} == {0, 1}
+            for c in link.connections
+        }
+        detour = alternate_path(topo, 0, 1, avoid=sorted(avoid))
+        assert detour is not None
+        assert not any(c.name in avoid for c in detour)
+
+
+class TestDeviceMemoryPeaks:
+    def test_peak_survives_frees(self):
+        mem = DeviceMemory(0, 1000)
+        mem.allocate("a", 400)
+        mem.allocate("b", 300)
+        assert mem.peak_bytes == 700
+        mem.free("b")
+        assert mem.in_use == 400
+        assert mem.peak_bytes == 700  # high-water mark, not current use
+        mem.allocate("c", 100)
+        assert mem.peak_bytes == 700
+
+    def test_per_name_tracking(self):
+        mem = DeviceMemory(0, 1000)
+        mem.allocate("buf", 200)
+        mem.free("buf")
+        mem.allocate("buf", 150)
+        assert mem.peak_tracking["buf"] == 200  # freed names keep peaks
+        mem.free("buf")
+        mem.allocate("buf", 500)
+        assert mem.peak_tracking["buf"] == 500
+
+    def test_reset_clears_peaks(self):
+        mem = DeviceMemory(0, 1000)
+        mem.allocate("a", 800)
+        mem.reset()
+        assert mem.peak_bytes == 0
+        assert mem.peak_tracking == {}
+        assert mem.in_use == 0

@@ -1,0 +1,213 @@
+"""Edge cases of the hardened protocol: chaos in, correct rows out.
+
+Every test runs the full master/client protocol with an armed
+:class:`~repro.faults.injector.FaultInjector` and checks the paper's
+correctness bar — gathered rows bit-identical to the compiled
+allgather — plus the robustness contracts: timing invariance without
+faults, typed errors on confirmed device loss and exhausted retry
+budgets, and reproducible fault logs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm.allgather import CompiledAllgather
+from repro.core import CommRelation, SPSTPlanner
+from repro.faults import (
+    DeviceCrash,
+    DeviceLostError,
+    DeviceStall,
+    FaultInjector,
+    FaultPlan,
+    FlagDrop,
+    LinkFlap,
+    LinkLoss,
+    RetryOnlyPolicy,
+    UnrecoverableFaultError,
+)
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.runtime import ProtocolRunner
+from repro.topology import dgx1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    g = rmat(250, 1800, seed=4)
+    r = partition(g, 8, seed=0)
+    rel = CommRelation(g, r.assignment, 8)
+    plan = SPSTPlanner(dgx1(), seed=0).plan(rel)
+    return g, rel, plan
+
+
+@pytest.fixture(scope="module")
+def blocks(workload):
+    g, rel, _ = workload
+    rng = np.random.default_rng(12)
+    feats = rng.standard_normal((g.num_vertices, 5)).astype(np.float32)
+    return [feats[rel.local_vertices[d]] for d in range(8)]
+
+
+@pytest.fixture(scope="module")
+def expected(workload, blocks):
+    _, rel, plan = workload
+    return CompiledAllgather(rel, plan).forward(blocks)
+
+
+@pytest.fixture(scope="module")
+def baseline_time(workload, blocks):
+    _, rel, plan = workload
+    _, report = ProtocolRunner(rel, plan).run_data(blocks)
+    return report.total_time
+
+
+def run_with(workload, blocks, fault_plan, policy=None):
+    _, rel, plan = workload
+    runner = ProtocolRunner(
+        rel, plan, injector=FaultInjector(fault_plan), policy=policy
+    )
+    return runner, runner.run_data(blocks)
+
+
+def last_stage_pair(plan):
+    last = plan.num_stages - 1
+    t = next(t for t in plan.tuples() if t.stage == last)
+    return t.src, t.dst, last
+
+
+def used_connection(plan) -> str:
+    route = next(r for r in plan.routes if r.edges)
+    return route.edges[0][0].connections[0].name
+
+
+class TestTimingInvariance:
+    def test_unarmed_injector_is_byte_identical(
+        self, workload, blocks, expected, baseline_time
+    ):
+        """An attached-but-empty chaos layer costs exactly nothing."""
+        runner, (result, report) = run_with(workload, blocks, FaultPlan())
+        assert report.total_time == baseline_time
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert runner.injector.log.is_empty
+
+    def test_chaos_run_still_bit_identical(
+        self, workload, blocks, expected, baseline_time
+    ):
+        _, _, plan = workload
+        fault_plan = FaultPlan([
+            FlagDrop(kind="ready", device=2, stage=0, count=1),
+            LinkFlap(
+                connection=used_connection(plan),
+                time=baseline_time * 0.3,
+                period=baseline_time * 0.2,
+                count=1,
+            ),
+        ])
+        _, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time >= baseline_time
+
+
+class TestFlagEdgeCases:
+    def test_done_flag_dropped_at_last_stage(
+        self, workload, blocks, expected, baseline_time
+    ):
+        """The final hand-off message is lost; the re-fetch saves it."""
+        _, _, plan = workload
+        src, dst, last = last_stage_pair(plan)
+        fault_plan = FaultPlan([
+            FlagDrop(kind="done", device=src, peer=dst, stage=last, count=1)
+        ])
+        runner, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time > baseline_time
+        counts = runner.injector.log.counts()
+        assert counts.get("inject", 0) >= 1
+        assert counts.get("recover", 0) >= 1
+
+    def test_retry_budget_exhaustion_is_typed(self, workload, blocks):
+        """Fifty straight losses of one flag must exhaust the budget."""
+        _, _, plan = workload
+        src, dst, _ = last_stage_pair(plan)
+        fault_plan = FaultPlan([
+            FlagDrop(kind="done", device=src, peer=dst, stage=0, count=50)
+        ])
+        policy = RetryOnlyPolicy(max_retries=3)
+        with pytest.raises(UnrecoverableFaultError) as err:
+            run_with(workload, blocks, fault_plan, policy=policy)
+        assert err.value.attempts == policy.max_retries + 1
+
+
+class TestDeviceEdgeCases:
+    def test_two_simultaneous_crashes(self, workload, blocks, baseline_time):
+        t = baseline_time * 0.25
+        fault_plan = FaultPlan([
+            DeviceCrash(device=2, time=t),
+            DeviceCrash(device=5, time=t),
+        ])
+        with pytest.raises(DeviceLostError) as err:
+            run_with(workload, blocks, fault_plan)
+        assert err.value.devices == [2, 5]
+        assert err.value.fault_log is not None
+        assert not err.value.fault_log.is_empty
+
+    def test_transient_stall_recovers(
+        self, workload, blocks, expected, baseline_time
+    ):
+        fault_plan = FaultPlan([
+            DeviceStall(
+                device=1, time=baseline_time * 0.2, duration=baseline_time
+            )
+        ])
+        _, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time > baseline_time
+
+
+class TestLinkEdgeCases:
+    def test_link_flap_mid_stage(
+        self, workload, blocks, expected, baseline_time
+    ):
+        _, _, plan = workload
+        fault_plan = FaultPlan([
+            LinkFlap(
+                connection=used_connection(plan),
+                time=baseline_time * 0.25,
+                period=baseline_time * 0.5,
+                count=2,
+            )
+        ])
+        _, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time > baseline_time
+
+    def test_permanent_link_loss_triggers_reroute(
+        self, workload, blocks, expected, baseline_time
+    ):
+        _, _, plan = workload
+        fault_plan = FaultPlan([
+            LinkLoss(connection=used_connection(plan), time=baseline_time * 0.2)
+        ])
+        runner, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        policies = runner.injector.log.policy_counts()
+        assert policies["repair"] + policies["degrade"] >= 1
+
+
+class TestReproducibility:
+    def test_identical_runs_identical_logs(self, workload, blocks, baseline_time):
+        _, _, plan = workload
+        events = [
+            FlagDrop(kind="ready", device=3, stage=0, count=1),
+            LinkLoss(connection=used_connection(plan), time=baseline_time * 0.2),
+            DeviceStall(
+                device=6, time=baseline_time * 0.4, duration=baseline_time * 0.5
+            ),
+        ]
+        runs = []
+        for _ in range(2):
+            runner, (result, report) = run_with(
+                workload, blocks, FaultPlan(events, seed=3)
+            )
+            runs.append((report.total_time, runner.injector.log.signature()))
+        assert runs[0] == runs[1]
