@@ -8,12 +8,20 @@ Commands:
 * ``evaluate`` — simulate one epoch for one or all communication
   schemes on a workload (the Figure-7 cell view);
 * ``train`` — run real distributed epochs and confirm they match the
-  single-device reference.
+  single-device reference;
+* ``trace`` — run one traced evaluation (or training run) and write a
+  Chrome/Perfetto or JSONL trace of the simulated timeline.
+
+``--json`` (on ``plan`` / ``evaluate``) switches stdout to a machine-
+readable document; ``--emit-trace PATH`` attaches a tracer and writes
+the Chrome trace alongside the normal output; ``-v``/``-vv`` raises the
+library log level (same effect as ``REPRO_LOG``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import List, Optional
@@ -52,51 +60,113 @@ def cmd_plan(args: argparse.Namespace) -> int:
     from repro.partition import evaluate_partition
 
     workload = Workload(args.dataset, "gcn", _topology(args.gpus, args.topology))
-    print(f"graph:     {workload.graph}")
-    metrics = evaluate_partition(
-        workload.graph, workload.partition.assignment, workload.topology
-    )
-    print("partition:")
-    for line in metrics.summary().splitlines():
-        print(f"  {line}")
-    print(f"relation:  {workload.relation}")
     start = time.perf_counter()
     plan = workload.spst_plan
-    print(f"plan:      {plan}  (planned in {time.perf_counter() - start:.2f}s)")
-    print(f"           volume by kind: "
-          f"{ {str(k): v for k, v in plan.volume_by_kind().items()} }")
+    planning_seconds = time.perf_counter() - start
     bpu = workload.boundary_bytes()[0]
-    print(f"           estimated allgather cost: "
-          f"{plan.estimated_cost(bpu) * 1e6:.2f} us")
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "gpus": args.gpus,
+            "topology": args.topology,
+            "graph": {
+                "num_vertices": workload.graph.num_vertices,
+                "num_edges": workload.graph.num_edges,
+            },
+            "partition": {
+                "num_parts": workload.partition.num_parts,
+                "edge_cut": int(workload.partition.edge_cut),
+                "imbalance": float(workload.partition.imbalance),
+            },
+            "plan": {
+                "num_tuples": len(plan.tuples()),
+                "volume_by_kind": {
+                    str(k): float(v)
+                    for k, v in plan.volume_by_kind().items()
+                },
+                "estimated_allgather_seconds": float(plan.estimated_cost(bpu)),
+            },
+            "planning_wall_seconds": planning_seconds,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"graph:     {workload.graph}")
+        metrics = evaluate_partition(
+            workload.graph, workload.partition.assignment, workload.topology
+        )
+        print("partition:")
+        for line in metrics.summary().splitlines():
+            print(f"  {line}")
+        print(f"relation:  {workload.relation}")
+        print(f"plan:      {plan}  (planned in {planning_seconds:.2f}s)")
+        print(f"           volume by kind: "
+              f"{ {str(k): v for k, v in plan.volume_by_kind().items()} }")
+        print(f"           estimated allgather cost: "
+              f"{plan.estimated_cost(bpu) * 1e6:.2f} us")
     if args.output:
         from repro.core.serialize import save_plan
 
         save_plan(plan, args.output)
-        print(f"saved to {args.output}")
+        print(f"saved to {args.output}",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.baselines import SCHEMES, Workload, evaluate_dgcl_r, evaluate_scheme
 
+    tracer = metrics = None
+    if args.emit_trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
     topology = _topology(args.gpus, args.topology)
     workload = Workload(args.dataset, args.model, topology)
     schemes = [args.scheme] if args.scheme else list(SCHEMES)
-    print(f"{'scheme':14s} {'epoch(ms)':>10s} {'comm(ms)':>9s} "
-          f"{'compute(ms)':>12s}  status")
-    for scheme in schemes:
-        r = evaluate_scheme(workload, scheme)
-        if r.ok:
-            print(f"{scheme:14s} {r.ms():>10.3f} {r.ms('comm_time'):>9.3f} "
-                  f"{r.ms('compute_time'):>12.3f}  ok")
-        else:
-            print(f"{scheme:14s} {'-':>10s} {'-':>9s} {'-':>12s}  "
-                  f"{r.status}")
+    results = [
+        evaluate_scheme(workload, scheme, tracer=tracer, metrics=metrics)
+        for scheme in schemes
+    ]
     if topology.num_machines() > 1 and not args.scheme:
         r = evaluate_dgcl_r(workload)
         if r.ok:
-            print(f"{'dgcl-r':14s} {r.ms():>10.3f} {r.ms('comm_time'):>9.3f} "
-                  f"{r.ms('compute_time'):>12.3f}  ok")
+            results.append(r)
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "model": args.model,
+            "gpus": args.gpus,
+            "topology": args.topology,
+            "schemes": [
+                {
+                    "scheme": r.scheme,
+                    "status": r.status,
+                    "epoch_ms": r.ms() if r.ok else None,
+                    "comm_ms": r.ms("comm_time") if r.ok else None,
+                    "compute_ms": r.ms("compute_time") if r.ok else None,
+                    "detail": {k: float(v) for k, v in r.detail.items()},
+                }
+                for r in results
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"{'scheme':14s} {'epoch(ms)':>10s} {'comm(ms)':>9s} "
+              f"{'compute(ms)':>12s}  status")
+        for r in results:
+            if r.ok:
+                print(f"{r.scheme:14s} {r.ms():>10.3f} "
+                      f"{r.ms('comm_time'):>9.3f} "
+                      f"{r.ms('compute_time'):>12.3f}  ok")
+            else:
+                print(f"{r.scheme:14s} {'-':>10s} {'-':>9s} {'-':>12s}  "
+                      f"{r.status}")
+    if args.emit_trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.emit_trace, metrics=metrics)
+        print(f"wrote {len(tracer.events())} spans to {args.emit_trace}",
+              file=sys.stderr if args.json else sys.stdout)
     return 0
 
 
@@ -115,15 +185,25 @@ def cmd_train(args: argparse.Namespace) -> int:
     labels = synthetic_labels(workload.graph, spec.num_classes)
     if args.fault_spec:
         return _train_with_faults(args, workload, spec, features, labels)
+    tracer = metrics = None
+    if args.emit_trace:
+        from repro.obs import MetricsRegistry, Tracer
+
+        tracer, metrics = Tracer(), MetricsRegistry()
     dist = DistributedTrainer(
         workload.relation, workload.spst_plan, workload.model, features,
-        labels, lr=args.lr,
+        labels, lr=args.lr, tracer=tracer, metrics=metrics,
     )
     print(f"training {args.model} on {args.dataset} across "
           f"{args.gpus} simulated GPUs:")
     for epoch in range(args.epochs):
         result = dist.run_epoch()
         print(f"  epoch {epoch}: loss = {result.loss:.4f}")
+    if args.emit_trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.emit_trace, metrics=metrics)
+        print(f"wrote {len(tracer.events())} spans to {args.emit_trace}")
     reference = SingleDeviceTrainer(
         workload.graph,
         build_model(args.model, spec.feature_size, spec.hidden_size,
@@ -154,6 +234,11 @@ def _train_with_faults(args, workload, spec, features, labels) -> int:
               file=sys.stderr)
         return 2
     print(f"fault plan: {fault_plan}")
+    tracer = None
+    if args.emit_trace:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
     trainer = ResilientTrainer(
         workload.graph,
         workload.topology,
@@ -163,12 +248,18 @@ def _train_with_faults(args, workload, spec, features, labels) -> int:
         lr=args.lr,
         fault_plan=fault_plan,
         checkpoint_every=args.checkpoint_every,
+        tracer=tracer,
     )
     report = trainer.train(args.epochs)
     for epoch, loss in enumerate(report.losses):
         print(f"  epoch {epoch}: loss = {loss:.4f}")
     print(report.summary())
     print(report.log.summary())
+    if args.emit_trace:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(tracer, args.emit_trace)
+        print(f"wrote {len(tracer.events())} spans to {args.emit_trace}")
     reference = SingleDeviceTrainer(
         workload.graph,
         build_model(args.model, spec.feature_size, spec.hidden_size,
@@ -179,6 +270,53 @@ def _train_with_faults(args, workload, spec, features, labels) -> int:
     ok = np.allclose(ref, report.losses, rtol=1e-4)
     print(f"matches single-device reference: {ok}")
     return 0 if ok else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``trace``: one traced run, exported for Perfetto or as JSONL."""
+    from repro.baselines import Workload, evaluate_scheme
+    from repro.obs import (
+        MetricsRegistry,
+        Tracer,
+        stats_table,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    workload = Workload(args.dataset, args.model,
+                        _topology(args.gpus, args.topology))
+    fault_log = None
+    if args.train:
+        from repro.gnn.distributed import DistributedTrainer
+        from repro.graph.datasets import synthetic_features, synthetic_labels
+
+        spec = workload.spec
+        features = synthetic_features(workload.graph, spec.feature_size)
+        labels = synthetic_labels(workload.graph, spec.num_classes)
+        trainer = DistributedTrainer(
+            workload.relation, workload.spst_plan, workload.model,
+            features, labels, tracer=tracer, metrics=metrics,
+        )
+        for _ in range(args.epochs):
+            trainer.run_epoch()
+        print(f"traced {args.epochs} training epoch(s) of {args.model} on "
+              f"{args.dataset}: {tracer.duration() * 1e3:.3f} ms simulated")
+    else:
+        result = evaluate_scheme(workload, args.scheme, tracer=tracer,
+                                 metrics=metrics)
+        print(f"traced {args.scheme} evaluation on {args.dataset}: "
+              f"{result.status}"
+              + (f", epoch {result.ms():.3f} ms" if result.ok else ""))
+    if args.format == "jsonl":
+        write_jsonl(tracer, args.output, fault_log=fault_log,
+                    metrics=metrics)
+    else:
+        write_chrome_trace(tracer, args.output, metrics=metrics)
+    print(f"wrote {len(tracer.events())} spans "
+          f"({len(tracer.tracks())} tracks) to {args.output}")
+    print(stats_table(metrics))
+    return 0
 
 
 def _positive_int(value: str) -> int:
@@ -204,16 +342,24 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--gpus", type=int, default=8)
         p.add_argument("--topology", default="dgx",
                        choices=["dgx", "pcie"])
+        p.add_argument("-v", "--verbose", action="count", default=0,
+                       help="library log level (-v info, -vv debug)")
 
     p = sub.add_parser("plan", help="partition + SPST plan statistics")
     common(p)
     p.add_argument("--output", help="save the plan as .npz")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
 
     p = sub.add_parser("evaluate", help="simulate one epoch per scheme")
     common(p)
     p.add_argument("--model", default="gcn")
     p.add_argument("--scheme", default=None,
                    help="one scheme only (default: all)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
+    p.add_argument("--emit-trace", default=None, metavar="PATH",
+                   help="write a Chrome trace of the priced collectives")
 
     p = sub.add_parser("train", help="run real distributed epochs")
     common(p)
@@ -224,16 +370,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="JSON FaultPlan to inject (chaos training)")
     p.add_argument("--checkpoint-every", type=_positive_int, default=2,
                    help="epochs between recovery checkpoints")
+    p.add_argument("--emit-trace", default=None, metavar="PATH",
+                   help="write a Chrome trace of the training run")
+
+    p = sub.add_parser("trace",
+                       help="run one traced evaluation and export it")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--scheme", default="dgcl",
+                   help="scheme to trace (default: dgcl)")
+    p.add_argument("--train", action="store_true",
+                   help="trace real training epochs instead of the "
+                        "scheme evaluation")
+    p.add_argument("--epochs", type=_positive_int, default=1,
+                   help="epochs to trace with --train")
+    p.add_argument("--format", default="chrome",
+                   choices=["chrome", "jsonl"])
+    p.add_argument("--output", default="trace.json", metavar="PATH")
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "verbose", 0):
+        from repro.obs import console
+
+        console.set_verbosity(min(args.verbose, console.DEBUG))
     handlers = {
         "info": cmd_info,
         "plan": cmd_plan,
         "evaluate": cmd_evaluate,
         "train": cmd_train,
+        "trace": cmd_trace,
     }
     return handlers[args.command](args)
 

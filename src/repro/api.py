@@ -32,6 +32,8 @@ from repro.faults.log import FaultLog
 from repro.faults.repair import repair_plan
 from repro.faults.spec import FaultPlan
 from repro.graph.csr import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
 from repro.simulator.executor import PlanExecutor
 from repro.topology.topology import Topology
@@ -47,6 +49,7 @@ __all__ = [
     "communication_plan",
     "inject_faults",
     "fault_log",
+    "arm_telemetry",
     "shutdown",
 ]
 
@@ -64,6 +67,9 @@ class DGCLSession:
         self.executor = PlanExecutor(topology)
         #: Simulated seconds spent in communication since init.
         self.simulated_comm_seconds = 0.0
+        #: Telemetry sinks: None until :meth:`arm_telemetry` is called.
+        self.tracer: Optional[Tracer] = None
+        self.metrics: Optional[MetricsRegistry] = None
         #: Chaos layer: None until :meth:`inject_faults` attaches one.
         self.injector: Optional[FaultInjector] = None
         self._repaired_conns: set = set()
@@ -71,6 +77,27 @@ class DGCLSession:
             self.inject_faults(fault_plan)
 
     # ------------------------------------------------------------------
+    def arm_telemetry(
+        self,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> "DGCLSession":
+        """Attach span/metric sinks to every subsequent collective.
+
+        Creates fresh sinks unless given existing ones, and rebuilds the
+        session executor so per-flow spans land on the tracer's clock
+        (kept in lockstep with :attr:`simulated_comm_seconds`).  The
+        priced timings themselves are unchanged — telemetry is strictly
+        post-hoc.  Returns the session for chaining.
+        """
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        if self.tracer.now < self.simulated_comm_seconds:
+            self.tracer.advance(self.simulated_comm_seconds - self.tracer.now)
+        self.executor = PlanExecutor(
+            self.topology, tracer=self.tracer, metrics=self.metrics
+        )
+        return self
     def inject_faults(self, fault_plan) -> FaultInjector:
         """Attach a :class:`~repro.faults.spec.FaultPlan` to the session.
 
@@ -99,7 +126,8 @@ class DGCLSession:
         capacity_fn = self.injector.capacity_fn_at(self.simulated_comm_seconds)
         if capacity_fn is None:
             return self.executor
-        return PlanExecutor(self.topology, capacity_of=capacity_fn)
+        return PlanExecutor(self.topology, capacity_of=capacity_fn,
+                            tracer=self.tracer, metrics=self.metrics)
 
     def _maybe_repair(self) -> None:
         """Re-route the plan around wires that died on the session clock."""
@@ -179,9 +207,8 @@ class DGCLSession:
         runtime = self._require_plan()
         result = runtime.forward(local_embeddings)
         dim = local_embeddings[0].shape[1] if local_embeddings[0].ndim == 2 else 1
-        self.simulated_comm_seconds += executor.execute(
-            self.plan, dim * 4
-        ).total_time
+        report = executor.execute(self.plan, dim * 4)
+        self._advance(report, "graph_allgather")
         return result
 
     def scatter_gradients(self, full_grads: List[np.ndarray]) -> List[np.ndarray]:
@@ -190,10 +217,19 @@ class DGCLSession:
         runtime = self._require_plan()
         result = runtime.backward(full_grads)
         dim = full_grads[0].shape[1]
-        self.simulated_comm_seconds += executor.execute(
-            self.plan, dim * 4, backward=True
-        ).total_time
+        report = executor.execute(self.plan, dim * 4, backward=True)
+        self._advance(report, "scatter_gradients")
         return result
+
+    def _advance(self, report, name: str) -> None:
+        """Advance the session clock (and, if armed, the trace clock)."""
+        self.simulated_comm_seconds += report.total_time
+        if self.tracer is not None:
+            t0 = self.tracer.now
+            self.tracer.add_span(name, "phase", TRAINER_TRACK, t0,
+                                 t0 + report.total_time,
+                                 bytes=report.bytes_moved())
+            self.tracer.advance(report.total_time)
 
     def local_graphs(self) -> List[LocalGraph]:
         """Re-indexed per-device training graphs (paper §4.1)."""
@@ -264,6 +300,14 @@ def inject_faults(fault_plan) -> FaultInjector:
 def fault_log() -> FaultLog:
     """The session's fault log (empty without injected faults)."""
     return _session().fault_log
+
+
+def arm_telemetry(
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> DGCLSession:
+    """Arm span/metric recording on the global session."""
+    return _session().arm_telemetry(tracer=tracer, metrics=metrics)
 
 
 def shutdown() -> None:

@@ -39,6 +39,8 @@ from repro.core.spst import SPSTPlanner
 from repro.graph.csr import Graph
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
 from repro.gnn.models import GNNModel, build_model
+from repro.obs.metrics import MetricsRegistry, global_metrics
+from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
 from repro.partition.replication import replication_closure
 from repro.simulator.compute import (
@@ -137,9 +139,17 @@ class Workload:
             self.seed,
         )
 
+    @staticmethod
+    def _count_cache(name: str, hit: bool) -> None:
+        """Account a plan-cache lookup on the process-wide registry."""
+        global_metrics().counter(
+            "cache.lookups", cache=name, outcome="hit" if hit else "miss"
+        ).inc()
+
     @cached_property
     def partition(self):
         key = self._cache_key()
+        self._count_cache("partition", key in _PARTITION_CACHE)
         if key not in _PARTITION_CACHE:
             assignment = cached_assignment(
                 ("partition",) + key,
@@ -163,6 +173,7 @@ class Workload:
     @cached_property
     def relation(self) -> CommRelation:
         key = self._cache_key()
+        self._count_cache("relation", key in _RELATION_CACHE)
         if key not in _RELATION_CACHE:
             _RELATION_CACHE[key] = CommRelation(
                 self.graph, self.partition.assignment, self.topology.num_devices
@@ -172,6 +183,7 @@ class Workload:
     @cached_property
     def spst_plan(self) -> CommPlan:
         key = self._cache_key() + (self.chunks_per_class,)
+        self._count_cache("spst_plan", key in _SPST_CACHE)
         if key not in _SPST_CACHE:
             planner = SPSTPlanner(
                 self.topology,
@@ -185,6 +197,7 @@ class Workload:
     @cached_property
     def p2p_plan(self) -> CommPlan:
         key = self._cache_key()
+        self._count_cache("p2p_plan", key in _P2P_CACHE)
         if key not in _P2P_CACHE:
             _P2P_CACHE[key] = peer_to_peer_plan(self.relation, self.topology)
         return _P2P_CACHE[key]
@@ -267,15 +280,24 @@ def _planned_comm_time(
     the feature boundary needs no per-epoch allgather.
     """
     executor = executor or PlanExecutor(workload.topology)
+    tracer = executor.tracer
     boundaries = workload.boundary_bytes()
-    forward_boundaries = boundaries[1:] if cache_features else boundaries
-    forward = sum(
-        executor.execute(plan, bpu).total_time for bpu in forward_boundaries
-    )
+    first = 1 if cache_features else 0
+    forward = 0.0
+    for li, bpu in enumerate(boundaries[first:], start=first):
+        t0 = tracer.now if tracer is not None else 0.0
+        report = executor.execute(plan, bpu)
+        forward += report.total_time
+        if tracer is not None:
+            tracer.add_span(f"allgather L{li}", "phase", TRAINER_TRACK,
+                            t0, t0 + report.total_time,
+                            bytes=report.bytes_moved())
+            tracer.advance(report.total_time)
     backward = 0.0
     backward_tuples = plan.backward_tuples()
     model = workload.compute_model
-    for bpu in boundaries[1:]:  # feature gradients are never shipped
+    for li, bpu in enumerate(boundaries[1:], start=1):
+        # feature gradients are never shipped
         received = {}
         for t in backward_tuples:
             received[t.dst] = received.get(t.dst, 0.0) + t.units * bpu
@@ -284,9 +306,17 @@ def _planned_comm_time(
              for b in received.values()),
             default=0.0,
         )
-        transfer = executor.execute_backward(
+        t0 = tracer.now if tracer is not None else 0.0
+        report = executor.execute_backward(
             backward_tuples, bpu, atomic=not nonatomic
-        ).total_time
+        )
+        transfer = report.total_time
+        if tracer is not None:
+            tracer.add_span(f"scatter L{li}", "phase", TRAINER_TRACK,
+                            t0, t0 + transfer + reduce_time,
+                            bytes=report.bytes_moved(),
+                            reduce_seconds=reduce_time)
+            tracer.advance(transfer + reduce_time)
         backward += transfer + reduce_time
     return {"forward": forward, "backward": backward,
             "total": forward + backward}
@@ -295,6 +325,8 @@ def _planned_comm_time(
 def _evaluate_partitioned(
     workload: Workload, scheme: str, plan: CommPlan, nonatomic: bool,
     cache_features: bool = False,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> SchemeResult:
     try:
         workload.check_partition_memory(cache_features=cache_features)
@@ -306,8 +338,13 @@ def _evaluate_partitioned(
             scheme, status="ok", epoch_time=compute, comm_time=0.0,
             compute_time=compute,
         )
+    executor = None
+    if tracer is not None or metrics is not None:
+        executor = PlanExecutor(workload.topology, tracer=tracer,
+                                metrics=metrics)
     comm = _planned_comm_time(workload, plan, nonatomic=nonatomic,
-                              cache_features=cache_features)
+                              cache_features=cache_features,
+                              executor=executor)
     sync = workload.model_sync_time
     comm = dict(comm, sync=sync)
     return workload.result(
@@ -320,7 +357,11 @@ def _evaluate_partitioned(
     )
 
 
-def _evaluate_swap(workload: Workload) -> SchemeResult:
+def _evaluate_swap(
+    workload: Workload,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SchemeResult:
     if workload.topology.num_machines() > 1:
         # NeuGraph's swap is a single-machine design (§7: "as Swap is
         # designed for a single machine ... we do not use it for 16 GPUs").
@@ -329,19 +370,31 @@ def _evaluate_swap(workload: Workload) -> SchemeResult:
     if workload.num_devices == 1:
         return workload.result("swap", status="ok", epoch_time=compute,
                                comm_time=0.0, compute_time=compute)
-    executor = SwapExecutor(workload.topology)
+    executor = SwapExecutor(workload.topology, tracer=tracer,
+                            metrics=metrics)
     boundaries = workload.boundary_bytes()
+
+    def _swap_round(name: str, bpu: float, dump) -> float:
+        t0 = tracer.now if tracer is not None else 0.0
+        report = executor.execute(
+            workload.relation, bpu, dump_bytes_per_unit=dump
+        )
+        if tracer is not None:
+            tracer.add_span(name, "phase", TRAINER_TRACK, t0,
+                            t0 + report.total_time,
+                            bytes=report.bytes_moved())
+            tracer.advance(report.total_time)
+        return report.total_time
+
     # Boundary 0 reads input features already resident in host memory
     # (no dump); later boundaries dump the previous layer's outputs.
     forward = sum(
-        executor.execute(
-            workload.relation, bpu, dump_bytes_per_unit=None if i == 0 else bpu
-        ).total_time
+        _swap_round(f"swap L{i}", bpu, None if i == 0 else bpu)
         for i, bpu in enumerate(boundaries)
     )
     backward = sum(
-        executor.execute(workload.relation, bpu, dump_bytes_per_unit=bpu).total_time
-        for bpu in boundaries[1:]
+        _swap_round(f"swap grad L{i}", bpu, bpu)
+        for i, bpu in enumerate(boundaries[1:], start=1)
     )
     comm = forward + backward
     sync = workload.model_sync_time
@@ -397,25 +450,36 @@ def _evaluate_replication(workload: Workload) -> SchemeResult:
     )
 
 
-def evaluate_scheme(workload: Workload, scheme: str) -> SchemeResult:
-    """Run one scheme on one workload; never raises on OOM."""
+def evaluate_scheme(
+    workload: Workload,
+    scheme: str,
+    tracer: Optional[Tracer] = None,
+    metrics: Optional[MetricsRegistry] = None,
+) -> SchemeResult:
+    """Run one scheme on one workload; never raises on OOM.
+
+    With a ``tracer``/``metrics`` sink the priced collectives also emit
+    per-flow spans and counters; the returned numbers are unchanged.
+    """
     if scheme == "dgcl":
         return _evaluate_partitioned(
-            workload, "dgcl", workload.spst_plan, nonatomic=True
+            workload, "dgcl", workload.spst_plan, nonatomic=True,
+            tracer=tracer, metrics=metrics,
         )
     if scheme == "dgcl-cache":
         # §3 option (1): cache remote layer-0 embeddings once, trade
         # GPU memory for the feature boundary's per-epoch allgather.
         return _evaluate_partitioned(
             workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
-            cache_features=True,
+            cache_features=True, tracer=tracer, metrics=metrics,
         )
     if scheme == "peer-to-peer":
         return _evaluate_partitioned(
-            workload, "peer-to-peer", workload.p2p_plan, nonatomic=False
+            workload, "peer-to-peer", workload.p2p_plan, nonatomic=False,
+            tracer=tracer, metrics=metrics,
         )
     if scheme == "swap":
-        return _evaluate_swap(workload)
+        return _evaluate_swap(workload, tracer=tracer, metrics=metrics)
     if scheme == "replication":
         return _evaluate_replication(workload)
     raise KeyError(f"unknown scheme {scheme!r}; available: {SCHEMES}")

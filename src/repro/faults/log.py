@@ -44,6 +44,16 @@ class FaultRecord:
         detail = f" ({self.detail})" if self.detail else ""
         return f"[{self.time * 1e6:10.3f} us] {self.category:7s} {self.action:10s} {self.subject}{detail}"
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready view (used by the trace exporters)."""
+        return {
+            "time": self.time,
+            "category": self.category,
+            "action": self.action,
+            "subject": self.subject,
+            "detail": self.detail,
+        }
+
 
 class FaultLog:
     """Append-only record of a run's fault handling."""
@@ -88,6 +98,10 @@ class FaultLog:
         """Recovery interventions per policy: retry / repair / degrade."""
         counts = self.counts()
         return {k: counts.get(k, 0) for k in ("retry", "repair", "degrade")}
+
+    def as_events(self) -> List[Dict[str, object]]:
+        """All records as JSON-ready dicts, in log order."""
+        return [r.as_dict() for r in self.records]
 
     def signature(self) -> Tuple[Tuple[float, str, str, str], ...]:
         """Hashable content view (used to assert log reproducibility)."""

@@ -30,8 +30,12 @@ from repro.gnn.functional import softmax_cross_entropy
 from repro.gnn.layers import GraphContext
 from repro.gnn.models import GNNModel, SGD
 from repro.gnn.training import EpochResult
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import TRAINER_TRACK, Tracer, device_track
 
 __all__ = ["DistributedTrainer"]
+
+BYTES_PER_FLOAT = 4
 
 
 class DistributedTrainer:
@@ -46,10 +50,13 @@ class DistributedTrainer:
         labels: np.ndarray,
         lr: float = 0.01,
         optimizer=None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if features.shape[0] != relation.graph.num_vertices:
             raise ValueError("features must cover every vertex")
         self.relation = relation
+        self.plan = plan
         self.model = model
         self.labels = labels
         self.optimizer = optimizer or SGD(model, lr=lr)
@@ -60,10 +67,14 @@ class DistributedTrainer:
         self._contexts: List[GraphContext] = []
         self._local_features: List[np.ndarray] = []
         self._local_labels: List[np.ndarray] = []
+        self._slices: List[tuple] = []  # (num_dst, num_rows, num_edges)
         for d in range(self.num_devices):
             lg = relation.local_graph(d)
             self._contexts.append(
                 GraphContext.from_graph(lg.graph, num_dst=lg.num_local)
+            )
+            self._slices.append(
+                (lg.num_local, lg.graph.num_vertices, lg.graph.num_edges)
             )
             local_ids = relation.local_vertices[d]
             self._local_features.append(
@@ -72,15 +83,84 @@ class DistributedTrainer:
             self._local_labels.append(labels[local_ids])
         self._total_vertices = relation.graph.num_vertices
 
+        #: Optional telemetry.  The functional trainer has no clock of
+        #: its own, so phases are priced the same way the evaluation
+        #: does — collectives on the flow simulator, kernels on the
+        #: compute model — and laid out on the tracer's phase clock.
+        #: Numerics never depend on the tracer.
+        self.tracer = tracer
+        self.metrics = metrics
+        self._price_executor = None
+        self._compute_model = None
+        self._sync_seconds = 0.0
+        if tracer is not None or metrics is not None:
+            from repro.comm.collectives import ring_allreduce_time
+            from repro.simulator.compute import ComputeModel
+            from repro.simulator.executor import PlanExecutor
+
+            self._price_executor = PlanExecutor(
+                plan.topology, tracer=tracer, metrics=metrics
+            )
+            self._compute_model = ComputeModel()
+            if self.num_devices >= 2:
+                self._sync_seconds = ring_allreduce_time(
+                    plan.topology, model.state_bytes()
+                )
+
+    # ------------------------------------------------------------------
+    # Telemetry pricing (no-ops unless a tracer/metrics sink is set)
+    def _trace_comm(self, name: str, dim: int, backward: bool) -> None:
+        """Price one collective and lay its spans on the phase clock."""
+        tracer = self.tracer
+        t0 = tracer.now if tracer is not None else 0.0
+        report = self._price_executor.execute(
+            self.plan, dim * BYTES_PER_FLOAT, backward=backward
+        )
+        if tracer is not None:
+            tracer.add_span(name, "phase", TRAINER_TRACK, t0,
+                            t0 + report.total_time,
+                            bytes=report.bytes_moved())
+            tracer.advance(report.total_time)
+
+    def _trace_compute(self, name: str, layer, backward: bool) -> None:
+        """Price one layer's kernels; one span per device, max advances."""
+        durations = []
+        for num_dst, num_rows, num_edges in self._slices:
+            cost = layer.compute_cost(num_dst, num_rows, num_edges)
+            if backward:
+                cost = cost.scaled(2.0)
+            durations.append(self._compute_model.seconds(cost))
+        worst = max(durations, default=0.0)
+        tracer = self.tracer
+        if tracer is not None:
+            t0 = tracer.now
+            for d, dur in enumerate(durations):
+                tracer.add_span(name, "compute", device_track(d), t0, t0 + dur)
+            tracer.add_span(name, "phase", TRAINER_TRACK, t0, t0 + worst)
+            tracer.advance(worst)
+        if self.metrics is not None and durations:
+            self.metrics.histogram("compute.straggler_gap").observe(
+                worst - min(durations)
+            )
+
     # ------------------------------------------------------------------
     def run_epoch(self, update: bool = True) -> EpochResult:
         """One distributed forward/backward pass (all devices)."""
         num_layers = self.model.num_layers
+        traced = self._price_executor is not None
+        tracer = self.tracer
+        epoch = len(self.loss_history)
+        epoch_start = tracer.now if tracer is not None else 0.0
         h_local = [f.copy() for f in self._local_features]
         caches: List[List] = [[] for _ in range(self.num_devices)]
         full_inputs: List[List[np.ndarray]] = [[] for _ in range(self.num_devices)]
 
         for li, layer in enumerate(self.model.layers):
+            if traced:
+                self._trace_comm(
+                    f"allgather L{li}", self.model.layer_dims[li],
+                    backward=False,
+                )
             # graphAllgather: fetch remote rows for this layer boundary.
             h_full = self.allgather.forward(h_local)
             for d in range(self.num_devices):
@@ -88,6 +168,8 @@ class DistributedTrainer:
                 caches[d].append(cache)
                 full_inputs[d].append(h_full[d])
                 h_local[d] = out
+            if traced:
+                self._trace_compute(f"L{li} forward", layer, backward=False)
 
         # Loss: global mean cross-entropy over all vertices.  The local
         # helper normalises by the local count, so rescale each device's
@@ -122,16 +204,36 @@ class DistributedTrainer:
                 else:
                     for k, v in g_params.items():
                         weight_grads[li][k] += v
+            if traced:
+                self._trace_compute(f"L{li} backward", layer, backward=True)
             if li == 0:
                 break  # input features need no gradient: skip the scatter
+            if traced:
+                self._trace_comm(
+                    f"scatter L{li}", self.model.layer_dims[li], backward=True
+                )
             # Gradient scatter: remote rows travel back to their owners.
             grad = self.allgather.backward(full_grads)
 
         if update:
             self.optimizer.step(weight_grads)
+            if traced and tracer is not None:
+                t0 = tracer.now
+                tracer.add_span(
+                    "optimizer.allreduce", "phase", TRAINER_TRACK, t0,
+                    t0 + self._sync_seconds, bytes=self.model.state_bytes(),
+                )
+                tracer.advance(self._sync_seconds)
 
         logits = self.gather_logits(h_local)
         self.loss_history.append(loss)
+        if tracer is not None:
+            tracer.add_span(f"epoch {epoch}", "epoch", TRAINER_TRACK,
+                            epoch_start, tracer.now, loss=float(loss))
+            if self.metrics is not None:
+                self.metrics.histogram("epoch.seconds").observe(
+                    tracer.now - epoch_start
+                )
         return EpochResult(loss=loss, logits=logits, feature_grad=None)
 
     def gather_logits(self, h_local: List[np.ndarray]) -> np.ndarray:

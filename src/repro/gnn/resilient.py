@@ -45,6 +45,8 @@ from repro.gnn.checkpoint import Checkpoint, restore, snapshot
 from repro.gnn.distributed import DistributedTrainer
 from repro.gnn.models import GNNModel, SGD
 from repro.gnn.training import EpochResult
+from repro.obs import console
+from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
 from repro.runtime.bootstrap import simulate_bootstrap
 from repro.runtime.protocol import DEFAULT_CONTROL_LATENCY
@@ -131,6 +133,7 @@ class ResilientTrainer:
         seed: int = 0,
         alpha: float = DEFAULT_ALPHA,
         bytes_per_float: int = 4,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
@@ -147,6 +150,8 @@ class ResilientTrainer:
         self.seed = seed
         self.alpha = alpha
         self.bytes_per_float = bytes_per_float
+        #: Optional telemetry: recovery-lifecycle spans on self.clock.
+        self.tracer = tracer
 
         #: Simulated clock (seconds) across bootstrap, epochs, recovery.
         self.clock = 0.0
@@ -169,6 +174,11 @@ class ResilientTrainer:
         self._fault_free_epoch_seconds = self._comm_seconds(capacity_fn=None)
         self._initial_bootstrap_seconds = self._bootstrap_seconds()
         self.clock += self._initial_bootstrap_seconds
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "bootstrap", "phase", TRAINER_TRACK, 0.0, self.clock,
+                devices=len(self.devices),
+            )
         self._checkpoint: Checkpoint = snapshot(
             self.model, self.optimizer, epoch=0, loss_history=[]
         )
@@ -402,6 +412,7 @@ class ResilientTrainer:
 
         # Roll back to the last checkpoint: the victims' partition state
         # (their activations and any un-checkpointed progress) is gone.
+        rollback_start = self.clock
         restore(self._checkpoint, self.model, self.optimizer)
         rolled_back = self.epoch - self._checkpoint.epoch
         self.epoch = self._checkpoint.epoch
@@ -415,9 +426,19 @@ class ResilientTrainer:
             f"epoch {self.epoch}",
             f"restored checkpoint, re-running {rolled_back} epoch(s)",
         )
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "rollback", "fault", TRAINER_TRACK, rollback_start,
+                self.clock, epoch=self.epoch, rolled_back=rolled_back,
+            )
+        console.info(
+            "rolled back to epoch %d after losing device(s) %s",
+            self.epoch, sorted(crashed),
+        )
 
         # Repartition ownership over the survivors and pay the §6.3
         # re-dispatch of sub-graphs, features and tables.
+        repartition_start = self.clock
         self._build()
         self.clock += self._bootstrap_seconds()
         self.log.append(
@@ -427,6 +448,12 @@ class ResilientTrainer:
             f"{len(self.devices)} survivors",
             f"repartitioned after losing device(s) {sorted(crashed)}",
         )
+        if self.tracer is not None:
+            self.tracer.add_span(
+                "repartition", "fault", TRAINER_TRACK, repartition_start,
+                self.clock, survivors=len(self.devices),
+            )
+        console.info("repartitioned over %d survivors", len(self.devices))
 
     # ------------------------------------------------------------------
     def run_epoch(self, update: bool = True) -> EpochResult:
@@ -475,6 +502,15 @@ class ResilientTrainer:
             self.epoch += 1
             self.clock += comm + overhead
             epoch_seconds.append(self.clock - epoch_start)
+            if self.tracer is not None:
+                self.tracer.add_span(
+                    f"epoch {self.epoch - 1}", "epoch", TRAINER_TRACK,
+                    epoch_start, self.clock, loss=float(result.loss),
+                )
+            console.debug(
+                "epoch %d: %.3f ms simulated", self.epoch - 1,
+                (self.clock - epoch_start) * 1e3,
+            )
 
             if self.epoch % self.checkpoint_every == 0 and self.epoch < epochs:
                 self._checkpoint = snapshot(
@@ -482,7 +518,14 @@ class ResilientTrainer:
                     loss_history=self.losses,
                 )
                 self.checkpoints_taken += 1
+                ckpt_start = self.clock
                 self.clock += self._checkpoint_seconds(self._checkpoint.nbytes())
+                if self.tracer is not None:
+                    self.tracer.add_span(
+                        "checkpoint", "phase", TRAINER_TRACK, ckpt_start,
+                        self.clock, epoch=self.epoch,
+                        bytes=self._checkpoint.nbytes(),
+                    )
                 if self.injector.is_armed:
                     self.log.append(
                         self.clock,

@@ -1,0 +1,61 @@
+"""Telemetry for the DGCL reproduction: tracing, metrics, exporters.
+
+``repro.obs`` is the measurement layer the evaluation chapters lean on:
+every span and every metric is driven by the *simulated* clock, so
+telemetry is deterministic (same seed, byte-identical trace) and free
+when unarmed (no tracer attached means the hot paths run the exact
+code they always did).
+
+* :class:`~repro.obs.tracer.Tracer` — span collection per device,
+  per physical connection, per trainer phase;
+* :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
+  histograms with a deterministic :meth:`snapshot`;
+* :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON,
+  JSONL event logs interleaving the fault log, human stats tables;
+* :mod:`repro.obs.console` — the leveled stderr logger library modules
+  use instead of ``print()`` (``REPRO_LOG`` / ``--verbose``).
+"""
+
+from repro.obs import console
+from repro.obs.export import (
+    chrome_trace_json,
+    stats_table,
+    to_chrome_trace,
+    to_jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    global_metrics,
+)
+from repro.obs.tracer import (
+    Span,
+    Tracer,
+    TRAINER_TRACK,
+    connection_track,
+    device_track,
+)
+
+__all__ = [
+    "console",
+    "Span",
+    "Tracer",
+    "TRAINER_TRACK",
+    "device_track",
+    "connection_track",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "global_metrics",
+    "to_chrome_trace",
+    "chrome_trace_json",
+    "write_chrome_trace",
+    "to_jsonl_events",
+    "write_jsonl",
+    "stats_table",
+]

@@ -1,0 +1,84 @@
+"""Verbosity-controlled diagnostics for library modules.
+
+Library code must not ``print()``: benchmark scripts scrape stdout, and
+a partitioner that chats during a 500-process sweep is noise.  This
+module is the one sanctioned outlet — a tiny leveled logger writing to
+stderr, silent by default, switched on by the ``REPRO_LOG`` environment
+variable (``quiet`` | ``info`` | ``debug``, or ``0``/``1``/``2``) or
+the CLI's ``--verbose`` flag::
+
+    from repro.obs import console
+    console.info("repaired %d routes", touched)
+    console.debug("stage %d finished at %.2f us", k, t * 1e6)
+
+No handlers, no formatters, no global logging-module state — just
+enough structure that turning diagnostics off costs one integer
+compare.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from typing import Optional
+
+__all__ = ["QUIET", "INFO", "DEBUG", "set_verbosity", "verbosity",
+           "info", "debug", "log"]
+
+QUIET = 0
+INFO = 1
+DEBUG = 2
+
+_NAMES = {"quiet": QUIET, "info": INFO, "debug": DEBUG}
+
+
+def _from_env() -> int:
+    raw = os.environ.get("REPRO_LOG", "").strip().lower()
+    if not raw:
+        return QUIET
+    if raw in _NAMES:
+        return _NAMES[raw]
+    try:
+        return max(QUIET, min(DEBUG, int(raw)))
+    except ValueError:
+        return QUIET
+
+
+_VERBOSITY: Optional[int] = None
+
+
+def verbosity() -> int:
+    """The effective level (explicit setting wins over ``REPRO_LOG``)."""
+    if _VERBOSITY is not None:
+        return _VERBOSITY
+    return _from_env()
+
+
+def set_verbosity(level) -> None:
+    """Set the level explicitly; ``None`` defers back to ``REPRO_LOG``."""
+    global _VERBOSITY
+    if level is None:
+        _VERBOSITY = None
+        return
+    if isinstance(level, str):
+        if level.lower() not in _NAMES:
+            raise ValueError(f"unknown verbosity {level!r}")
+        level = _NAMES[level.lower()]
+    _VERBOSITY = max(QUIET, min(DEBUG, int(level)))
+
+
+def log(level: int, message: str, *args: object) -> None:
+    """Emit ``message % args`` to stderr when ``level`` is enabled."""
+    if verbosity() >= level:
+        text = message % args if args else message
+        print(f"[repro] {text}", file=sys.stderr)
+
+
+def info(message: str, *args: object) -> None:
+    """Progress a user running with ``--verbose`` wants to see."""
+    log(INFO, message, *args)
+
+
+def debug(message: str, *args: object) -> None:
+    """Chatty internals (per-stage, per-retry detail)."""
+    log(DEBUG, message, *args)

@@ -59,6 +59,8 @@ from repro.faults.policy import (
     UnrecoverableFaultError,
 )
 from repro.faults.repair import alternate_path
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, connection_track, device_track
 from repro.runtime.events import (
     AllOf,
     AnyOf,
@@ -104,6 +106,8 @@ class ProtocolRunner:
         device_delays: Optional[Dict[int, float]] = None,
         injector=None,
         policy: Optional[RecoveryPolicy] = None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if coordination not in ("decentralized", "centralized"):
             raise ValueError("coordination must be decentralized or centralized")
@@ -120,6 +124,11 @@ class ProtocolRunner:
         #: code path executes, event for event.
         self.injector = injector
         self.policy = policy if policy is not None else DefaultPolicy()
+        #: Telemetry sinks.  Recording is purely observational — spans
+        #: never yield into the simulator, so armed tracing leaves the
+        #: event schedule (and therefore all timings) untouched.
+        self.tracer = tracer
+        self.metrics = metrics
         # Hardened-path tunables (simulated seconds).
         self.flag_timeout = control_latency * 20
         self.flag_timeout_cap = self.flag_timeout * 64
@@ -169,6 +178,8 @@ class ProtocolRunner:
         flags = FlagBoard(sim, flag_latency=self.flag_latency)
         buffers = self._maps.make_buffers(list(local_embeddings))
         report = ProtocolReport(total_time=0.0)
+        tracer, metrics = self.tracer, self.metrics
+        base = tracer.now if tracer is not None else 0.0
 
         registered = [Event() for _ in range(self.num_devices)]
         start_signal = Event()
@@ -194,13 +205,36 @@ class ProtocolRunner:
 
         def sender(device: int, idx: int, done_event: Event):
             t = self._tuples[idx]
+            wait_start = sim.now
             # Spin on the peer's ready flag (remote poll latency).
             yield Timeout(self.flag_latency)
             yield WaitFlag(flags.ready_flag(t.dst, t.stage), 1)
-            handle = network.transfer(
-                t.link.connections, t.units * self._bytes_per_unit, tag=idx
-            )
+            size = t.units * self._bytes_per_unit
+            if tracer is not None:
+                tracer.add_span(
+                    f"wait ready[{t.dst},s{t.stage}]", "flag",
+                    device_track(device), base + wait_start, base + sim.now,
+                    peer=t.dst,
+                )
+            if metrics is not None:
+                metrics.histogram("flag.wait_seconds").observe(
+                    sim.now - wait_start
+                )
+            xfer_start = sim.now
+            handle = network.transfer(t.link.connections, size, tag=idx)
             yield WaitEvent(handle.done)
+            if tracer is not None:
+                for conn in t.link.connections:
+                    tracer.add_span(
+                        f"{t.src}->{t.dst} s{t.stage}", "comm",
+                        connection_track(conn.name),
+                        base + xfer_start, base + sim.now,
+                        bytes=size, src=t.src, dst=t.dst, stage=t.stage,
+                    )
+            if metrics is not None:
+                for conn in t.link.connections:
+                    metrics.counter("comm.bytes", conn=conn.name).inc(size)
+                metrics.counter("comm.flows").inc()
             # Payload now sits in the peer's buffer.
             _, _, src_rows, dst_rows = self._maps.ops[idx]
             buffers[t.dst][dst_rows] = buffers[device][src_rows]
@@ -210,8 +244,19 @@ class ProtocolRunner:
 
         def receiver(device: int, idx: int, done_event: Event):
             t = self._tuples[idx]
+            wait_start = sim.now
             yield Timeout(self.flag_latency)
             yield WaitFlag(flags.done_flag(t.src, t.dst, t.stage), 1)
+            if tracer is not None:
+                tracer.add_span(
+                    f"wait done[{t.src}->{t.dst},s{t.stage}]", "flag",
+                    device_track(device), base + wait_start, base + sim.now,
+                    peer=t.src,
+                )
+            if metrics is not None:
+                metrics.histogram("flag.wait_seconds").observe(
+                    sim.now - wait_start
+                )
             # Retrieval from the staging buffer is a local copy.
             done_event.trigger()
 
@@ -225,6 +270,7 @@ class ProtocolRunner:
             for k in range(self.num_stages):
                 if self.coordination == "centralized":
                     yield WaitEvent(stage_go[k])
+                stage_start = sim.now
                 flags.set_ready(device, k)
                 waits = []
                 for idx in self._sends[device].get(k, []):
@@ -238,6 +284,11 @@ class ProtocolRunner:
                 if waits:
                     yield AllOf(waits)
                 report.stage_finish[(device, k)] = sim.now
+                if tracer is not None:
+                    tracer.add_span(
+                        f"stage {k}", "stage", device_track(device),
+                        base + stage_start, base + sim.now,
+                    )
                 if self.coordination == "centralized":
                     counter = stage_done_count[k]
                     counter["left"] -= 1
@@ -281,6 +332,8 @@ class ProtocolRunner:
         flags = FlagBoard(sim, flag_latency=self.flag_latency, injector=injector)
         buffers = self._maps.make_buffers(list(local_embeddings))
         report = ProtocolReport(total_time=0.0)
+        tracer, metrics = self.tracer, self.metrics
+        base = tracer.now if tracer is not None else 0.0
         injector.arm(sim, network=network)
 
         registered = [Event() for _ in range(self.num_devices)]
@@ -420,6 +473,8 @@ class ProtocolRunner:
                     continue
                 if verdict == "dropped":
                     attempt += 1
+                    if metrics is not None:
+                        metrics.counter("fault.flag_refetches").inc()
                     log.append(
                         sim.now,
                         "control",
@@ -449,6 +504,7 @@ class ProtocolRunner:
             path = t.link.connections
             attempt = 0
             while True:
+                attempt_start = sim.now
                 handle = network.transfer(path, size, tag=idx)
                 last_remaining = float("inf")
                 stalls = 0
@@ -463,6 +519,21 @@ class ProtocolRunner:
                         ]
                     )
                     if winner == 0:
+                        if tracer is not None:
+                            for conn in path:
+                                tracer.add_span(
+                                    f"{t.src}->{t.dst} s{t.stage}", "comm",
+                                    connection_track(conn.name),
+                                    base + attempt_start, base + sim.now,
+                                    bytes=size, src=t.src, dst=t.dst,
+                                    stage=t.stage, attempt=attempt,
+                                )
+                        if metrics is not None:
+                            for conn in path:
+                                metrics.counter(
+                                    "comm.bytes", conn=conn.name
+                                ).inc(size)
+                            metrics.counter("comm.flows").inc()
                         return True
                     if winner == 2:
                         network.cancel(handle)
@@ -476,6 +547,8 @@ class ProtocolRunner:
                         stalled = stalls >= self.stall_checks_limit
                 network.cancel(handle)
                 attempt += 1
+                if metrics is not None:
+                    metrics.counter("fault.transfer_retries").inc()
                 log.append(
                     sim.now,
                     "link",
@@ -526,12 +599,23 @@ class ProtocolRunner:
             t = self._tuples[idx]
             crash_ev = injector.crash_event(device)
             subject = f"send[{t.src}->{t.dst},s{t.stage}]"
+            wait_start = sim.now
             ok = yield from await_flag(
                 flags.ready_flag(t.dst, t.stage), 1,
                 "ready", t.dst, None, t.stage, crash_ev, subject,
             )
             if not ok:
                 return
+            if tracer is not None:
+                tracer.add_span(
+                    f"wait ready[{t.dst},s{t.stage}]", "flag",
+                    device_track(device), base + wait_start, base + sim.now,
+                    peer=t.dst,
+                )
+            if metrics is not None:
+                metrics.histogram("flag.wait_seconds").observe(
+                    sim.now - wait_start
+                )
             size = t.units * self._bytes_per_unit
             ok = yield from run_transfer(t, size, idx, crash_ev, subject)
             if not ok:
@@ -550,12 +634,23 @@ class ProtocolRunner:
             # gate on ALL of their transfers, or a late repaired payload
             # could be forwarded stale in the next stage.
             target = done_total[(t.src, t.dst, t.stage)]
+            wait_start = sim.now
             ok = yield from await_flag(
                 flags.done_flag(t.src, t.dst, t.stage), target,
                 "done", t.src, t.dst, t.stage, crash_ev, subject,
             )
             if not ok:
                 return
+            if tracer is not None:
+                tracer.add_span(
+                    f"wait done[{t.src}->{t.dst},s{t.stage}]", "flag",
+                    device_track(device), base + wait_start, base + sim.now,
+                    peer=t.src,
+                )
+            if metrics is not None:
+                metrics.histogram("flag.wait_seconds").observe(
+                    sim.now - wait_start
+                )
             done_event.trigger()
 
         def client(device: int):
@@ -586,6 +681,7 @@ class ProtocolRunner:
                     )
                     if winner == 1:
                         return
+                stage_start = sim.now
                 flags.set_ready(device, k)
                 waits = []
                 for idx in self._sends[device].get(k, []):
@@ -601,6 +697,11 @@ class ProtocolRunner:
                     if winner == 1:
                         return
                 report.stage_finish[(device, k)] = sim.now
+                if tracer is not None:
+                    tracer.add_span(
+                        f"stage {k}", "stage", device_track(device),
+                        base + stage_start, base + sim.now,
+                    )
                 if self.coordination == "centralized":
                     counter = stage_done_count[k]
                     counter["left"] -= 1

@@ -27,11 +27,14 @@ import numpy as np
 from repro.comm.methods import MethodTable
 from repro.core.plan import CommPlan, CommTuple
 from repro.core.relation import CommRelation
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer, connection_track, device_track
 from repro.simulator.network import DEFAULT_ALPHA, Flow, FlowResult, NetworkSimulator
 from repro.topology.links import LinkKind
 from repro.topology.topology import Topology
 
-__all__ = ["ExecutionReport", "PlanExecutor", "SwapExecutor"]
+__all__ = ["ExecutionReport", "PlanExecutor", "SwapExecutor",
+           "record_report"]
 
 #: Master round-trip per stage under centralized coordination (§6.1
 #: argues this overhead motivates the decentralized protocol).  ~50 us on
@@ -75,6 +78,73 @@ class ExecutionReport:
         return max(finish, default=0.0)
 
 
+def record_report(
+    report: ExecutionReport,
+    tracer: Optional[Tracer],
+    metrics: Optional[MetricsRegistry],
+    base: float = 0.0,
+    phase: str = "allgather",
+) -> None:
+    """Post-hoc telemetry for one executed collective.
+
+    The flow simulator already returns exact per-flow timings, so
+    telemetry never touches the hot path: spans and metrics are derived
+    from the finished :class:`ExecutionReport`, shifted by ``base``
+    (the caller's simulated clock) onto one absolute timeline.  With
+    both sinks ``None`` this is a no-op.
+    """
+    if tracer is None and metrics is None:
+        return
+    per_device: Dict[Tuple[int, int], List[FlowResult]] = {}
+    per_stage: Dict[int, List[FlowResult]] = {}
+    for result in report.flows:
+        tag = result.flow.tag
+        size = result.flow.size_bytes
+        has_tuple = tag is not None and hasattr(tag, "src")
+        if has_tuple:
+            name = f"{tag.src}->{tag.dst} s{tag.stage}"
+            per_device.setdefault((tag.src, tag.stage), []).append(result)
+            if tag.dst != tag.src:
+                per_device.setdefault((tag.dst, tag.stage), []).append(result)
+            per_stage.setdefault(tag.stage, []).append(result)
+        else:
+            name = phase
+        if metrics is not None:
+            for conn in result.flow.path:
+                metrics.counter("comm.bytes", conn=conn.name).inc(size)
+                metrics.counter("comm.bytes", kind=conn.kind.value).inc(size)
+            metrics.counter("comm.flows").inc()
+            metrics.histogram("comm.queue_seconds").observe(
+                result.start_time - result.flow.release_time
+            )
+        if tracer is not None:
+            args = {"bytes": size}
+            if has_tuple:
+                args.update(src=tag.src, dst=tag.dst, stage=tag.stage,
+                            kind=tag.link.kind.value)
+            for conn in result.flow.path:
+                tracer.add_span(
+                    name, "comm", connection_track(conn.name),
+                    base + result.start_time, base + result.finish_time,
+                    **args,
+                )
+    if tracer is not None:
+        for (dev, stage), results in sorted(per_device.items()):
+            tracer.add_span(
+                f"stage {stage}", "stage", device_track(dev),
+                base + min(r.start_time for r in results),
+                base + max(r.finish_time for r in results),
+                flows=len(results),
+                bytes=sum(r.flow.size_bytes for r in results),
+            )
+    if metrics is not None:
+        for stage, results in sorted(per_stage.items()):
+            finishes = [r.finish_time for r in results]
+            metrics.histogram("stage.straggler_gap").observe(
+                max(finishes) - min(finishes)
+            )
+
+
 class PlanExecutor:
     """Executes compiled communication tuples on the flow simulator."""
 
@@ -87,6 +157,8 @@ class PlanExecutor:
         packing_efficiency: float = 1.0,
         methods: Optional[MethodTable] = None,
         capacity_of=None,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if coordination not in ("decentralized", "centralized"):
             raise ValueError("coordination must be decentralized or centralized")
@@ -102,6 +174,9 @@ class PlanExecutor:
         self.packing_efficiency = packing_efficiency
         #: Per-pair transfer mechanisms (§6.2); None = ideal transfers.
         self.methods = methods
+        #: Telemetry sinks; both None means no recording at all.
+        self.tracer = tracer
+        self.metrics = metrics
 
     # ------------------------------------------------------------------
     def execute(self, plan: CommPlan, bytes_per_unit: float,
@@ -132,8 +207,13 @@ class PlanExecutor:
         if not tuples:
             return ExecutionReport(total_time=0.0)
         if self.coordination == "centralized":
-            return self._execute_centralized(tuples, bytes_per_unit)
-        return self._execute_decentralized(tuples, bytes_per_unit)
+            report = self._execute_centralized(tuples, bytes_per_unit)
+        else:
+            report = self._execute_decentralized(tuples, bytes_per_unit)
+        if self.tracer is not None or self.metrics is not None:
+            base = self.tracer.now if self.tracer is not None else 0.0
+            record_report(report, self.tracer, self.metrics, base=base)
+        return report
 
     def _flow_bytes(self, t: CommTuple, bytes_per_unit: float) -> float:
         size = t.units * bytes_per_unit / self.packing_efficiency
@@ -262,7 +342,9 @@ class SwapExecutor:
 
     def __init__(self, topology: Topology, alpha: float = DEFAULT_ALPHA,
                  chain_transfer: bool = True,
-                 host_efficiency: float = 0.5) -> None:
+                 host_efficiency: float = 0.5,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
         if topology.num_machines() > 1:
             raise ValueError(
                 "Swap stages through one machine's host memory; the paper "
@@ -274,6 +356,8 @@ class SwapExecutor:
         self.topology = topology
         self.network = NetworkSimulator(alpha=alpha)
         self.chain_transfer = chain_transfer
+        self.tracer = tracer
+        self.metrics = metrics
         if not 0.0 < host_efficiency <= 1.0:
             raise ValueError("host_efficiency must be in (0, 1]")
         #: Fraction of peak PCIe bandwidth the CPU-mediated staging path
@@ -387,6 +471,16 @@ class SwapExecutor:
                     )
         load_results = self.network.run(load_flows)
         total = max((r.finish_time for r in load_results), default=barrier)
+        if self.tracer is not None or self.metrics is not None:
+            base = self.tracer.now if self.tracer is not None else 0.0
+            record_report(
+                ExecutionReport(total_time=barrier, flows=dump_results),
+                self.tracer, self.metrics, base=base, phase="swap dump",
+            )
+            record_report(
+                ExecutionReport(total_time=total, flows=load_results),
+                self.tracer, self.metrics, base=base, phase="swap load",
+            )
         return ExecutionReport(
             total_time=total,
             flows=dump_results + load_results,

@@ -37,8 +37,15 @@ class TimelineEvent:
         return self.finish - self.start
 
 
-def timeline_events(report: ExecutionReport) -> List[TimelineEvent]:
-    """Extract per-transfer events, ordered by start time."""
+def timeline_events(
+    report: ExecutionReport, fault_log=None
+) -> List[TimelineEvent]:
+    """Extract per-transfer events, ordered by start time.
+
+    With a :class:`~repro.faults.log.FaultLog`, its records are merged
+    in as zero-duration marks so faults appear in the same timeline as
+    the transfers they perturbed.
+    """
     events = []
     for result in report.flows:
         tag = result.flow.tag
@@ -57,14 +64,29 @@ def timeline_events(report: ExecutionReport) -> List[TimelineEvent]:
                 size_bytes=result.flow.size_bytes,
             )
         )
+    if fault_log is not None:
+        for record in fault_log:
+            events.append(
+                TimelineEvent(
+                    label=f"! {record.action} {record.subject}",
+                    stage=None,
+                    start=record.time,
+                    finish=record.time,
+                    size_bytes=0.0,
+                )
+            )
     events.sort(key=lambda e: (e.start, e.finish, e.label))
     return events
 
 
 def render_gantt(report: ExecutionReport, width: int = 48,
-                 max_rows: int = 60) -> str:
-    """ASCII Gantt chart of the report's transfers."""
-    events = timeline_events(report)
+                 max_rows: int = 60, fault_log=None) -> str:
+    """ASCII Gantt chart of the report's transfers.
+
+    Fault-log records (if given) render as ``!`` marks at the simulated
+    time they fired.
+    """
+    events = timeline_events(report, fault_log=fault_log)
     if not events:
         return "(no transfers)"
     horizon = max(e.finish for e in events)
@@ -75,9 +97,13 @@ def render_gantt(report: ExecutionReport, width: int = 48,
     shown = events[:max_rows]
     for e in shown:
         start_col = int(round(width * e.start / horizon))
-        end_col = max(start_col + 1, int(round(width * e.finish / horizon)))
-        bar = " " * start_col + "=" * (end_col - start_col)
-        bar = bar.ljust(width)[:width]
+        if e.duration == 0.0 and e.label.startswith("!"):
+            start_col = min(start_col, width - 1)
+            bar = (" " * start_col + "!").ljust(width)[:width]
+        else:
+            end_col = max(start_col + 1, int(round(width * e.finish / horizon)))
+            bar = " " * start_col + "=" * (end_col - start_col)
+            bar = bar.ljust(width)[:width]
         stage = f"s{e.stage}" if e.stage is not None else "  "
         lines.append(
             f"{e.label:<{label_width}}{stage:>3} |{bar}| "

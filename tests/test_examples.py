@@ -19,6 +19,7 @@ EXAMPLES = [
     "scaling_study.py",
     "protocol_trace.py",
     "pagerank.py",
+    "trace_epoch.py",
 ]
 
 
@@ -71,3 +72,12 @@ class TestExamplesRun:
     def test_pagerank(self, capsys):
         run_example("pagerank.py")
         assert "matches single-machine reference: True" in capsys.readouterr().out
+
+    def test_trace_epoch(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "epoch.trace.json"
+        run_example("trace_epoch.py", argv=[str(out)])
+        assert "trainer phases:" in capsys.readouterr().out
+        doc = json.loads(out.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
