@@ -1,0 +1,82 @@
+"""Chaos soak throughput: the cost of randomized fault campaigns.
+
+The soak harness is only useful if a meaningful campaign fits in CI
+minutes, so this benchmark measures what one seed costs end to end
+(generate, run twice for the determinism oracle, score all oracles) and
+what the ddmin shrinker pays to minimize a failing schedule — and
+asserts the honest default distribution actually passes, which is the
+harness's whole point.
+"""
+
+import time
+
+from repro.chaos import SoakConfig, SoakRunner, shrink_plan
+from repro.faults import RetryOnlyPolicy
+
+from benchmarks.conftest import write_table
+
+SEEDS = 10
+
+
+def test_chaos_soak_throughput(benchmark):
+    runner = SoakRunner(SoakConfig())
+
+    start = time.perf_counter()
+    report = runner.run(SEEDS)
+    soak_wall = time.perf_counter() - start
+    assert report.passed, report.summary()
+
+    events = sum(r.events for r in report.results)
+
+    # A broken policy manufactures a failure; measure the shrink cost.
+    broken = SoakRunner(SoakConfig(
+        mix={"link-loss": 4.0},
+        density=9.0,
+        policy_factory=lambda: RetryOnlyPolicy(max_retries=2),
+    ))
+    failing_plan = None
+    for seed in range(40):
+        plan = broken.generator.sample(seed)
+        if len(plan) < 8:
+            continue
+        violations, _ = broken.check_plan(plan)
+        if violations:
+            failing_plan = plan
+            oracles = {v.oracle for v in violations}
+            break
+    assert failing_plan is not None
+
+    def predicate(candidate):
+        vs, _ = broken.check_plan(candidate)
+        return any(v.oracle in oracles for v in vs)
+
+    start = time.perf_counter()
+    shrunk = shrink_plan(failing_plan, predicate, max_runs=150)
+    shrink_wall = time.perf_counter() - start
+    assert shrunk.events <= 2
+
+    write_table(
+        "chaos_soak",
+        f"Chaos soak: {SEEDS} seeds, default distribution, 8 GPUs",
+        ["Metric", "Value"],
+        [
+            ["Seeds passed", f"{SEEDS}/{SEEDS}"],
+            ["Fault events executed", events],
+            ["Soak wall (s)", f"{soak_wall:.2f}"],
+            ["Per seed (ms)", f"{soak_wall / SEEDS * 1e3:.0f}"],
+            ["Shrink input (events)", shrunk.original_events],
+            ["Shrink output (events)", shrunk.events],
+            ["Shrink predicate runs", shrunk.runs],
+            ["Shrink wall (s)", f"{shrink_wall:.2f}"],
+        ],
+        notes="Each seed runs the hardened protocol twice (the "
+              "determinism oracle compares the pair). The shrink row "
+              "minimizes a failure manufactured with the broken-policy "
+              "test hook; the honest configuration has no failures to "
+              "shrink.",
+    )
+
+    def one_seed():
+        return runner.run_seed(0)
+
+    benchmark.pedantic(one_seed, rounds=3, iterations=1)

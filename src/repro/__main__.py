@@ -10,7 +10,10 @@ Commands:
 * ``train`` — run real distributed epochs and confirm they match the
   single-device reference;
 * ``trace`` — run one traced evaluation (or training run) and write a
-  Chrome/Perfetto or JSONL trace of the simulated timeline.
+  Chrome/Perfetto or JSONL trace of the simulated timeline;
+* ``chaos`` — soak the hardened protocol under N seeded random fault
+  schedules, check the invariant oracles, shrink any failing schedule
+  to a minimal replayable JSON (``--replay``).
 
 ``--json`` (on ``plan`` / ``evaluate``) switches stdout to a machine-
 readable document; ``--emit-trace PATH`` attaches a tracer and writes
@@ -272,6 +275,111 @@ def _train_with_faults(args, workload, spec, features, labels) -> int:
     return 0 if ok else 1
 
 
+def _parse_mix(text: Optional[str]):
+    """``--mix flag-drop=2,link-loss=0`` -> weight dict (None if unset)."""
+    if not text:
+        return None
+    mix = {}
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"mix entries look like kind=weight, got {part!r}"
+            )
+        kind, _, weight = part.partition("=")
+        mix[kind.strip()] = float(weight)
+    return mix
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """``chaos``: randomized soak, oracle checks, shrink + replay."""
+    import os
+
+    from repro.chaos import OracleViolation, SoakConfig, SoakRunner, shrink_plan
+    from repro.faults import FaultPlan, FaultSpecError
+
+    config = SoakConfig(
+        gpus=args.gpus,
+        topology=args.topology,
+        density=args.density,
+        burstiness=args.burstiness,
+        correlated=args.correlated,
+        mix=args.mix,
+        train_every=args.train_every,
+    )
+    runner = SoakRunner(config)
+
+    if args.replay:
+        try:
+            plan = FaultPlan.load(args.replay)
+        except FileNotFoundError:
+            print(f"error: plan not found: {args.replay}", file=sys.stderr)
+            return 2
+        except FaultSpecError as exc:
+            print(f"error: invalid fault plan {args.replay}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"replaying {plan} from {args.replay}")
+        violations, obs = runner.check_plan(plan)
+        if args.train_every:
+            violations += runner.check_training(plan)
+        if violations:
+            err = OracleViolation(violations)
+            print(f"oracle violation reproduced: {err}")
+            return 1
+        outcome = "crash-abort" if obs.error else "ok"
+        print(f"replay passed every oracle ({outcome}, "
+              f"total {obs.total_time * 1e6:.3f} us)")
+        return 0
+
+    report = runner.run(args.seeds, start_seed=args.start_seed)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    if args.summary:
+        from repro.obs import write_soak_summary
+
+        write_soak_summary(report, args.summary)
+        print(f"wrote soak summary to {args.summary}",
+              file=sys.stderr if args.json else sys.stdout)
+    if report.passed:
+        return 0
+
+    # Shrink every failing seed to its minimal schedule and save the
+    # replayable JSON artifacts (nightly CI uploads these).
+    os.makedirs(args.artifacts_dir, exist_ok=True)
+    for result in report.failures:
+        oracles = {v.oracle for v in result.violations}
+
+        def failing(candidate, _oracles=oracles):
+            vs, _ = runner.check_plan(candidate)
+            return any(v.oracle in _oracles for v in vs)
+
+        path = os.path.join(
+            args.artifacts_dir, f"seed-{result.seed}.min.json"
+        )
+        try:
+            shrunk = shrink_plan(result.plan, failing,
+                                 max_runs=args.shrink_budget)
+        except ValueError:
+            # Training-only or flaky-free failure: the protocol-level
+            # predicate can't see it; save the unshrunk plan instead.
+            result.plan.save(path)
+            print(f"  seed {result.seed}: saved unshrunk plan "
+                  f"({len(result.plan)} events) to {path}",
+                  file=sys.stderr if args.json else sys.stdout)
+            continue
+        shrunk.plan.save(path)
+        print(f"  seed {result.seed}: shrunk {shrunk.original_events} -> "
+              f"{shrunk.events} event(s) in {shrunk.runs} runs; "
+              f"replay with: repro chaos --replay {path}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 1
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: one traced run, exported for Perfetto or as JSONL."""
     from repro.baselines import Workload, evaluate_scheme
@@ -373,6 +481,39 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--emit-trace", default=None, metavar="PATH",
                    help="write a Chrome trace of the training run")
 
+    p = sub.add_parser("chaos",
+                       help="randomized fault soak with invariant oracles")
+    p.add_argument("--seeds", type=_positive_int, default=50,
+                   help="number of random fault schedules to soak")
+    p.add_argument("--start-seed", type=int, default=0)
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--topology", default="dgx", choices=["dgx", "pcie"])
+    p.add_argument("--density", type=float, default=4.0,
+                   help="expected fault events per schedule")
+    p.add_argument("--burstiness", type=float, default=0.0,
+                   help="0..1: cluster fault times into bursts")
+    p.add_argument("--correlated", action="store_true",
+                   help="link faults target one victim device's wires")
+    p.add_argument("--mix", type=_parse_mix, default=None,
+                   metavar="KIND=W,...",
+                   help="override fault-kind weights, e.g. "
+                        "'link-loss=2,flag-duplicate=0'")
+    p.add_argument("--train-every", type=int, default=0, metavar="N",
+                   help="every Nth seed also checks gradient parity")
+    p.add_argument("--summary", default=None, metavar="PATH",
+                   help="write the soak summary JSON artifact")
+    p.add_argument("--artifacts-dir", default="chaos-failures",
+                   metavar="DIR",
+                   help="where minimized failing plans are saved")
+    p.add_argument("--shrink-budget", type=_positive_int, default=150,
+                   help="max protocol runs per failing-seed shrink")
+    p.add_argument("--replay", default=None, metavar="FILE",
+                   help="re-run one saved FaultPlan against the oracles")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="library log level (-v info, -vv debug)")
+
     p = sub.add_parser("trace",
                        help="run one traced evaluation and export it")
     common(p)
@@ -402,6 +543,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": cmd_evaluate,
         "train": cmd_train,
         "trace": cmd_trace,
+        "chaos": cmd_chaos,
     }
     return handlers[args.command](args)
 

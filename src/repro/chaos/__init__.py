@@ -1,0 +1,43 @@
+"""Chaos soak harness: randomized fault schedules, oracles, shrinking.
+
+``repro.chaos`` is the Jepsen-style proof layer over the robustness
+stack: PR 1 made the runtime *survive* faults, PR 2 made every run
+*observable* — this package makes recovery *falsifiable*.  Three parts:
+
+* :class:`~repro.chaos.generator.FaultPlanGenerator` samples seeded,
+  parameterized fault schedules (densities, burst and correlated
+  modes, all nine fault kinds including network partitions and
+  duplicated/reordered flag delivery) on the simulated clock;
+* :class:`~repro.chaos.soak.SoakRunner` executes N seeds of
+  plan -> hardened protocol -> training and checks the invariant
+  oracles in :mod:`repro.chaos.oracles` — byte-exact delivery,
+  per-connection byte conservation, gradient parity with a
+  single-device reference, liveness / monotone timeline, and
+  determinism (same seed, identical report + trace);
+* :func:`~repro.chaos.shrink.shrink_plan` delta-debugs any failing
+  :class:`~repro.faults.spec.FaultPlan` down to the smallest schedule
+  that still violates the oracle, saved as replayable JSON
+  (``repro chaos --replay plan.json``).
+
+Everything is deterministic: no wall clock, no hidden randomness — a
+failing seed found in nightly CI reproduces on any laptop.
+"""
+
+from repro.chaos.generator import DEFAULT_MIX, FaultPlanGenerator
+from repro.chaos.oracles import ORACLES, OracleViolation, Violation
+from repro.chaos.shrink import ShrinkResult, shrink_plan
+from repro.chaos.soak import SeedResult, SoakConfig, SoakReport, SoakRunner
+
+__all__ = [
+    "FaultPlanGenerator",
+    "DEFAULT_MIX",
+    "OracleViolation",
+    "Violation",
+    "ORACLES",
+    "SoakConfig",
+    "SoakRunner",
+    "SeedResult",
+    "SoakReport",
+    "ShrinkResult",
+    "shrink_plan",
+]

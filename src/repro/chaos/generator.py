@@ -1,0 +1,285 @@
+"""Seeded random fault schedules for the chaos soak.
+
+A :class:`FaultPlanGenerator` samples :class:`~repro.faults.spec.FaultPlan`
+objects from a parameterized distribution over the simulated clock:
+
+* ``density`` — expected number of fault events per plan (Poisson);
+* ``mix`` — relative weights of the nine fault kinds (see
+  :data:`DEFAULT_MIX`; a kind's weight at zero removes it);
+* ``burstiness`` — probability mass of event times clustered into a
+  few narrow windows instead of spread uniformly, the "everything goes
+  wrong at once" regime where recovery interleavings get interesting;
+* ``correlated`` — link-plane faults preferentially hit wires incident
+  to one victim device per plan, modelling a single flaky riser rather
+  than independent failures.
+
+Two invariants keep the *default* distribution recoverable by design,
+so a green 50-seed soak means something:
+
+1. network partitions always heal (``duration`` is drawn, never None)
+   — the hardened protocol waits the heal out;
+2. host-staging connections are never fault targets, so the degrade
+   fallback survives any combination of dead data-plane wires.
+
+Everything is a pure function of the seed: ``sample(seed)`` called
+twice returns plans with identical events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.faults.spec import (
+    DeviceCrash,
+    DeviceStall,
+    FaultEvent,
+    FaultPlan,
+    FlagDelay,
+    FlagDrop,
+    FlagDuplicate,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+    NetworkPartition,
+    _event_sort_key,
+)
+
+__all__ = ["FaultPlanGenerator", "DEFAULT_MIX"]
+
+#: Default relative weights of the fault kinds.  Crashes default to
+#: zero: a confirmed device death legitimately aborts the allgather
+#: (``DeviceLostError``), so the default soak distribution stays in the
+#: recoverable regime; opt in via ``mix={"device-crash": w, ...}``.
+DEFAULT_MIX: Dict[str, float] = {
+    "device-stall": 1.0,
+    "device-crash": 0.0,
+    "link-degrade": 1.5,
+    "link-flap": 1.0,
+    "link-loss": 0.75,
+    "network-partition": 0.75,
+    "flag-drop": 1.5,
+    "flag-delay": 1.0,
+    "flag-duplicate": 1.25,
+}
+
+
+class FaultPlanGenerator:
+    """Samples seeded fault plans over ``[0, horizon)`` simulated seconds.
+
+    Parameters
+    ----------
+    horizon:
+        Width of the fault window — typically the unarmed run's
+        ``total_time``, so every event lands while the protocol is live.
+    devices:
+        Device ids fault targets are drawn from.
+    connections:
+        Data-plane connection names link faults are drawn from.
+    topology:
+        Optional :class:`~repro.topology.topology.Topology`.  When
+        given, host-staging connection names are excluded from the
+        fault targets (keeping the degrade fallback alive) and
+        partitions sever the full group of wires incident to one
+        device — a realistic "unplugged riser" rather than a random
+        subset.
+    stages:
+        Number of protocol stages flag faults may address.
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        devices: Sequence[int],
+        connections: Sequence[str],
+        *,
+        topology=None,
+        density: float = 4.0,
+        mix: Optional[Dict[str, float]] = None,
+        burstiness: float = 0.0,
+        correlated: bool = False,
+        stages: int = 2,
+        max_drop_count: int = 2,
+    ) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if density < 0:
+            raise ValueError("density must be non-negative")
+        if not 0.0 <= burstiness <= 1.0:
+            raise ValueError("burstiness must lie in [0, 1]")
+        if not devices:
+            raise ValueError("need at least one device")
+        self.horizon = float(horizon)
+        self.devices = [int(d) for d in devices]
+        self.topology = topology
+        self.density = float(density)
+        self.burstiness = float(burstiness)
+        self.correlated = bool(correlated)
+        self.stages = max(int(stages), 1)
+        self.max_drop_count = max(int(max_drop_count), 1)
+
+        host_names = set()
+        if topology is not None:
+            for d in topology.devices():
+                for conn in topology.host_write_path(d):
+                    host_names.add(conn.name)
+                for conn in topology.host_read_path(d):
+                    host_names.add(conn.name)
+        #: Connections eligible as fault targets (host staging excluded).
+        self.connections = sorted(
+            str(c) for c in connections if str(c) not in host_names
+        )
+        #: Per-device incident connection groups (partition victims).
+        self._incident: Dict[int, List[str]] = {}
+        if topology is not None:
+            for link in topology.links:
+                for end in (link.src, link.dst):
+                    bucket = self._incident.setdefault(end, [])
+                    for conn in link.connections:
+                        if conn.name not in host_names and conn.name not in bucket:
+                            bucket.append(conn.name)
+            for bucket in self._incident.values():
+                bucket.sort()
+
+        merged = dict(DEFAULT_MIX)
+        if mix:
+            unknown = sorted(set(mix) - set(DEFAULT_MIX))
+            if unknown:
+                raise ValueError(f"unknown fault kinds in mix: {unknown}")
+            merged.update(mix)
+        if not self.connections:
+            for kind in ("link-degrade", "link-flap", "link-loss",
+                         "network-partition"):
+                merged[kind] = 0.0
+        self.mix = {k: float(w) for k, w in merged.items() if w > 0.0}
+        if not self.mix:
+            raise ValueError("the fault mix is empty")
+
+    # ------------------------------------------------------------------
+    def sample(self, seed: int) -> FaultPlan:
+        """One plan, a pure function of ``seed``."""
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        n = int(rng.poisson(self.density))
+        kinds = sorted(self.mix)
+        weights = np.array([self.mix[k] for k in kinds], dtype=float)
+        weights /= weights.sum()
+
+        # Burst mode: a couple of narrow windows soak up `burstiness`
+        # of the probability mass; the rest of the times stay uniform.
+        centers = rng.uniform(0.1, 0.9, size=2) * self.horizon
+        victim = int(rng.choice(self.devices))  # correlated-mode target
+
+        events: List[FaultEvent] = []
+        for _ in range(n):
+            if self.burstiness > 0 and rng.random() < self.burstiness:
+                center = float(rng.choice(centers))
+                time = center + float(rng.normal(0.0, 0.02 * self.horizon))
+                time = min(max(time, 0.0), self.horizon * 0.98)
+            else:
+                time = float(rng.uniform(0.0, self.horizon * 0.9))
+            kind = str(rng.choice(kinds, p=weights))
+            event = self._draw(kind, time, victim, rng)
+            if event is not None:
+                events.append(event)
+        events.sort(key=_event_sort_key)
+        return FaultPlan(events, seed=seed)
+
+    # ------------------------------------------------------------------
+    def _pick_connection(self, victim: int, rng) -> str:
+        """One fault-target wire; correlated mode prefers the victim's."""
+        pool = self.connections
+        if self.correlated:
+            incident = self._incident.get(victim)
+            if incident:
+                pool = incident
+        return str(rng.choice(pool))
+
+    def _partition_group(self, victim: int, rng) -> List[str]:
+        """The wires one partition severs."""
+        incident = self._incident.get(victim)
+        if incident:
+            return list(incident)
+        width = min(len(self.connections), int(rng.integers(2, 5)))
+        picked = rng.choice(
+            self.connections, size=max(width, 1), replace=False
+        )
+        return sorted(str(c) for c in picked)
+
+    def _flag_target(self, kind: str, victim: int, rng):
+        """(flag kind, device, peer, stage) for a control-plane fault."""
+        flavor = "ready" if rng.random() < 0.5 else "done"
+        device = victim if self.correlated else int(rng.choice(self.devices))
+        peer = None
+        if flavor == "done":
+            others = [d for d in self.devices if d != device]
+            peer = int(rng.choice(others)) if others else None
+            if peer is None:
+                flavor = "ready"
+        stage = int(rng.integers(0, self.stages))
+        return flavor, device, peer, stage
+
+    def _draw(self, kind: str, time: float, victim: int, rng):
+        h = self.horizon
+        if kind == "device-stall":
+            return DeviceStall(
+                device=victim if self.correlated else int(rng.choice(self.devices)),
+                time=time,
+                duration=float(rng.uniform(0.05, 0.3)) * h,
+            )
+        if kind == "device-crash":
+            return DeviceCrash(
+                device=victim if self.correlated else int(rng.choice(self.devices)),
+                time=time,
+            )
+        if kind == "link-degrade":
+            return LinkDegrade(
+                connection=self._pick_connection(victim, rng),
+                time=time,
+                factor=float(rng.uniform(0.2, 0.8)),
+                duration=(
+                    None
+                    if rng.random() < 0.3  # permanent (a worn cable)
+                    else float(rng.uniform(0.1, 0.4)) * h
+                ),
+            )
+        if kind == "link-flap":
+            return LinkFlap(
+                connection=self._pick_connection(victim, rng),
+                time=time,
+                period=float(rng.uniform(0.02, 0.1)) * h,
+                count=int(rng.integers(1, 4)),
+            )
+        if kind == "link-loss":
+            return LinkLoss(
+                connection=self._pick_connection(victim, rng), time=time
+            )
+        if kind == "network-partition":
+            return NetworkPartition(
+                connections=tuple(self._partition_group(victim, rng)),
+                time=time,
+                # Always heals: keeps the default distribution in the
+                # recoverable regime (the protocol waits the heal out).
+                duration=float(rng.uniform(0.1, 0.4)) * h,
+            )
+        if kind == "flag-drop":
+            flavor, device, peer, stage = self._flag_target(kind, victim, rng)
+            return FlagDrop(
+                kind=flavor, device=device, peer=peer, stage=stage,
+                count=int(rng.integers(1, self.max_drop_count + 1)),
+            )
+        if kind == "flag-delay":
+            flavor, device, peer, stage = self._flag_target(kind, victim, rng)
+            return FlagDelay(
+                kind=flavor, device=device, peer=peer, stage=stage,
+                delay=float(rng.uniform(0.01, 0.2)) * h,
+            )
+        if kind == "flag-duplicate":
+            flavor, device, peer, stage = self._flag_target(kind, victim, rng)
+            return FlagDuplicate(
+                kind=flavor, device=device, peer=peer, stage=stage,
+                copies=int(rng.integers(1, 3)),
+                jitter=float(rng.uniform(0.0, 0.05)) * h,
+                count=int(rng.integers(1, 3)),
+            )
+        raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover

@@ -1,0 +1,251 @@
+"""Invariant oracles the chaos soak holds every run against.
+
+Each oracle is a pure function from one (or two) completed-run
+observations to a list of :class:`Violation` records; the soak runner
+raises nothing itself — collecting violations keeps a 50-seed run
+scanning all seeds instead of dying on the first bad one, and gives the
+shrinker a boolean it can re-evaluate on candidate sub-plans.
+
+The oracle list (ISSUE 3):
+
+* **delivery** — every destination holds byte-exact source embeddings
+  (compared against :class:`~repro.comm.allgather.CompiledAllgather`);
+* **bytes** — per-connection traffic matches the cost model: when no
+  re-route happened, each wire carried exactly the planned bytes, and
+  the transfer count always equals the plan's tuple count;
+* **timeline** — the simulated clock is monotone and every recorded
+  finish lies within ``[0, total_time]``: no deadlock, no time travel;
+* **liveness** — the run terminates in an allowed state: success
+  always; ``DeviceLostError`` only when the plan actually crashes a
+  device; ``UnrecoverableFaultError`` / simulator deadlock never (the
+  generator's default distribution is recoverable by design);
+* **determinism** — running the same plan twice (fresh injectors)
+  yields identical gathered bytes, reports, fault-log signatures and
+  trace signatures.
+
+Gradient parity with the single-device reference lives in
+:meth:`repro.chaos.soak.SoakRunner.check_training` — it needs the
+training stack, not a protocol observation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Violation",
+    "OracleViolation",
+    "RunObservation",
+    "ORACLES",
+    "check_delivery",
+    "check_bytes",
+    "check_timeline",
+    "check_liveness",
+    "check_determinism",
+]
+
+#: Oracle names, in the order the soak report lists them.
+ORACLES = ("liveness", "delivery", "bytes", "timeline", "determinism",
+           "gradient-parity")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One oracle breach: which invariant, and what the run did."""
+
+    oracle: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        """JSON-ready form for soak summaries."""
+        return {"oracle": self.oracle, "detail": self.detail}
+
+
+class OracleViolation(AssertionError):
+    """Raised by replay/CLI paths when a plan breaks an oracle."""
+
+    def __init__(self, violations: List[Violation]) -> None:
+        self.violations = list(violations)
+        lines = [f"[{v.oracle}] {v.detail}" for v in self.violations]
+        super().__init__("; ".join(lines) or "oracle violation")
+
+
+@dataclass
+class RunObservation:
+    """Everything one hardened protocol run left behind.
+
+    ``error`` holds the terminal exception class name (``""`` for a
+    clean finish) plus a deterministic detail string — comparing the
+    *observation* therefore also compares failure modes, which is how
+    the determinism oracle catches a run that crashes only sometimes.
+    """
+
+    gathered: Optional[List[np.ndarray]]
+    total_time: float
+    transfers: int
+    device_finish: Dict[int, float]
+    stage_finish: Dict[Tuple[int, int], float]
+    log_signature: tuple
+    trace_signature: tuple
+    metrics: Dict[str, object]
+    error: str = ""
+    error_detail: str = ""
+
+
+# ----------------------------------------------------------------------
+def check_delivery(obs: RunObservation, expected: List[np.ndarray]) -> List[Violation]:
+    """Byte-exact delivery against the compiled allgather reference."""
+    if obs.gathered is None:
+        return []  # an aborted run is judged by the liveness oracle
+    out = []
+    for device, (got, want) in enumerate(zip(obs.gathered, expected)):
+        if got.shape != want.shape:
+            out.append(Violation(
+                "delivery",
+                f"device {device}: gathered shape {got.shape} != "
+                f"expected {want.shape}",
+            ))
+        elif not np.array_equal(got, want):
+            bad = int(np.sum(~np.isclose(got, want)))
+            out.append(Violation(
+                "delivery",
+                f"device {device}: {bad} corrupted values in the "
+                f"gathered embeddings",
+            ))
+    return out
+
+
+def check_bytes(
+    obs: RunObservation,
+    planned_bytes: Dict[str, float],
+    num_tuples: int,
+    rerouted: bool,
+) -> List[Violation]:
+    """Per-connection byte conservation against the cost model.
+
+    ``planned_bytes`` maps connection name -> bytes the plan schedules
+    over it.  Strict per-wire equality only holds when no repair or
+    degrade re-routed traffic (``rerouted``); the transfer count must
+    equal the plan's tuple count regardless, because retries re-send
+    the *same* logical transfer.
+    """
+    if obs.gathered is None:
+        return []
+    out = []
+    if obs.transfers != num_tuples:
+        out.append(Violation(
+            "bytes",
+            f"{obs.transfers} transfers completed, plan schedules "
+            f"{num_tuples}",
+        ))
+    if rerouted:
+        return out  # traffic legitimately moved to other wires
+    seen: Dict[str, float] = {}
+    for key, value in obs.metrics.items():
+        if key.startswith("comm.bytes{conn="):
+            name = key[len("comm.bytes{conn="):-1]
+            seen[name] = float(value)
+    for name, want in sorted(planned_bytes.items()):
+        got = seen.pop(name, 0.0)
+        if abs(got - want) > 0.5:  # byte counts are integral
+            out.append(Violation(
+                "bytes",
+                f"connection {name}: carried {got:.0f} B, cost model "
+                f"says {want:.0f} B",
+            ))
+    for name, got in sorted(seen.items()):
+        if got > 0:
+            out.append(Violation(
+                "bytes",
+                f"connection {name}: carried {got:.0f} B the plan never "
+                f"scheduled",
+            ))
+    return out
+
+
+def check_timeline(obs: RunObservation) -> List[Violation]:
+    """Monotone clock: every finish within [0, total_time], stages ordered."""
+    out = []
+    if obs.total_time < 0:
+        out.append(Violation("timeline", f"negative total time {obs.total_time}"))
+    eps = 1e-12
+    for device, t in sorted(obs.device_finish.items()):
+        if not (0.0 <= t <= obs.total_time + eps):
+            out.append(Violation(
+                "timeline",
+                f"device {device} finished at {t}, outside "
+                f"[0, {obs.total_time}]",
+            ))
+    last: Dict[int, float] = {}
+    for (device, stage) in sorted(obs.stage_finish):
+        t = obs.stage_finish[(device, stage)]
+        if not (0.0 <= t <= obs.total_time + eps):
+            out.append(Violation(
+                "timeline",
+                f"device {device} stage {stage} finished at {t}, outside "
+                f"[0, {obs.total_time}]",
+            ))
+        if t + eps < last.get(device, 0.0):
+            out.append(Violation(
+                "timeline",
+                f"device {device} stage {stage} finished at {t}, before "
+                f"stage {stage - 1} at {last[device]}",
+            ))
+        last[device] = t
+    return out
+
+
+def check_liveness(obs: RunObservation, crashes_scheduled: bool) -> List[Violation]:
+    """The run must terminate, and only abort in allowed ways."""
+    if not obs.error:
+        return []
+    if obs.error == "DeviceLostError":
+        if crashes_scheduled:
+            return []  # losing a crashed device is the *correct* outcome
+        return [Violation(
+            "liveness",
+            f"device declared lost with no crash scheduled: "
+            f"{obs.error_detail}",
+        )]
+    return [Violation(
+        "liveness",
+        f"{obs.error}: {obs.error_detail}",
+    )]
+
+
+def check_determinism(a: RunObservation, b: RunObservation) -> List[Violation]:
+    """Same plan, fresh injectors: the two runs must be identical."""
+    out = []
+    if (a.error, a.error_detail) != (b.error, b.error_detail):
+        out.append(Violation(
+            "determinism",
+            f"outcome diverged: {a.error or 'ok'!r} vs {b.error or 'ok'!r}",
+        ))
+        return out  # nothing else is comparable across different outcomes
+    if a.total_time != b.total_time:
+        out.append(Violation(
+            "determinism",
+            f"total_time diverged: {a.total_time} vs {b.total_time}",
+        ))
+    if a.transfers != b.transfers:
+        out.append(Violation(
+            "determinism",
+            f"transfer count diverged: {a.transfers} vs {b.transfers}",
+        ))
+    if a.device_finish != b.device_finish or a.stage_finish != b.stage_finish:
+        out.append(Violation("determinism", "per-device timings diverged"))
+    if a.log_signature != b.log_signature:
+        out.append(Violation("determinism", "fault-log signatures diverged"))
+    if a.trace_signature != b.trace_signature:
+        out.append(Violation("determinism", "trace signatures diverged"))
+    if a.metrics != b.metrics:
+        out.append(Violation("determinism", "metrics snapshots diverged"))
+    if (a.gathered is None) != (b.gathered is None):
+        out.append(Violation("determinism", "one run gathered, one aborted"))
+    elif a.gathered is not None and b.gathered is not None:
+        if not all(np.array_equal(x, y) for x, y in zip(a.gathered, b.gathered)):
+            out.append(Violation("determinism", "gathered bytes diverged"))
+    return out

@@ -1,0 +1,115 @@
+"""Delta-debugging shrinker for failing fault plans.
+
+A soak failure typically arrives as a dozen interleaved fault events of
+which one or two actually matter.  :func:`shrink_plan` runs Zeller's
+``ddmin`` over the event list: try ever-finer subsets and complements,
+keep any candidate that still violates the oracle, stop when no single
+event can be removed.  The predicate re-executes the (deterministic)
+protocol per candidate, so the result is exact, not heuristic — and
+because plans serialize, the minimized schedule is saved as JSON and
+replayed bit-for-bit with ``repro chaos --replay plan.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.faults.spec import FaultEvent, FaultPlan
+
+__all__ = ["ShrinkResult", "shrink_plan"]
+
+
+@dataclass
+class ShrinkResult:
+    """The minimized plan and how much work finding it took."""
+
+    plan: FaultPlan
+    original_events: int
+    runs: int
+    exhausted: bool  # True when max_runs stopped the search early
+
+    @property
+    def events(self) -> int:
+        return len(self.plan)
+
+
+def shrink_plan(
+    plan: FaultPlan,
+    failing: Callable[[FaultPlan], bool],
+    max_runs: int = 200,
+) -> ShrinkResult:
+    """Minimize ``plan`` to a 1-minimal schedule still satisfying ``failing``.
+
+    ``failing(candidate)`` must return True when the candidate plan
+    still violates the oracle under test; it is assumed deterministic
+    (the whole stack is seeded).  The input plan itself must fail —
+    a ``ValueError`` is raised otherwise, because "shrink a passing
+    plan" is always caller confusion.
+
+    ``max_runs`` bounds the number of predicate evaluations (each one
+    is a full protocol run); when the budget runs out the best plan
+    found so far is returned with ``exhausted=True``.
+    """
+    state = {"runs": 0}
+
+    def test(events: List[FaultEvent]) -> bool:
+        state["runs"] += 1
+        return bool(failing(FaultPlan(events, seed=plan.seed)))
+
+    events = list(plan.events)
+    if not test(events):
+        raise ValueError("shrink_plan needs a failing plan to start from")
+
+    exhausted = False
+    granularity = 2
+    while len(events) >= 2:
+        if state["runs"] >= max_runs:
+            exhausted = True
+            break
+        chunk = max(1, len(events) // granularity)
+        subsets = [
+            events[i:i + chunk] for i in range(0, len(events), chunk)
+        ]
+        reduced = False
+        # First the subsets (can shrink to 1/granularity at a stroke)...
+        for subset in subsets:
+            if len(subset) == len(events):
+                continue
+            if state["runs"] >= max_runs:
+                exhausted = True
+                break
+            if test(subset):
+                events = subset
+                granularity = 2
+                reduced = True
+                break
+        if reduced or exhausted:
+            continue
+        # ...then the complements (drop one chunk at a time).
+        for i in range(len(subsets)):
+            complement = [
+                ev for j, s in enumerate(subsets) if j != i for ev in s
+            ]
+            if not complement or len(complement) == len(events):
+                continue
+            if state["runs"] >= max_runs:
+                exhausted = True
+                break
+            if test(complement):
+                events = complement
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+        if reduced or exhausted:
+            continue
+        if granularity >= len(events):
+            break  # 1-minimal: no single event can be removed
+        granularity = min(len(events), granularity * 2)
+
+    return ShrinkResult(
+        plan=FaultPlan(events, seed=plan.seed),
+        original_events=len(plan),
+        runs=state["runs"],
+        exhausted=exhausted,
+    )

@@ -1,0 +1,441 @@
+"""The soak runner: N seeds of chaos, every run held to the oracles.
+
+One :class:`SoakRunner` owns a fixed workload (graph, partition, SPST
+plan, payload blocks and their compiled-allgather reference) and a
+:class:`~repro.chaos.generator.FaultPlanGenerator` whose horizon is the
+workload's fault-free run time.  ``run(seeds)`` then executes one
+hardened protocol run per seed — twice, because determinism is itself
+an oracle — and scores each against :mod:`repro.chaos.oracles`; every
+``train_every``-th seed additionally trains a small model under the
+same fault plan and checks gradient parity with a single-device
+reference.
+
+Two **test-only hooks** exist so the shrinker's acceptance test can
+manufacture failures on demand:
+
+* ``policy_factory`` — swap the recovery policy (e.g. a
+  :class:`~repro.faults.policy.RetryOnlyPolicy` that never repairs, so
+  a dead wire becomes a liveness violation);
+* ``dedupe_flags`` — run with the flag board's duplicate suppression
+  off, so a duplicated done flag releases receivers early and the
+  delivery oracle catches the corruption.
+
+Leave both at their defaults and a violation means a real bug.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.chaos.generator import FaultPlanGenerator
+from repro.chaos.oracles import (
+    ORACLES,
+    RunObservation,
+    Violation,
+    check_bytes,
+    check_delivery,
+    check_determinism,
+    check_liveness,
+    check_timeline,
+)
+from repro.comm.allgather import CompiledAllgather
+from repro.core.relation import CommRelation
+from repro.core.spst import SPSTPlanner
+from repro.faults.injector import FaultInjector
+from repro.faults.log import FaultLog
+from repro.faults.policy import (
+    DefaultPolicy,
+    DeviceLostError,
+    UnrecoverableFaultError,
+)
+from repro.faults.spec import FaultPlan
+from repro.graph.generators import rmat
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
+from repro.partition import partition
+from repro.runtime.flags import FlagBoard
+from repro.runtime.protocol import ProtocolRunner
+from repro.topology import pcie_only, topology_for_gpu_count
+
+__all__ = ["SoakConfig", "SoakRunner", "SeedResult", "SoakReport"]
+
+
+def _resolve_topology(name: str, gpus: int):
+    """The CLI's topology presets: ``dgx`` (default) or ``pcie``."""
+    if name == "pcie":
+        return pcie_only(gpus)
+    return topology_for_gpu_count(gpus)
+
+
+@dataclass
+class SoakConfig:
+    """Knobs of one soak campaign (all deterministic)."""
+
+    gpus: int = 8
+    topology: str = "dgx"
+    density: float = 4.0
+    burstiness: float = 0.0
+    correlated: bool = False
+    mix: Optional[Dict[str, float]] = None
+    #: Every Nth seed also trains under the plan and checks gradient
+    #: parity (0 = protocol-level oracles only).
+    train_every: int = 0
+    train_epochs: int = 3
+    # Workload shape (matches the protocol test suite's fixture).
+    num_vertices: int = 250
+    num_edges: int = 1800
+    graph_seed: int = 4
+    partition_seed: int = 0
+    feature_dim: int = 5
+    coordination: str = "decentralized"
+    # ---- test-only hooks (defaults are the honest configuration) ----
+    policy_factory: Optional[Callable[[], object]] = None
+    dedupe_flags: bool = True
+
+    def knobs(self) -> Dict[str, object]:
+        """JSON-ready view of the campaign parameters."""
+        return {
+            "gpus": self.gpus,
+            "topology": self.topology,
+            "density": self.density,
+            "burstiness": self.burstiness,
+            "correlated": self.correlated,
+            "mix": dict(self.mix) if self.mix else None,
+            "train_every": self.train_every,
+            "broken_policy": self.policy_factory is not None,
+            "dedupe_flags": self.dedupe_flags,
+        }
+
+
+@dataclass
+class SeedResult:
+    """One seed's verdict."""
+
+    seed: int
+    events: int
+    outcome: str  # "ok" | "crash-abort" | "violation"
+    violations: List[Violation] = field(default_factory=list)
+    total_time: float = 0.0
+    plan: Optional[FaultPlan] = None
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the plan itself is saved separately)."""
+        return {
+            "seed": self.seed,
+            "events": self.events,
+            "outcome": self.outcome,
+            "violations": [v.as_dict() for v in self.violations],
+        }
+
+
+@dataclass
+class SoakReport:
+    """The campaign's verdict, exportable via ``repro.obs``."""
+
+    results: List[SeedResult]
+    config: Dict[str, object]
+
+    @property
+    def passed(self) -> bool:
+        return all(r.passed for r in self.results)
+
+    @property
+    def failures(self) -> List[SeedResult]:
+        return [r for r in self.results if not r.passed]
+
+    def as_dict(self) -> Dict[str, object]:
+        """The exportable campaign summary (see ``repro.obs``)."""
+        by_oracle: Dict[str, int] = {name: 0 for name in ORACLES}
+        outcomes: Dict[str, int] = {}
+        for r in self.results:
+            outcomes[r.outcome] = outcomes.get(r.outcome, 0) + 1
+            for v in r.violations:
+                by_oracle[v.oracle] = by_oracle.get(v.oracle, 0) + 1
+        return {
+            "seeds": len(self.results),
+            "passed": sum(1 for r in self.results if r.passed),
+            "failed": len(self.failures),
+            "outcomes": dict(sorted(outcomes.items())),
+            "violations_by_oracle": {
+                k: v for k, v in by_oracle.items() if v
+            },
+            "failures": [r.as_dict() for r in self.failures],
+            "config": self.config,
+        }
+
+    def summary(self) -> str:
+        """A terminal-friendly few-line verdict."""
+        d = self.as_dict()
+        lines = [
+            f"chaos soak: {d['passed']}/{d['seeds']} seeds passed "
+            f"({d['outcomes']})",
+        ]
+        if d["violations_by_oracle"]:
+            lines.append(f"  violations: {d['violations_by_oracle']}")
+        for r in self.failures[:10]:
+            worst = ", ".join(sorted({v.oracle for v in r.violations}))
+            lines.append(
+                f"  seed {r.seed}: {len(r.violations)} violation(s) "
+                f"[{worst}] over {r.events} fault event(s)"
+            )
+        return "\n".join(lines)
+
+
+class SoakRunner:
+    """Executes chaos campaigns against one fixed workload."""
+
+    def __init__(self, config: Optional[SoakConfig] = None) -> None:
+        self.config = config if config is not None else SoakConfig()
+        cfg = self.config
+        self.topology = _resolve_topology(cfg.topology, cfg.gpus)
+        g = rmat(cfg.num_vertices, cfg.num_edges, seed=cfg.graph_seed)
+        part = partition(g, cfg.gpus, seed=cfg.partition_seed)
+        self.relation = CommRelation(g, part.assignment, cfg.gpus)
+        self.plan = SPSTPlanner(self.topology, seed=cfg.partition_seed).plan(
+            self.relation
+        )
+        rng = np.random.default_rng(12)
+        feats = rng.standard_normal(
+            (g.num_vertices, cfg.feature_dim)
+        ).astype(np.float32)
+        self.blocks = [
+            feats[self.relation.local_vertices[d]] for d in range(cfg.gpus)
+        ]
+        #: Delivery oracle reference: the compiled allgather's output.
+        self.expected = CompiledAllgather(self.relation, self.plan).forward(
+            self.blocks
+        )
+        # Fault-free run: the generator's horizon and the bytes oracle's
+        # per-wire cost model both come from here.
+        _, baseline = ProtocolRunner(
+            self.relation, self.plan, coordination=cfg.coordination
+        ).run_data(self.blocks)
+        self.baseline = baseline
+        bytes_per_unit = cfg.feature_dim * 4  # float32 payload rows
+        tuples = list(self.plan.tuples())
+        self.num_tuples = len(tuples)
+        self.planned_bytes: Dict[str, float] = {}
+        for t in tuples:
+            size = t.units * bytes_per_unit
+            for conn in t.link.connections:
+                self.planned_bytes[conn.name] = (
+                    self.planned_bytes.get(conn.name, 0.0) + size
+                )
+        self.generator = FaultPlanGenerator(
+            horizon=baseline.total_time,
+            devices=range(cfg.gpus),
+            connections=sorted(self.topology.connections),
+            topology=self.topology,
+            density=cfg.density,
+            mix=cfg.mix,
+            burstiness=cfg.burstiness,
+            correlated=cfg.correlated,
+            stages=self.plan.num_stages,
+        )
+        self._ref_losses: Optional[List[float]] = None
+        self._train_task = None
+
+    # ------------------------------------------------------------------
+    def _policy(self):
+        if self.config.policy_factory is not None:
+            return self.config.policy_factory()
+        return DefaultPolicy()
+
+    def _execute(self, plan: FaultPlan) -> RunObservation:
+        """One hardened run of ``plan``; never raises."""
+        injector = FaultInjector(plan, log=FaultLog())
+        tracer = Tracer()
+        metrics = MetricsRegistry()
+        runner = ProtocolRunner(
+            self.relation,
+            self.plan,
+            coordination=self.config.coordination,
+            injector=injector,
+            policy=self._policy(),
+            tracer=tracer,
+            metrics=metrics,
+        )
+        saved_dedupe = FlagBoard.dedupe
+        FlagBoard.dedupe = self.config.dedupe_flags
+        gathered = None
+        report = None
+        error = ""
+        detail = ""
+        try:
+            gathered, report = runner.run_data(self.blocks)
+        except (DeviceLostError, UnrecoverableFaultError) as exc:
+            error = type(exc).__name__
+            detail = str(exc)
+        except RuntimeError as exc:  # deadlock / event-budget blowup
+            error = type(exc).__name__
+            detail = str(exc)
+        finally:
+            FlagBoard.dedupe = saved_dedupe
+        return RunObservation(
+            gathered=gathered,
+            total_time=report.total_time if report is not None else 0.0,
+            transfers=report.transfers if report is not None else 0,
+            device_finish=dict(report.device_finish) if report else {},
+            stage_finish=dict(report.stage_finish) if report else {},
+            log_signature=injector.log.signature(),
+            trace_signature=tracer.signature(),
+            metrics=metrics.snapshot(),
+            error=error,
+            error_detail=detail,
+        )
+
+    @staticmethod
+    def _rerouted(log_signature) -> bool:
+        """Did any repair/degrade move traffic off its planned wires?"""
+        return any(action in ("repair", "degrade")
+                   for _, _, action, _ in log_signature)
+
+    def check_plan(
+        self, plan: FaultPlan
+    ) -> Tuple[List[Violation], RunObservation]:
+        """Score one plan against every protocol-level oracle.
+
+        Runs the plan twice (fresh injector each time): the pair feeds
+        the determinism oracle, the first observation feeds the rest.
+        """
+        obs1 = self._execute(plan)
+        obs2 = self._execute(plan)
+        violations: List[Violation] = []
+        violations += check_liveness(obs1, bool(plan.crashed_devices))
+        violations += check_delivery(obs1, self.expected)
+        violations += check_bytes(
+            obs1,
+            self.planned_bytes,
+            self.num_tuples,
+            rerouted=self._rerouted(obs1.log_signature),
+        )
+        violations += check_timeline(obs1)
+        violations += check_determinism(obs1, obs2)
+        return violations, obs1
+
+    # ------------------------------------------------------------------
+    # Gradient parity (training-level oracle)
+    def _training_task(self):
+        if self._train_task is None:
+            from repro.gnn import build_gcn  # noqa: F401 (lazy heavy import)
+
+            g = rmat(200, 1400, seed=4)
+            rng = np.random.default_rng(0)
+            features = rng.standard_normal((g.num_vertices, 6)).astype(
+                np.float32
+            )
+            labels = rng.integers(0, 4, g.num_vertices)
+            self._train_task = (g, features, labels)
+        return self._train_task
+
+    def _model(self):
+        from repro.gnn import build_gcn
+
+        return build_gcn(6, 8, 4, seed=7)
+
+    def _reference_losses(self) -> List[float]:
+        if self._ref_losses is None:
+            from repro.gnn import SingleDeviceTrainer
+
+            g, features, labels = self._training_task()
+            trainer = SingleDeviceTrainer(g, self._model(), features, labels)
+            self._ref_losses = [
+                float(trainer.run_epoch().loss)
+                for _ in range(self.config.train_epochs)
+            ]
+        return self._ref_losses
+
+    def check_training(self, plan: FaultPlan) -> List[Violation]:
+        """Gradient parity with the single-device reference.
+
+        Chaos that does not kill a device must leave the *math*
+        untouched: per-epoch losses match the single-GPU run up to
+        float reduction order.  Crash plans are skipped — losing a
+        partition legitimately changes the training trajectory.
+        """
+        if plan.crashed_devices:
+            return []
+        from repro.gnn import ResilientTrainer
+
+        g, features, labels = self._training_task()
+        hook_violations: List[Violation] = []
+        clock_state = {"last": -1.0}
+
+        def oracle_hook(epoch: int, loss: float, clock: float) -> None:
+            if not np.isfinite(loss):
+                hook_violations.append(Violation(
+                    "gradient-parity", f"epoch {epoch}: non-finite loss",
+                ))
+            if clock <= clock_state["last"]:
+                hook_violations.append(Violation(
+                    "timeline",
+                    f"epoch {epoch}: trainer clock went backwards "
+                    f"({clock} after {clock_state['last']})",
+                ))
+            clock_state["last"] = clock
+
+        trainer = ResilientTrainer(
+            g, self.topology, self._model(), features, labels,
+            fault_plan=plan, oracle_hook=oracle_hook,
+        )
+        try:
+            report = trainer.train(self.config.train_epochs)
+        except (DeviceLostError, UnrecoverableFaultError) as exc:
+            return [Violation(
+                "gradient-parity",
+                f"training aborted under a recoverable plan: "
+                f"{type(exc).__name__}: {exc}",
+            )]
+        violations = list(hook_violations)
+        ref = self._reference_losses()
+        if len(report.losses) != len(ref):
+            violations.append(Violation(
+                "gradient-parity",
+                f"{len(report.losses)} epochs trained, expected {len(ref)}",
+            ))
+        elif not np.allclose(report.losses, ref, rtol=1e-4, atol=1e-6):
+            gaps = [abs(a - b) for a, b in zip(report.losses, ref)]
+            violations.append(Violation(
+                "gradient-parity",
+                f"losses diverged from the single-device reference "
+                f"(max gap {max(gaps):.3e})",
+            ))
+        return violations
+
+    # ------------------------------------------------------------------
+    def run_seed(self, seed: int, train: bool = False) -> SeedResult:
+        """Generate, execute and score one seed."""
+        plan = self.generator.sample(seed)
+        violations, obs = self.check_plan(plan)
+        if train:
+            violations += self.check_training(plan)
+        if violations:
+            outcome = "violation"
+        elif obs.error == "DeviceLostError":
+            outcome = "crash-abort"
+        else:
+            outcome = "ok"
+        return SeedResult(
+            seed=seed,
+            events=len(plan),
+            outcome=outcome,
+            violations=violations,
+            total_time=obs.total_time,
+            plan=plan,
+        )
+
+    def run(self, seeds: int, start_seed: int = 0) -> SoakReport:
+        """The campaign: ``seeds`` consecutive seeds from ``start_seed``."""
+        cfg = self.config
+        results = []
+        for i in range(seeds):
+            train = cfg.train_every > 0 and i % cfg.train_every == 0
+            results.append(self.run_seed(start_seed + i, train=train))
+        return SoakReport(results=results, config=cfg.knobs())

@@ -33,23 +33,29 @@ from repro.faults.spec import (
     DeviceStall,
     FaultEvent,
     FaultPlan,
+    FaultSpecError,
     FlagDelay,
     FlagDrop,
+    FlagDuplicate,
     LinkDegrade,
     LinkFlap,
     LinkLoss,
+    NetworkPartition,
 )
 
 __all__ = [
     "FaultPlan",
     "FaultEvent",
+    "FaultSpecError",
     "DeviceStall",
     "DeviceCrash",
     "LinkDegrade",
     "LinkFlap",
     "LinkLoss",
+    "NetworkPartition",
     "FlagDrop",
     "FlagDelay",
+    "FlagDuplicate",
     "FaultInjector",
     "FaultLog",
     "FaultRecord",

@@ -9,10 +9,12 @@ protocol consults:
   live (``arm``) so the incremental flow engine re-solves its max-min
   rates the instant a wire changes;
 * per-device **crash events** and **stall windows**;
-* a **control-plane filter** that drops or delays ready/done flag
-  deliveries, holding dropped values so a timed-out waiter's re-fetch
-  (one control round-trip later) can still succeed — the message was
-  lost, not the setter's state.
+* a **control-plane filter** that drops, delays or duplicates
+  ready/done flag deliveries, holding dropped values so a timed-out
+  waiter's re-fetch (one control round-trip later) can still succeed —
+  the message was lost, not the setter's state.  Duplicates model a
+  retransmitting transport: stale extra copies arrive late, and the
+  hardened flag board must suppress them by sequence number.
 
 Everything is logged to a :class:`~repro.faults.log.FaultLog` with
 simulated timestamps, and everything is deterministic: no wall clock,
@@ -30,9 +32,11 @@ from repro.faults.spec import (
     FaultPlan,
     FlagDelay,
     FlagDrop,
+    FlagDuplicate,
     LinkDegrade,
     LinkFlap,
     LinkLoss,
+    NetworkPartition,
 )
 from repro.runtime.events import Event
 
@@ -73,6 +77,16 @@ class FaultInjector:
         for ev in self.plan.of_type(FlagDelay):
             key = (ev.kind, ev.device, ev.peer, ev.stage)
             self._delay_left[key] = ev.delay
+        # (messages affected, extra copies each, lateness of the copies)
+        self._dup_budget: Dict[FlagKey, Tuple[int, int, float]] = {}
+        for ev in self.plan.of_type(FlagDuplicate):
+            key = (ev.kind, ev.device, ev.peer, ev.stage)
+            count, copies, jitter = self._dup_budget.get(key, (0, 0, 0.0))
+            self._dup_budget[key] = (
+                count + ev.count,
+                max(copies, ev.copies),
+                max(jitter, ev.jitter),
+            )
 
     def _build_transitions(self) -> None:
         steps: List[Tuple[float, str, float]] = []
@@ -87,6 +101,11 @@ class FaultInjector:
                 for k in range(ev.count):
                     steps.append((ev.time + 2 * k * ev.period, ev.connection, 0.0))
                     steps.append((ev.time + (2 * k + 1) * ev.period, ev.connection, 1.0))
+            elif isinstance(ev, NetworkPartition):
+                for name in ev.connections:
+                    steps.append((ev.time, name, 0.0))
+                    if ev.duration is not None:
+                        steps.append((ev.time + ev.duration, name, 1.0))
         steps.sort(key=lambda s: s[0])
         self._transitions = steps
 
@@ -119,6 +138,20 @@ class FaultInjector:
     def dead_connections(self, time: float) -> List[str]:
         """Connections at zero capacity at ``time``."""
         return sorted(n for n, s in self.scales_at(time).items() if s == 0.0)
+
+    def next_transition_after(self, time: float) -> Optional[float]:
+        """Earliest scheduled capacity change strictly after ``time``.
+
+        The hardened protocol consults this when a transfer finds *no*
+        surviving path (a full partition): rather than burning its retry
+        budget on wires it knows are dark, it sleeps until the next
+        transition — typically the partition's heal — and re-plans then.
+        Returns None when the link plane is quiescent from ``time`` on.
+        """
+        for t, _name, _scale in self._transitions:
+            if t > time:
+                return t
+        return None
 
     def degraded_connections(self, time: float) -> Dict[str, float]:
         """Connections below full capacity (but alive) at ``time``."""
@@ -168,6 +201,18 @@ class FaultInjector:
                 now, "control", "inject", _flag_name(key), f"message delayed {delay * 1e6:.1f} us"
             )
             return ("delay", delay)
+        count, copies, jitter = self._dup_budget.get(key, (0, 0, 0.0))
+        if count > 0:
+            self._dup_budget[key] = (count - 1, copies, jitter)
+            self.log.append(
+                now,
+                "control",
+                "inject",
+                _flag_name(key),
+                f"message duplicated x{copies}"
+                + (f", {jitter * 1e6:.1f} us late" if jitter > 0 else ""),
+            )
+            return ("duplicate", copies, jitter)
         return "deliver"
 
     def refetch_flag(self, kind: str, device: int, peer: Optional[int], stage: int, now: float) -> str:

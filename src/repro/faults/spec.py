@@ -11,8 +11,12 @@ runtime exercises:
 * **link faults** — :class:`LinkDegrade` (a physical connection loses
   bandwidth, e.g. a flaky QPI hop), :class:`LinkFlap` (the connection
   toggles dead/alive), and :class:`LinkLoss` (the wire is dead);
-* **control-plane faults** — :class:`FlagDrop` and :class:`FlagDelay`
-  on the §6.1 ready/done flag messages.
+* **control-plane faults** — :class:`FlagDrop`, :class:`FlagDelay` and
+  :class:`FlagDuplicate` (duplicated / reordered delivery) on the §6.1
+  ready/done flag messages;
+* **group faults** — :class:`NetworkPartition`, a whole connection
+  group going dark at once (a dead switch, an unplugged riser), with an
+  optional heal.
 
 Because every fault carries an explicit simulated timestamp, a plan is
 perfectly reproducible: the same plan injected twice produces the same
@@ -32,11 +36,69 @@ __all__ = [
     "LinkDegrade",
     "LinkFlap",
     "LinkLoss",
+    "NetworkPartition",
     "FlagDrop",
     "FlagDelay",
+    "FlagDuplicate",
     "FaultEvent",
     "FaultPlan",
+    "FaultSpecError",
 ]
+
+
+class FaultSpecError(ValueError):
+    """A fault spec (JSON or constructor argument) failed validation.
+
+    Raised with a message naming the offending event and field, so a
+    mistyped ``--fault-spec`` file fails with "event #2 (link-loss):
+    unknown connection field 'conection'" instead of a raw ``KeyError``.
+    """
+
+
+def _check_device(device: int) -> None:
+    if not isinstance(device, int) or isinstance(device, bool) or device < 0:
+        raise FaultSpecError(f"bad device id {device!r} (need an int >= 0)")
+
+
+def _check_time(time: float) -> None:
+    if not isinstance(time, (int, float)) or time < 0:
+        raise FaultSpecError(f"negative time {time!r} (the clock starts at 0)")
+
+
+def _check_stage(stage: int) -> None:
+    if not isinstance(stage, int) or isinstance(stage, bool) or stage < 0:
+        raise FaultSpecError(f"bad stage {stage!r} (need an int >= 0)")
+
+
+def _field_mismatch(event_cls, entry: Dict[str, object]) -> str:
+    """Explain which fields of ``entry`` don't fit ``event_cls``."""
+    from dataclasses import MISSING, fields
+
+    spec = {f.name: f for f in fields(event_cls)}
+    unknown = sorted(set(entry) - set(spec))
+    missing = sorted(
+        name
+        for name, f in spec.items()
+        if name not in entry
+        and f.default is MISSING
+        and f.default_factory is MISSING  # type: ignore[misc]
+    )
+    parts = []
+    if unknown:
+        parts.append(
+            "unknown field" + ("s " if len(unknown) > 1 else " ")
+            + ", ".join(repr(u) for u in unknown)
+        )
+    if missing:
+        parts.append(
+            "missing required field"
+            + ("s " if len(missing) > 1 else " ")
+            + ", ".join(repr(m) for m in missing)
+        )
+    if not parts:
+        parts.append("fields do not match the schema")
+    known = ", ".join(sorted(spec))
+    return "; ".join(parts) + f" (schema fields: {known})"
 
 
 @dataclass(frozen=True)
@@ -48,8 +110,10 @@ class DeviceStall:
     duration: float
 
     def __post_init__(self) -> None:
+        _check_device(self.device)
+        _check_time(self.time)
         if self.duration <= 0:
-            raise ValueError("a stall needs a positive duration")
+            raise FaultSpecError("a stall needs a positive duration")
 
 
 @dataclass(frozen=True)
@@ -58,6 +122,10 @@ class DeviceCrash:
 
     device: int
     time: float
+
+    def __post_init__(self) -> None:
+        _check_device(self.device)
+        _check_time(self.time)
 
 
 @dataclass(frozen=True)
@@ -74,8 +142,11 @@ class LinkDegrade:
     duration: Optional[float] = None
 
     def __post_init__(self) -> None:
+        _check_time(self.time)
         if not 0.0 < self.factor < 1.0:
-            raise ValueError("degrade factor must lie strictly in (0, 1)")
+            raise FaultSpecError("degrade factor must lie strictly in (0, 1)")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultSpecError("degrade duration must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -88,10 +159,11 @@ class LinkFlap:
     count: int = 2
 
     def __post_init__(self) -> None:
+        _check_time(self.time)
         if self.period <= 0:
-            raise ValueError("flap period must be positive")
+            raise FaultSpecError("flap period must be positive")
         if self.count < 1:
-            raise ValueError("a flap needs at least one down window")
+            raise FaultSpecError("a flap needs at least one down window")
 
 
 @dataclass(frozen=True)
@@ -100,6 +172,39 @@ class LinkLoss:
 
     connection: str
     time: float
+
+    def __post_init__(self) -> None:
+        _check_time(self.time)
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """A whole connection group goes dark together at ``time``.
+
+    ``connections`` names every wire the partition severs — typically
+    all data-plane connections incident to one device or one switch.
+    ``duration`` None means the partition never heals; otherwise every
+    severed wire comes back at ``time + duration`` simultaneously.
+
+    Unlike a :class:`LinkLoss`, a partition can strand a device with
+    *no* surviving GPU route at all; the hardened protocol then waits
+    for the injector's next scheduled capacity transition (the heal)
+    instead of burning its retry budget on a wire it knows is dark.
+    """
+
+    connections: Tuple[str, ...]
+    time: float
+    duration: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "connections", tuple(self.connections))
+        _check_time(self.time)
+        if not self.connections:
+            raise FaultSpecError("a partition needs at least one connection")
+        if not all(isinstance(c, str) and c for c in self.connections):
+            raise FaultSpecError("partition connections must be non-empty names")
+        if self.duration is not None and self.duration <= 0:
+            raise FaultSpecError("partition duration must be positive (or None)")
 
 
 @dataclass(frozen=True)
@@ -121,9 +226,13 @@ class FlagDrop:
 
     def __post_init__(self) -> None:
         if self.kind not in ("ready", "done"):
-            raise ValueError("flag kind must be 'ready' or 'done'")
+            raise FaultSpecError("flag kind must be 'ready' or 'done'")
+        _check_device(self.device)
+        _check_stage(self.stage)
+        if self.peer is not None:
+            _check_device(self.peer)
         if self.count < 1:
-            raise ValueError("drop count must be positive")
+            raise FaultSpecError("drop count must be positive")
 
 
 @dataclass(frozen=True)
@@ -138,13 +247,61 @@ class FlagDelay:
 
     def __post_init__(self) -> None:
         if self.kind not in ("ready", "done"):
-            raise ValueError("flag kind must be 'ready' or 'done'")
+            raise FaultSpecError("flag kind must be 'ready' or 'done'")
+        _check_device(self.device)
+        _check_stage(self.stage)
+        if self.peer is not None:
+            _check_device(self.peer)
         if self.delay <= 0:
-            raise ValueError("flag delay must be positive")
+            raise FaultSpecError("flag delay must be positive")
+
+
+@dataclass(frozen=True)
+class FlagDuplicate:
+    """One coordination flag message is delivered more than once.
+
+    The genuine delivery goes through on time; ``copies`` stale
+    duplicates of the same message arrive ``jitter`` seconds later —
+    which also models *reordering*, since a duplicate of message ``k``
+    can land after message ``k+1``.  The hardened flag board suppresses
+    duplicates by sequence number (done flags are transfer *counters*,
+    so an un-deduplicated duplicate would release a receiver before its
+    payload landed); ``count`` consecutive messages are affected.
+    """
+
+    kind: str
+    device: int
+    stage: int
+    peer: Optional[int] = None
+    copies: int = 1
+    jitter: float = 0.0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ready", "done"):
+            raise FaultSpecError("flag kind must be 'ready' or 'done'")
+        _check_device(self.device)
+        _check_stage(self.stage)
+        if self.peer is not None:
+            _check_device(self.peer)
+        if self.copies < 1:
+            raise FaultSpecError("a duplicate needs at least one extra copy")
+        if self.jitter < 0:
+            raise FaultSpecError("duplicate jitter must be non-negative")
+        if self.count < 1:
+            raise FaultSpecError("duplicate count must be positive")
 
 
 FaultEvent = Union[
-    DeviceStall, DeviceCrash, LinkDegrade, LinkFlap, LinkLoss, FlagDrop, FlagDelay
+    DeviceStall,
+    DeviceCrash,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+    NetworkPartition,
+    FlagDrop,
+    FlagDelay,
+    FlagDuplicate,
 ]
 
 _EVENT_TYPES = {
@@ -153,8 +310,10 @@ _EVENT_TYPES = {
     "link-degrade": LinkDegrade,
     "link-flap": LinkFlap,
     "link-loss": LinkLoss,
+    "network-partition": NetworkPartition,
     "flag-drop": FlagDrop,
     "flag-delay": FlagDelay,
+    "flag-duplicate": FlagDuplicate,
 }
 _TYPE_NAMES = {cls: name for name, cls in _EVENT_TYPES.items()}
 
@@ -265,14 +424,48 @@ class FaultPlan:
 
     @classmethod
     def from_json(cls, text: str) -> "FaultPlan":
-        payload = json.loads(text)
+        """Parse a plan, raising :class:`FaultSpecError` on any defect.
+
+        Every failure mode a hand-edited spec can hit — malformed JSON,
+        an unknown fault kind, a missing or misspelled field, a bad
+        device id, a negative time — surfaces as a typed error naming
+        the offending event, never a raw ``KeyError``/``TypeError``.
+        """
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultSpecError(f"fault spec is not valid JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise FaultSpecError(
+                "fault spec must be a JSON object with an 'events' list"
+            )
+        raw_events = payload.get("events", [])
+        if not isinstance(raw_events, list):
+            raise FaultSpecError("'events' must be a list of fault objects")
         events = []
-        for entry in payload.get("events", []):
+        for i, entry in enumerate(raw_events):
+            if not isinstance(entry, dict):
+                raise FaultSpecError(
+                    f"event #{i}: expected a JSON object, "
+                    f"got {type(entry).__name__}"
+                )
             entry = dict(entry)
             kind = entry.pop("type", None)
             if kind not in _EVENT_TYPES:
-                raise ValueError(f"unknown fault event type {kind!r}")
-            events.append(_EVENT_TYPES[kind](**entry))
+                known = ", ".join(sorted(_EVENT_TYPES))
+                raise FaultSpecError(
+                    f"event #{i}: unknown fault kind {kind!r} "
+                    f"(known kinds: {known})"
+                )
+            event_cls = _EVENT_TYPES[kind]
+            try:
+                events.append(event_cls(**entry))
+            except FaultSpecError as exc:
+                raise FaultSpecError(f"event #{i} ({kind}): {exc}") from None
+            except TypeError:
+                raise FaultSpecError(
+                    f"event #{i} ({kind}): {_field_mismatch(event_cls, entry)}"
+                ) from None
         return cls(events, seed=payload.get("seed"))
 
     def save(self, path) -> None:

@@ -134,6 +134,7 @@ class ResilientTrainer:
         alpha: float = DEFAULT_ALPHA,
         bytes_per_float: int = 4,
         tracer: Optional[Tracer] = None,
+        oracle_hook=None,
     ) -> None:
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be positive")
@@ -152,6 +153,12 @@ class ResilientTrainer:
         self.bytes_per_float = bytes_per_float
         #: Optional telemetry: recovery-lifecycle spans on self.clock.
         self.tracer = tracer
+        #: Optional chaos-oracle callback ``(epoch, loss, clock)`` fired
+        #: after every *executed* epoch (so a soak can assert invariants
+        #: mid-run, e.g. gradient parity or clock monotonicity, instead
+        #: of only post-mortem).  Purely observational: it must not
+        #: mutate trainer state.
+        self.oracle_hook = oracle_hook
 
         #: Simulated clock (seconds) across bootstrap, epochs, recovery.
         self.clock = 0.0
@@ -502,6 +509,8 @@ class ResilientTrainer:
             self.epoch += 1
             self.clock += comm + overhead
             epoch_seconds.append(self.clock - epoch_start)
+            if self.oracle_hook is not None:
+                self.oracle_hook(self.epoch - 1, float(result.loss), self.clock)
             if self.tracer is not None:
                 self.tracer.add_span(
                     f"epoch {self.epoch - 1}", "epoch", TRAINER_TRACK,

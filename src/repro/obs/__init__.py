@@ -19,11 +19,13 @@ code they always did).
 from repro.obs import console
 from repro.obs.export import (
     chrome_trace_json,
+    soak_summary_json,
     stats_table,
     to_chrome_trace,
     to_jsonl_events,
     write_chrome_trace,
     write_jsonl,
+    write_soak_summary,
 )
 from repro.obs.metrics import (
     Counter,
@@ -58,4 +60,6 @@ __all__ = [
     "to_jsonl_events",
     "write_jsonl",
     "stats_table",
+    "soak_summary_json",
+    "write_soak_summary",
 ]

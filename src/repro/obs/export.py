@@ -29,6 +29,8 @@ __all__ = [
     "to_jsonl_events",
     "write_jsonl",
     "stats_table",
+    "soak_summary_json",
+    "write_soak_summary",
 ]
 
 #: Process ids of the fixed track groups (sorted render order).
@@ -177,6 +179,25 @@ def write_jsonl(
                 sort_keys=True, separators=(",", ":"),
             ))
             fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+def soak_summary_json(report) -> str:
+    """Serialise a chaos soak report deterministically.
+
+    ``report`` is duck-typed on ``as_dict()`` (a
+    :class:`repro.chaos.soak.SoakReport`; keeping the dependency
+    direction obs <- chaos would otherwise be a cycle).  Same seeds,
+    byte-identical summary — the nightly CI job diffs these.
+    """
+    return json.dumps(report.as_dict(), sort_keys=True, separators=(",", ":"))
+
+
+def write_soak_summary(report, path) -> None:
+    """Write a soak summary JSON artifact (read by CI and humans)."""
+    with open(path, "w") as fh:
+        fh.write(soak_summary_json(report))
+        fh.write("\n")
 
 
 # ----------------------------------------------------------------------

@@ -302,3 +302,26 @@ class Simulator:
         if not self._queue and stuck and until is None:
             raise RuntimeError(f"deadlock: processes never finished: {stuck}")
         return self.now
+
+    def shutdown(self) -> List[str]:
+        """Tear down an aborted run: close every unfinished coroutine.
+
+        When a hardened run raises (``UnrecoverableFaultError``,
+        ``DeviceLostError``), sender/receiver/heartbeat/monitor
+        coroutines may still be suspended mid-``yield``.  Closing their
+        generators releases everything their frames pin (buffers, the
+        network, the injector) so nothing leaks across the many runs of
+        a chaos soak.  Returns the names of the processes that were
+        still live, for the cleanup regression test.
+        """
+        stuck = []
+        for process in self._processes:
+            if not process.finished:
+                stuck.append(process.name)
+                try:
+                    process.generator.close()
+                except RuntimeError:  # pragma: no cover - a coroutine
+                    pass  # refusing GeneratorExit must not mask the abort
+                process.finished = True
+        self._queue.clear()
+        return stuck

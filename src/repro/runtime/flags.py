@@ -15,7 +15,10 @@ Chaos hooks: with an optional
 :class:`~repro.faults.injector.FaultInjector` attached, every set passes
 through the injector's control-plane filter, which may drop the message
 (the *value* is held injector-side — the setter's local state is fine,
-only the notification was lost) or delay it.  A timed-out waiter calls
+only the notification was lost), delay it, or duplicate it (stale extra
+copies arrive late; the board suppresses them by sequence number unless
+the test-only :attr:`FlagBoard.dedupe` hook is off).  A timed-out
+waiter calls
 ``refetch_ready``/``refetch_done`` to re-read the setter's state at the
 cost of an extra control round-trip.  With no injector attached, the
 board behaves exactly as before.
@@ -36,6 +39,13 @@ DEFAULT_FLAG_LATENCY = 1e-8
 
 class FlagBoard:
     """All coordination flags of one training job."""
+
+    #: Suppress duplicated flag deliveries (sequence-number dedupe, the
+    #: correct behaviour: done flags are transfer *counters*, so a stale
+    #: duplicate would release a receiver before its payload landed).
+    #: Test-only hook — chaos tests flip this to False to simulate a
+    #: board without dedupe and watch the delivery oracle catch it.
+    dedupe = True
 
     def __init__(
         self,
@@ -92,8 +102,27 @@ class FlagBoard:
             flag.increment()
         elif verdict == "drop":
             pass  # value held injector-side; a waiter re-fetch releases it
-        else:  # ("delay", dt)
+        elif verdict[0] == "delay":
             self.sim.schedule(verdict[1], flag.increment)
+        else:  # ("duplicate", copies, jitter)
+            _, copies, jitter = verdict
+            flag.increment()  # the genuine delivery goes through on time
+            injector = self.injector
+
+            def stale_copy() -> None:
+                if self.dedupe:
+                    injector.log.append(
+                        self.sim.now,
+                        "control",
+                        "detect",
+                        flag.name,
+                        "stale duplicate suppressed",
+                    )
+                else:
+                    flag.increment()
+
+            for _ in range(copies):
+                self.sim.schedule(jitter, stale_copy)
 
     def refetch_ready(self, device: int, stage: int) -> str:
         """Re-read a peer's ready state after a timed-out wait.

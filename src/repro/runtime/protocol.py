@@ -138,6 +138,11 @@ class ProtocolRunner:
         self.miss_timeout = control_latency * 12
         self.miss_limit = 3
 
+        #: The simulator of the most recent run — inspected by the
+        #: cleanup regression tests (all processes must be finished or
+        #: closed after an aborted hardened run).
+        self._last_sim: Optional[Simulator] = None
+
         self._tuples = sorted(plan.tuples(), key=lambda t: t.stage)
         self._maps = BufferMaps(relation, self._tuples)
         self.num_devices = relation.num_devices
@@ -301,6 +306,7 @@ class ProtocolRunner:
         sim.spawn(master(), "master")
         for d in range(self.num_devices):
             sim.spawn(client(d), f"client{d}")
+        self._last_sim = sim
         total = sim.run()
         report.total_time = total
         gathered = [
@@ -582,6 +588,31 @@ class ProtocolRunner:
                     action = "degrade"
                     new_path = self._staging_path(t.src, t.dst)
                 if new_path is None:
+                    # Full partition: no GPU route and no host staging.
+                    # If the injector has a capacity transition still
+                    # ahead (typically the partition's scheduled heal),
+                    # sleeping until it beats burning retries on wires
+                    # we know are dark — so the wait does not count
+                    # against the retry budget.  Transitions are finite,
+                    # so this branch runs at most once per transition.
+                    heal_at = injector.next_transition_after(sim.now)
+                    if heal_at is not None:
+                        log.append(
+                            sim.now, "link", "degrade", subject,
+                            f"partitioned; waiting for heal at "
+                            f"{heal_at * 1e6:.1f} us",
+                        )
+                        winner = yield AnyOf(
+                            [
+                                Timeout(heal_at - sim.now + self.flag_latency),
+                                WaitEvent(crash_ev),
+                            ]
+                        )
+                        if winner == 1:
+                            return False
+                        attempt -= 1  # the wait was not a retry
+                        path = t.link.connections
+                        continue
                     log.append(
                         sim.now, "link", "giveup", subject,
                         "no surviving path, even via host staging",
@@ -717,11 +748,18 @@ class ProtocolRunner:
         for d in range(self.num_devices):
             sim.spawn(heartbeat(d), f"hb{d}")
             sim.spawn(monitor(d), f"mon{d}")
+        self._last_sim = sim
         try:
             sim.run()
-        except DeviceLostError:
+        except (DeviceLostError, UnrecoverableFaultError):
             report.total_time = sim.now
             raise
+        finally:
+            # On abort, sender/receiver/heartbeat/monitor coroutines are
+            # still suspended mid-yield; close them so their frames (and
+            # the buffers/network they pin) never leak across the many
+            # runs of a chaos soak.  A clean finish makes this a no-op.
+            sim.shutdown()
         report.total_time = end_state["time"]
         gathered = [
             buffers[d][self._maps.out_rows[d]] for d in range(self.num_devices)

@@ -1,0 +1,304 @@
+"""The chaos soak harness: generator, oracles, soak runner, shrinker, CLI.
+
+The acceptance bar from the issue: the default distribution passes every
+oracle over many seeds; a deliberately broken recovery policy (the
+``policy_factory`` test hook) produces violations the ddmin shrinker
+reduces to one or two events; and the minimized plan, saved as JSON,
+replays to the same violation.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.chaos import (
+    DEFAULT_MIX,
+    FaultPlanGenerator,
+    SoakConfig,
+    SoakRunner,
+    shrink_plan,
+)
+from repro.chaos.oracles import (
+    RunObservation,
+    check_bytes,
+    check_determinism,
+    check_liveness,
+    check_timeline,
+)
+from repro.faults import (
+    DeviceStall,
+    FaultPlan,
+    FlagDrop,
+    LinkLoss,
+    NetworkPartition,
+    RetryOnlyPolicy,
+)
+from repro.obs import soak_summary_json
+from repro.topology import dgx1
+
+
+@pytest.fixture(scope="module")
+def runner():
+    """One honest soak runner (default config), shared by the module."""
+    return SoakRunner(SoakConfig())
+
+
+@pytest.fixture(scope="module")
+def broken_runner():
+    """The shrinker's target: a policy that retries but never repairs,
+    so any permanent link loss becomes a liveness violation."""
+    return SoakRunner(SoakConfig(
+        mix={"link-loss": 4.0},
+        density=9.0,
+        policy_factory=lambda: RetryOnlyPolicy(max_retries=2),
+    ))
+
+
+class TestGenerator:
+    def test_same_seed_same_plan(self, runner):
+        a = runner.generator.sample(7)
+        b = runner.generator.sample(7)
+        c = runner.generator.sample(8)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_host_staging_wires_are_never_targets(self):
+        topo = dgx1()
+        gen = FaultPlanGenerator(
+            horizon=1e-6,
+            devices=range(8),
+            connections=sorted(topo.connections),
+            topology=topo,
+        )
+        host = set()
+        for d in topo.devices():
+            host |= {c.name for c in topo.host_write_path(d)}
+            host |= {c.name for c in topo.host_read_path(d)}
+        assert not host & set(gen.connections)
+        for seed in range(30):
+            for ev in gen.sample(seed).events:
+                if isinstance(ev, NetworkPartition):
+                    assert not host & set(ev.connections)
+
+    def test_partitions_always_heal_by_default(self, runner):
+        saw_one = False
+        for seed in range(40):
+            for ev in runner.generator.sample(seed).of_type(NetworkPartition):
+                saw_one = True
+                assert ev.duration is not None and ev.duration > 0
+        assert saw_one
+
+    def test_mix_restricts_kinds(self):
+        gen = FaultPlanGenerator(
+            horizon=1e-6, devices=range(4), connections=["a", "b"],
+            mix={k: 0.0 for k in DEFAULT_MIX} | {"flag-drop": 1.0},
+            density=6.0,
+        )
+        events = [ev for s in range(10) for ev in gen.sample(s).events]
+        assert events and all(isinstance(ev, FlagDrop) for ev in events)
+
+    def test_correlated_mode_picks_one_victim(self):
+        gen = FaultPlanGenerator(
+            horizon=1e-6, devices=range(8), connections=[],
+            mix={k: 0.0 for k in DEFAULT_MIX} | {"device-stall": 1.0},
+            density=8.0, correlated=True,
+        )
+        plan = gen.sample(3)
+        victims = {ev.device for ev in plan.of_type(DeviceStall)}
+        assert len(victims) == 1
+
+    def test_burst_times_stay_in_window(self):
+        gen = FaultPlanGenerator(
+            horizon=1e-6, devices=range(8), connections=["a"],
+            burstiness=1.0, density=12.0,
+        )
+        for ev in gen.sample(5).events:
+            t = getattr(ev, "time", None)
+            if t is not None:
+                assert 0.0 <= t <= 1e-6 * 0.98 + 1e-18
+
+    def test_knob_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=0.0, devices=[0], connections=[])
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=1.0, devices=[], connections=[])
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=1.0, devices=[0], connections=[],
+                               density=-1.0)
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=1.0, devices=[0], connections=[],
+                               burstiness=1.5)
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=1.0, devices=[0], connections=[],
+                               mix={"bit-rot": 2.0})
+        with pytest.raises(ValueError):
+            FaultPlanGenerator(horizon=1.0, devices=[0], connections=[],
+                               mix={k: 0.0 for k in DEFAULT_MIX})
+
+
+class TestOracles:
+    def _obs(self, **over):
+        base = dict(
+            gathered=None, total_time=1.0, transfers=4,
+            device_finish={0: 0.5}, stage_finish={(0, 0): 0.2, (0, 1): 0.5},
+            log_signature=(), trace_signature=(), metrics={},
+        )
+        base.update(over)
+        return RunObservation(**base)
+
+    def test_timeline_catches_out_of_range_finish(self):
+        obs = self._obs(device_finish={0: 2.0})
+        assert any(v.oracle == "timeline" for v in check_timeline(obs))
+
+    def test_timeline_catches_stage_regression(self):
+        obs = self._obs(stage_finish={(0, 0): 0.9, (0, 1): 0.3})
+        assert any("before" in v.detail for v in check_timeline(obs))
+
+    def test_liveness_allows_only_scheduled_crashes(self):
+        lost = self._obs(error="DeviceLostError", error_detail="device 2")
+        assert check_liveness(lost, crashes_scheduled=True) == []
+        assert check_liveness(lost, crashes_scheduled=False)
+        stuck = self._obs(error="UnrecoverableFaultError", error_detail="x")
+        assert check_liveness(stuck, crashes_scheduled=True)
+
+    def test_bytes_flags_count_and_unplanned_traffic(self):
+        obs = self._obs(
+            gathered=[np.zeros(1)], transfers=3,
+            metrics={"comm.bytes{conn=a}": 100.0, "comm.bytes{conn=b}": 7.0},
+        )
+        out = check_bytes(obs, {"a": 100.0}, num_tuples=4, rerouted=False)
+        details = " ".join(v.detail for v in out)
+        assert "3 transfers" in details and "never" in details
+
+    def test_bytes_relaxed_after_reroute(self):
+        obs = self._obs(gathered=[np.zeros(1)], transfers=4,
+                        metrics={"comm.bytes{conn=b}": 7.0})
+        assert check_bytes(obs, {"a": 100.0}, 4, rerouted=True) == []
+
+    def test_determinism_compares_everything(self):
+        a = self._obs()
+        assert check_determinism(a, self._obs()) == []
+        assert check_determinism(a, self._obs(total_time=2.0))
+        assert check_determinism(a, self._obs(error="RuntimeError"))
+        assert check_determinism(a, self._obs(log_signature=((0.1, "l", "retry", "s"),)))
+
+
+class TestSoak:
+    def test_default_distribution_passes_all_oracles(self, runner):
+        report = runner.run(8)
+        assert report.passed, report.summary()
+        d = report.as_dict()
+        assert d["seeds"] == 8 and d["failed"] == 0
+        assert d["violations_by_oracle"] == {}
+
+    def test_training_parity_seed(self, runner):
+        result = runner.run_seed(0, train=True)
+        assert result.passed, [v.as_dict() for v in result.violations]
+
+    def test_report_export_is_deterministic(self, runner, tmp_path):
+        a = soak_summary_json(runner.run(3))
+        b = soak_summary_json(runner.run(3))
+        assert a == b
+        parsed = json.loads(a)
+        assert parsed["seeds"] == 3 and "config" in parsed
+
+
+class TestShrinker:
+    def _failing_seed(self, broken_runner, min_events=8):
+        """The first seed whose plan is big and fails under the broken policy."""
+        for seed in range(40):
+            plan = broken_runner.generator.sample(seed)
+            if len(plan) < min_events:
+                continue
+            violations, _ = broken_runner.check_plan(plan)
+            if violations:
+                return plan, {v.oracle for v in violations}
+        pytest.fail("no failing seed with >= 8 events in range(40)")
+
+    def test_broken_policy_shrinks_to_minimal_plan(self, broken_runner, tmp_path):
+        plan, oracles = self._failing_seed(broken_runner)
+        assert len(plan) >= 8
+
+        def failing(candidate):
+            vs, _ = broken_runner.check_plan(candidate)
+            return any(v.oracle in oracles for v in vs)
+
+        result = shrink_plan(plan, failing, max_runs=150)
+        assert 1 <= result.events <= 2
+        assert result.original_events == len(plan)
+        assert not result.exhausted
+
+        # The minimized schedule replays, from JSON, to the same violation.
+        path = tmp_path / "min.json"
+        result.plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.events == result.plan.events
+        replayed, _ = broken_runner.check_plan(loaded)
+        assert oracles & {v.oracle for v in replayed}
+
+    def test_minimized_plan_passes_under_honest_policy(self, runner, broken_runner):
+        """The shrunk plan indicts the policy, not the runtime."""
+        plan, oracles = self._failing_seed(broken_runner)
+
+        def failing(candidate):
+            vs, _ = broken_runner.check_plan(candidate)
+            return any(v.oracle in oracles for v in vs)
+
+        result = shrink_plan(plan, failing, max_runs=150)
+        honest, _ = runner.check_plan(result.plan)
+        assert honest == []
+
+    def test_shrink_rejects_passing_plan(self, runner):
+        plan = runner.generator.sample(0)
+        with pytest.raises(ValueError):
+            shrink_plan(plan, lambda p: False)
+
+    def test_budget_exhaustion_returns_best_so_far(self):
+        plan = FaultPlan([
+            LinkLoss(connection=f"c{i}", time=float(i) * 1e-7)
+            for i in range(6)
+        ])
+        calls = {"n": 0}
+
+        def failing(candidate):
+            calls["n"] += 1
+            return any(ev.connection == "c3" for ev in candidate.events)
+
+        result = shrink_plan(plan, failing, max_runs=1)
+        assert result.exhausted and result.events == 6
+
+        full = shrink_plan(plan, failing, max_runs=100)
+        assert full.events == 1 and not full.exhausted
+        assert full.plan.events[0].connection == "c3"
+
+
+class TestChaosCLI:
+    def test_smoke_soak(self, capsys):
+        assert main(["chaos", "--seeds", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "3/3 seeds passed" in out
+
+    def test_json_and_summary_file(self, capsys, tmp_path):
+        summary = tmp_path / "soak.json"
+        assert main(["chaos", "--seeds", "2", "--json",
+                     "--summary", str(summary)]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["passed"] == 2
+        on_disk = json.loads(summary.read_text())
+        assert on_disk["seeds"] == 2
+
+    def test_replay_roundtrip(self, runner, capsys, tmp_path):
+        path = tmp_path / "plan.json"
+        runner.generator.sample(4).save(path)
+        assert main(["chaos", "--replay", str(path)]) == 0
+        assert "passed every oracle" in capsys.readouterr().out
+
+    def test_replay_missing_and_malformed(self, capsys, tmp_path):
+        assert main(["chaos", "--replay", str(tmp_path / "nope.json")]) == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"events": [{"type": "bit-rot"}]}')
+        assert main(["chaos", "--replay", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "not found" in err and "unknown fault kind" in err

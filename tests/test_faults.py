@@ -10,11 +10,14 @@ from repro.faults import (
     FaultInjector,
     FaultLog,
     FaultPlan,
+    FaultSpecError,
     FlagDelay,
     FlagDrop,
+    FlagDuplicate,
     LinkDegrade,
     LinkFlap,
     LinkLoss,
+    NetworkPartition,
     UnrecoverableFaultError,
     alternate_path,
     filter_topology,
@@ -95,6 +98,125 @@ class TestFaultPlan:
         loaded = FaultPlan.load(path)
         assert loaded.events == plan.events
         assert loaded.seed == 11
+
+
+class TestFaultSpecErrors:
+    """Satellite 1: loading a fault spec fails with *typed*, precise errors."""
+
+    def test_error_is_a_value_error(self):
+        assert issubclass(FaultSpecError, ValueError)
+
+    def test_unknown_kind(self):
+        with pytest.raises(FaultSpecError, match="unknown fault kind 'bit-rot'"):
+            FaultPlan.from_json('{"events": [{"type": "bit-rot"}]}')
+
+    def test_bad_device_id(self):
+        with pytest.raises(FaultSpecError, match="bad device id"):
+            FaultPlan.from_json(
+                '{"events": [{"type": "device-crash", "device": -3, "time": 0.0}]}'
+            )
+
+    def test_negative_time(self):
+        with pytest.raises(FaultSpecError, match="negative time"):
+            FaultPlan.from_json(
+                '{"events": [{"type": "device-crash", "device": 0, "time": -1.0}]}'
+            )
+
+    def test_misspelled_field_names_the_schema(self):
+        with pytest.raises(FaultSpecError, match="devcie"):
+            FaultPlan.from_json(
+                '{"events": [{"type": "device-crash", "devcie": 0, "time": 0.0}]}'
+            )
+
+    def test_missing_field(self):
+        with pytest.raises(FaultSpecError, match="event #0"):
+            FaultPlan.from_json('{"events": [{"type": "device-crash"}]}')
+
+    def test_malformed_json_and_shapes(self):
+        with pytest.raises(FaultSpecError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultSpecError):
+            FaultPlan.from_json('[1, 2]')
+        with pytest.raises(FaultSpecError, match="must be a list"):
+            FaultPlan.from_json('{"events": 7}')
+        with pytest.raises(FaultSpecError, match="event #0"):
+            FaultPlan.from_json('{"events": ["crash"]}')
+
+    def test_error_prefix_carries_event_index(self):
+        text = (
+            '{"events": ['
+            '{"type": "device-stall", "device": 0, "time": 0.0, "duration": 1e-6},'
+            '{"type": "link-degrade", "connection": "c", "time": 0.0, "factor": 2.0}'
+            ']}'
+        )
+        with pytest.raises(FaultSpecError, match=r"event #1 \(link-degrade\)"):
+            FaultPlan.from_json(text)
+
+
+class TestNewFaultKinds:
+    def test_partition_validation(self):
+        with pytest.raises(FaultSpecError):
+            NetworkPartition(connections=(), time=0.0)
+        with pytest.raises(FaultSpecError):
+            NetworkPartition(connections=("a", ""), time=0.0)
+        with pytest.raises(FaultSpecError):
+            NetworkPartition(connections=("a",), time=0.0, duration=0.0)
+        ev = NetworkPartition(connections=["b", "a"], time=1e-6, duration=1e-6)
+        assert ev.connections == ("b", "a")  # list coerced, order kept
+
+    def test_duplicate_validation(self):
+        with pytest.raises(FaultSpecError):
+            FlagDuplicate(kind="nope", device=0, stage=0)
+        with pytest.raises(FaultSpecError):
+            FlagDuplicate(kind="ready", device=0, stage=0, copies=0)
+        with pytest.raises(FaultSpecError):
+            FlagDuplicate(kind="ready", device=0, stage=0, jitter=-1.0)
+        with pytest.raises(FaultSpecError):
+            FlagDuplicate(kind="done", device=0, peer=1, stage=0, count=0)
+
+    def test_new_kinds_json_roundtrip(self, tmp_path):
+        plan = FaultPlan(
+            [
+                NetworkPartition(connections=("a", "b"), time=1e-6, duration=2e-6),
+                FlagDuplicate(kind="done", device=0, peer=3, stage=1,
+                              copies=2, jitter=1e-7, count=2),
+            ],
+            seed=9,
+        )
+        path = tmp_path / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.events == plan.events and loaded.seed == 9
+
+    def test_partition_drives_capacity_timeline(self):
+        inj = FaultInjector(FaultPlan([
+            NetworkPartition(connections=("a", "b"), time=1e-6, duration=1e-6)
+        ]))
+        assert inj.dead_connections(0.5e-6) == []
+        assert inj.dead_connections(1.5e-6) == ["a", "b"]
+        assert inj.dead_connections(2.5e-6) == []
+        assert inj.next_transition_after(0.0) == pytest.approx(1e-6)
+        assert inj.next_transition_after(1.5e-6) == pytest.approx(2e-6)
+        assert inj.next_transition_after(3e-6) is None
+
+    def test_duplicate_budget_in_filter(self):
+        inj = FaultInjector(FaultPlan([
+            FlagDuplicate(kind="ready", device=0, stage=0,
+                          copies=2, jitter=5e-7, count=1)
+        ]))
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == ("duplicate", 2, 5e-7)
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == "deliver"
+        inj.reset()
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == ("duplicate", 2, 5e-7)
+
+    def test_drop_takes_precedence_over_duplicate(self):
+        inj = FaultInjector(FaultPlan([
+            FlagDrop(kind="ready", device=0, stage=0, count=1),
+            FlagDuplicate(kind="ready", device=0, stage=0, count=1),
+        ]))
+        assert inj.filter_flag("ready", 0, None, 0, 0.0) == "drop"
+        verdict = inj.filter_flag("ready", 0, None, 0, 0.0)
+        assert verdict[0] == "duplicate"
 
 
 class TestFaultLog:
@@ -237,6 +359,73 @@ class TestRepair:
         detour = alternate_path(topo, 0, 1, avoid=sorted(avoid))
         assert detour is not None
         assert not any(c.name in avoid for c in detour)
+
+    # -- satellite 3: simultaneous multi-link failures -----------------
+    def test_repair_survives_two_dead_wires_same_stage(self, workload):
+        _, rel, plan = workload
+        used = []
+        for route in plan.routes:
+            for link, stage in route.edges:
+                if stage == 0:
+                    for c in link.connections:
+                        if c.name not in used:
+                            used.append(c.name)
+        assert len(used) >= 2, "workload must traffic two stage-0 wires"
+        dead = used[:2]
+        result = repair_plan(plan, dead_connections=dead)
+        assert result.touched >= 1
+        assert result.untouched_routes + result.touched == len(plan.routes)
+        surviving = {
+            c.name
+            for route in result.plan.routes
+            for link, _ in route.edges
+            for c in link.connections
+        }
+        assert not set(dead) & surviving
+        result.plan.validate(rel)  # still delivers every vertex class
+
+    def test_alternate_path_avoids_dead_and_degraded_wires(self):
+        topo = dgx1()
+        dead = {
+            c.name
+            for link in topo.links
+            if {link.src, link.dst} == {0, 1}
+            for c in link.connections
+            if c.name.startswith("nv")
+        }
+        crawling = {
+            c.name
+            for link in topo.links
+            if 2 in (link.src, link.dst)
+            for c in link.connections
+            if c.name.startswith("nv")
+        }
+
+        def capacity_of(conn):
+            if conn.name in crawling:
+                return 1.0  # a degraded survivor: alive but useless
+            return conn.bytes_per_second
+
+        path = alternate_path(topo, 0, 1, capacity_of=capacity_of,
+                              avoid=sorted(dead))
+        assert path is not None
+        names = {c.name for c in path}
+        assert not names & dead
+        assert not names & crawling
+
+    def test_host_staging_engages_when_every_gpu_route_dies(self):
+        topo = dgx1()
+        # NVLink down and the QPI socket bridge down: 0 and 4 sit on
+        # different sockets, so no GPU-to-GPU route survives at all —
+        # only host memory (shared across sockets) still connects them.
+        dead = sorted(
+            c for c in topo.connections
+            if c.startswith("nv") or c.startswith("qpi")
+        )
+        path = alternate_path(topo, 0, 4, avoid=dead)
+        assert path is not None
+        staging = tuple(topo.host_write_path(0)) + tuple(topo.host_read_path(4))
+        assert tuple(c.name for c in path) == tuple(c.name for c in staging)
 
 
 class TestDeviceMemoryPeaks:

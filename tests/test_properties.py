@@ -11,6 +11,18 @@ from hypothesis import given, settings, strategies as st
 
 from repro.comm.allgather import CompiledAllgather
 from repro.core import CommRelation, SPSTPlanner, StagedCostModel
+from repro.faults import (
+    DeviceCrash,
+    DeviceStall,
+    FaultPlan,
+    FlagDelay,
+    FlagDrop,
+    FlagDuplicate,
+    LinkDegrade,
+    LinkFlap,
+    LinkLoss,
+    NetworkPartition,
+)
 from repro.gnn.functional import segment_sum, softmax_cross_entropy
 from repro.graph.csr import Graph
 from repro.partition import partition
@@ -192,6 +204,80 @@ class TestNetworkProperties:
         ]
         t = sim.makespan(flows)
         assert t == pytest.approx(max(sizes) / 10e9, rel=1e-6)
+
+
+_times = st.floats(0.0, 1e-3, allow_nan=False, allow_infinity=False)
+_durations = st.floats(1e-12, 1e-3, allow_nan=False, allow_infinity=False)
+_devices = st.integers(0, 15)
+_stages = st.integers(0, 3)
+_conn_names = st.text("abcnvqm:->0123456789", min_size=1, max_size=12)
+_flag_kinds = st.sampled_from(["ready", "done"])
+_peers = st.none() | st.integers(0, 15)
+
+
+@st.composite
+def fault_events(draw):
+    """One valid fault event of any of the nine kinds."""
+    kind = draw(st.integers(0, 8))
+    if kind == 0:
+        return DeviceStall(device=draw(_devices), time=draw(_times),
+                           duration=draw(_durations))
+    if kind == 1:
+        return DeviceCrash(device=draw(_devices), time=draw(_times))
+    if kind == 2:
+        return LinkDegrade(
+            connection=draw(_conn_names), time=draw(_times),
+            factor=draw(st.floats(0.01, 0.99)),
+            duration=draw(st.none() | _durations),
+        )
+    if kind == 3:
+        return LinkFlap(connection=draw(_conn_names), time=draw(_times),
+                        period=draw(_durations), count=draw(st.integers(1, 5)))
+    if kind == 4:
+        return LinkLoss(connection=draw(_conn_names), time=draw(_times))
+    if kind == 5:
+        return NetworkPartition(
+            connections=tuple(draw(st.lists(_conn_names, min_size=1,
+                                            max_size=4))),
+            time=draw(_times),
+            duration=draw(st.none() | _durations),
+        )
+    if kind == 6:
+        return FlagDrop(kind=draw(_flag_kinds), device=draw(_devices),
+                        peer=draw(_peers), stage=draw(_stages),
+                        count=draw(st.integers(1, 5)))
+    if kind == 7:
+        return FlagDelay(kind=draw(_flag_kinds), device=draw(_devices),
+                         peer=draw(_peers), stage=draw(_stages),
+                         delay=draw(_durations))
+    return FlagDuplicate(
+        kind=draw(_flag_kinds), device=draw(_devices), peer=draw(_peers),
+        stage=draw(_stages), copies=draw(st.integers(1, 4)),
+        jitter=draw(st.floats(0.0, 1e-3)), count=draw(st.integers(1, 4)),
+    )
+
+
+class TestFaultPlanProperties:
+    @given(st.lists(fault_events(), max_size=12),
+           st.none() | st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_save_load_roundtrip(self, tmp_path_factory, events, seed):
+        """Every fault plan — all nine event kinds, any mix — survives
+        the JSON file round-trip bit-for-bit, seed included."""
+        plan = FaultPlan(events, seed=seed)
+        path = tmp_path_factory.mktemp("plans") / "plan.json"
+        plan.save(path)
+        loaded = FaultPlan.load(path)
+        assert loaded.events == plan.events
+        assert loaded.seed == plan.seed
+
+    @given(st.lists(fault_events(), max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_text_roundtrip_is_stable(self, events):
+        """to_json(from_json(x)) is a fixed point after one round."""
+        once = FaultPlan(events).to_json()
+        again = FaultPlan.from_json(once).to_json()
+        assert once == again
 
 
 class TestLossProperties:

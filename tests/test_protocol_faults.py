@@ -8,6 +8,8 @@ faults, typed errors on confirmed device loss and exhausted retry
 budgets, and reproducible fault logs.
 """
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -20,14 +22,18 @@ from repro.faults import (
     FaultInjector,
     FaultPlan,
     FlagDrop,
+    FlagDuplicate,
     LinkFlap,
     LinkLoss,
+    NetworkPartition,
     RetryOnlyPolicy,
     UnrecoverableFaultError,
 )
 from repro.graph.generators import rmat
 from repro.partition import partition
 from repro.runtime import ProtocolRunner
+from repro.runtime.events import Simulator, Timeout
+from repro.runtime.flags import FlagBoard
 from repro.topology import dgx1
 
 
@@ -192,6 +198,144 @@ class TestLinkEdgeCases:
         assert all(np.array_equal(a, b) for a, b in zip(result, expected))
         policies = runner.injector.log.policy_counts()
         assert policies["repair"] + policies["degrade"] >= 1
+
+
+class TestNetworkPartitions:
+    def test_short_blackout_recovers_in_place(
+        self, workload, blocks, expected, baseline_time
+    ):
+        """Every wire goes dark briefly; in-flight transfers ride it out."""
+        _, _, plan = workload
+        fault_plan = FaultPlan([
+            NetworkPartition(
+                connections=tuple(sorted(plan.topology.connections)),
+                time=baseline_time * 0.3,
+                duration=baseline_time * 0.5,
+            )
+        ])
+        _, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time > baseline_time
+
+    def test_long_blackout_waits_for_heal(
+        self, workload, blocks, expected, baseline_time
+    ):
+        """The blackout outlives the retry ladder: with no surviving path
+        anywhere, the protocol must wait for the scheduled heal instead of
+        burning its retry budget — and still deliver exact rows."""
+        _, _, plan = workload
+        fault_plan = FaultPlan([
+            NetworkPartition(
+                connections=tuple(sorted(plan.topology.connections)),
+                time=baseline_time * 0.3,
+                duration=baseline_time * 10,
+            )
+        ])
+        runner, (result, report) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        assert report.total_time > baseline_time * 10
+        waits = [
+            r for r in runner.injector.log.records
+            if "waiting for heal" in r.detail
+        ]
+        assert waits and all(r.action == "degrade" for r in waits)
+
+
+class TestFlagDuplication:
+    def test_duplicated_done_flag_is_suppressed(
+        self, workload, blocks, expected
+    ):
+        """Stale duplicates of the final hand-off arrive late; the board
+        dedupes them, so no receiver is released before its payload."""
+        _, _, plan = workload
+        src, dst, last = last_stage_pair(plan)
+        fault_plan = FaultPlan([
+            FlagDuplicate(
+                kind="done", device=src, peer=dst, stage=last,
+                copies=2, jitter=1e-8, count=1,
+            )
+        ])
+        runner, (result, _) = run_with(workload, blocks, fault_plan)
+        assert all(np.array_equal(a, b) for a, b in zip(result, expected))
+        suppressed = [
+            r for r in runner.injector.log.records
+            if "stale duplicate suppressed" in r.detail
+        ]
+        assert len(suppressed) == 2
+
+    def _board_run(self, dedupe: bool):
+        sim = Simulator()
+        injector = FaultInjector(FaultPlan([
+            FlagDuplicate(kind="ready", device=0, stage=0,
+                          copies=2, jitter=1e-7, count=1)
+        ]))
+        board = FlagBoard(sim, injector=injector)
+        saved = FlagBoard.dedupe
+        FlagBoard.dedupe = dedupe
+        try:
+            def setter():
+                board.set_ready(0, 0)
+                yield Timeout(1e-6)
+
+            sim.spawn(setter(), "setter")
+            sim.run()
+        finally:
+            FlagBoard.dedupe = saved
+        return board.ready_flag(0, 0).value
+
+    def test_board_dedupe_hook(self):
+        """The test-only hook: dedupe on holds the monotone flag at its
+        true value; off, stale copies overshoot it (the bug the chaos
+        delivery oracle exists to catch)."""
+        assert self._board_run(dedupe=True) == 1
+        assert self._board_run(dedupe=False) == 3
+
+
+class TestCleanShutdown:
+    """Satellite 2: an aborting run must not leak simulator processes
+    (or OS threads — the runtime is single-threaded by design)."""
+
+    def _assert_clean(self, runner):
+        sim = runner._last_sim
+        assert sim is not None
+        assert all(p.finished for p in sim._processes)
+
+    def test_no_leaks_after_device_loss(self, workload, blocks, baseline_time):
+        before = threading.active_count()
+        fault_plan = FaultPlan([DeviceCrash(device=2, time=baseline_time * 0.25)])
+        _, rel, plan = workload
+        runner = ProtocolRunner(rel, plan, injector=FaultInjector(fault_plan))
+        with pytest.raises(DeviceLostError):
+            runner.run_data(blocks)
+        assert threading.active_count() == before
+        self._assert_clean(runner)
+
+    def test_no_leaks_after_unrecoverable_fault(self, workload, blocks):
+        before = threading.active_count()
+        _, rel, plan = workload
+        src, dst, _ = last_stage_pair(plan)
+        fault_plan = FaultPlan([
+            FlagDrop(kind="done", device=src, peer=dst, stage=0, count=50)
+        ])
+        runner = ProtocolRunner(
+            rel, plan, injector=FaultInjector(fault_plan),
+            policy=RetryOnlyPolicy(max_retries=3),
+        )
+        with pytest.raises(UnrecoverableFaultError):
+            runner.run_data(blocks)
+        assert threading.active_count() == before
+        self._assert_clean(runner)
+
+    def test_shutdown_reports_stuck_processes(self):
+        sim = Simulator()
+
+        def stuck():
+            yield Timeout(1.0)
+
+        sim.spawn(stuck(), "stuck-proc")
+        sim.run(until=0.1)
+        assert sim.shutdown() == ["stuck-proc"]
+        assert sim.shutdown() == []  # idempotent
 
 
 class TestReproducibility:
