@@ -1,0 +1,126 @@
+"""Auto-tuner benchmark: pick quality and plan-cache speedup.
+
+Two claims, recorded in ``BENCH_autotune.json``:
+
+* **pick quality** — on the Table-5 style workload grid the tuner's
+  pick is never worse than the best fixed strategy (it prices every
+  candidate with the same staged cost model, so this is exact), and the
+  report quantifies how much the *worst* fixed choice would have cost;
+* **cache speedup** — loading the stored plan from a warm
+  :class:`~repro.autotune.cache.PlanCache` is at least 10x faster than
+  re-running SPST planning from scratch on a Table 8 benchmark cell
+  (wiki-talk at 16 GPUs, the largest twin planning job in the tier-1
+  grid).
+"""
+
+import tempfile
+import time
+
+from repro.autotune import AutoTuner, PlanCache, cache_key
+from repro.baselines import evaluate_scheme
+from repro.core.spst import SPSTPlanner
+
+from benchmarks.conftest import get_workload, shared_topology, write_table
+from benchmarks.emit_json import emit_json
+
+DATASETS = ["web-google", "wiki-talk"]
+GPUS = 8
+FIXED_SCHEMES = ("dgcl", "dgcl-cache", "peer-to-peer", "swap", "replication")
+
+
+def tune_cell(dataset: str):
+    """Tune one workload cell; returns (report, fixed-scheme costs)."""
+    w = get_workload(dataset, "gcn", GPUS)
+    tuner = AutoTuner(w.graph, w.topology, dataset=dataset)
+    report = tuner.tune()
+    fixed = {}
+    for scheme in FIXED_SCHEMES:
+        r = evaluate_scheme(w, scheme)
+        fixed[scheme] = r.epoch_time if r.ok else float("inf")
+    return report, fixed
+
+
+CACHE_DATASET = "wiki-talk"
+CACHE_GPUS = 16
+
+
+def cache_speedup():
+    """(cold planning seconds, warm cache-load seconds) on Table 8's graph."""
+    w = get_workload(CACHE_DATASET, "gcn", CACHE_GPUS)
+    topology = shared_topology(CACHE_GPUS)
+    relation = w.relation  # materialise outside the timed region
+
+    start = time.perf_counter()
+    plan = SPSTPlanner(topology, granularity="chunk", seed=0).plan(relation)
+    cold = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = PlanCache(tmp)
+        key = cache_key(w.graph, w.partition.assignment, topology,
+                        {"strategy": "spst", "chunks_per_class": 4, "seed": 0})
+        cache.put(key, plan)
+        start = time.perf_counter()
+        warm_plan = cache.get(key, topology)
+        warm = time.perf_counter() - start
+        assert warm_plan is not None and cache.stats.hits == 1
+    return cold, warm
+
+
+def test_autotune_benchmark():
+    cells = {d: tune_cell(d) for d in DATASETS}
+    cold, warm = cache_speedup()
+    speedup = cold / warm
+
+    rows = []
+    payload_cells = {}
+    for dataset, (report, fixed) in cells.items():
+        pick_cost = report.best.cost
+        best_fixed = min(fixed.values())
+        worst_fixed = max(v for v in fixed.values() if v != float("inf"))
+        rows.append([
+            dataset, report.candidate.label(),
+            f"{pick_cost * 1e3:.3f}", f"{best_fixed * 1e3:.3f}",
+            f"{worst_fixed * 1e3:.3f}", f"{worst_fixed / pick_cost:.2f}x",
+        ])
+        payload_cells[dataset] = {
+            "picked": report.candidate.config(),
+            "picked_epoch_seconds": pick_cost,
+            "best_fixed_epoch_seconds": best_fixed,
+            "worst_fixed_epoch_seconds": worst_fixed,
+            "evaluations": report.evaluations,
+            "driver": report.driver,
+            "fixed": {k: (None if v == float("inf") else v)
+                      for k, v in fixed.items()},
+        }
+
+    write_table(
+        "autotune",
+        f"Auto-tuner pick quality (gcn, {GPUS} GPUs) and plan-cache speedup",
+        ["dataset", "pick", "pick(ms)", "best fixed(ms)",
+         "worst fixed(ms)", "worst/pick"],
+        rows,
+        notes=(
+            f"Plan cache: cold SPST planning {cold:.3f}s vs warm load "
+            f"{warm * 1e3:.1f}ms on {CACHE_DATASET} @ {CACHE_GPUS} GPUs "
+            f"({speedup:.0f}x)."
+        ),
+    )
+    emit_json("autotune", {
+        "gpus": GPUS,
+        "model": "gcn",
+        "cells": payload_cells,
+        "plan_cache": {
+            "dataset": CACHE_DATASET,
+            "gpus": CACHE_GPUS,
+            "cold_plan_seconds": cold,
+            "warm_load_seconds": warm,
+            "speedup": speedup,
+        },
+    })
+
+    # The tuner prices candidates with the exact same cost model the
+    # fixed evaluations use, so its pick can never lose to them.
+    for dataset, (report, fixed) in cells.items():
+        assert report.best.cost <= min(fixed.values()) + 1e-12, dataset
+    # Acceptance: warm plan loading beats cold planning by >= 10x.
+    assert speedup >= 10.0, f"plan cache speedup only {speedup:.1f}x"

@@ -1,0 +1,39 @@
+"""Shared JSON artifact emitter for the benchmark suite.
+
+Text tables (``conftest.write_table``) are for humans; CI jobs and
+trend dashboards want machine-readable artifacts.  :func:`emit_json`
+writes one ``BENCH_<name>.json`` document under
+``benchmarks/results/`` with a tiny stable envelope (name + schema
+version + payload), prints the path, and returns it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict
+
+from benchmarks.conftest import RESULTS_DIR
+
+#: Version of the artifact envelope (payload schemas are per-benchmark).
+BENCH_JSON_VERSION = 1
+
+
+def emit_json(name: str, payload: Dict[str, Any]) -> Path:
+    """Write ``benchmarks/results/BENCH_<name>.json`` and return the path.
+
+    ``payload`` must be JSON-serialisable; the envelope adds the
+    benchmark name and the artifact format version.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    doc = {
+        "benchmark": name,
+        "format": BENCH_JSON_VERSION,
+        "payload": payload,
+    }
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {path}")
+    return path

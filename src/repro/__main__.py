@@ -3,10 +3,15 @@
 Commands:
 
 * ``info`` — list the dataset twins, topology presets and GNN models;
-* ``plan`` — partition a dataset, run SPST, print plan statistics and
-  optionally save the plan to a ``.npz``;
+* ``plan`` — partition a dataset, plan (``--strategy spst|p2p|auto``,
+  optionally through a persistent ``--plan-cache DIR``), print plan
+  statistics and optionally save the plan to a ``.npz``;
+* ``tune`` — run the cost-guided auto-tuner: price every candidate
+  scheme with the staged cost model, print the ranking and the pick;
+  with ``--plan-cache DIR`` the winning plan persists across runs;
 * ``evaluate`` — simulate one epoch for one or all communication
-  schemes on a workload (the Figure-7 cell view);
+  schemes on a workload (the Figure-7 cell view); ``--scheme auto``
+  evaluates whatever the auto-tuner picks;
 * ``train`` — run real distributed epochs and confirm they match the
   single-device reference;
 * ``trace`` — run one traced evaluation (or training run) and write a
@@ -62,16 +67,34 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
     from repro.partition import evaluate_partition
 
-    workload = Workload(args.dataset, "gcn", _topology(args.gpus, args.topology))
-    start = time.perf_counter()
-    plan = workload.spst_plan
-    planning_seconds = time.perf_counter() - start
+    topology = _topology(args.gpus, args.topology)
+    workload = Workload(args.dataset, "gcn", topology)
+    cache_stats = None
+    plan_source = "planned"
+    if args.strategy != "spst" or args.plan_cache:
+        from repro.api import DGCLSession
+
+        session = DGCLSession(topology, strategy=args.strategy,
+                              plan_cache=args.plan_cache)
+        start = time.perf_counter()
+        plan = session.build_comm_info(workload.graph)
+        planning_seconds = time.perf_counter() - start
+        plan_source = session.plan_source
+        if session.plan_cache is not None:
+            cache_stats = session.plan_cache.stats.as_dict()
+    else:
+        start = time.perf_counter()
+        plan = workload.spst_plan
+        planning_seconds = time.perf_counter() - start
     bpu = workload.boundary_bytes()[0]
     if args.json:
         payload = {
             "dataset": args.dataset,
             "gpus": args.gpus,
             "topology": args.topology,
+            "strategy": args.strategy,
+            "plan_source": plan_source,
+            "plan_cache": cache_stats,
             "graph": {
                 "num_vertices": workload.graph.num_vertices,
                 "num_edges": workload.graph.num_edges,
@@ -101,7 +124,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
         for line in metrics.summary().splitlines():
             print(f"  {line}")
         print(f"relation:  {workload.relation}")
-        print(f"plan:      {plan}  (planned in {planning_seconds:.2f}s)")
+        print(f"plan:      {plan}  ({plan_source} in {planning_seconds:.2f}s)")
+        if cache_stats is not None:
+            print(f"           plan cache: {cache_stats}")
         print(f"           volume by kind: "
               f"{ {str(k): v for k, v in plan.volume_by_kind().items()} }")
         print(f"           estimated allgather cost: "
@@ -115,6 +140,70 @@ def cmd_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    """``tune``: cost-guided scheme selection, optionally cached."""
+    from repro.graph.datasets import load_dataset
+
+    topology = _topology(args.gpus, args.topology)
+    graph = load_dataset(args.dataset, seed=0)
+    driver = None
+    if args.driver != "auto":
+        from repro.autotune import ExhaustiveSearch, SuccessiveHalving
+
+        driver = (ExhaustiveSearch() if args.driver == "exhaustive"
+                  else SuccessiveHalving())
+
+    report = None
+    plan_source = None
+    cache_stats = None
+    if args.plan_cache:
+        # Through a session the winning plan persists: the second run
+        # with the same inputs skips tuning *and* planning entirely.
+        from repro.api import DGCLSession
+
+        session = DGCLSession(topology, strategy="auto",
+                              plan_cache=args.plan_cache)
+        tune_kwargs = {"model_name": args.model, "dataset": args.dataset}
+        if driver is not None:
+            tune_kwargs["driver"] = driver
+        start = time.perf_counter()
+        session.build_comm_info(graph, tune_kwargs=tune_kwargs)
+        seconds = time.perf_counter() - start
+        report = session.tune_report
+        plan_source = session.plan_source
+        cache_stats = session.plan_cache.stats.as_dict()
+    else:
+        from repro.autotune import AutoTuner
+
+        tuner = AutoTuner(graph, topology, model_name=args.model,
+                          dataset=args.dataset, driver=driver)
+        start = time.perf_counter()
+        report = tuner.tune()
+        seconds = time.perf_counter() - start
+
+    if args.json:
+        payload = {
+            "dataset": args.dataset,
+            "model": args.model,
+            "gpus": args.gpus,
+            "topology": args.topology,
+            "wall_seconds": seconds,
+            "plan_source": plan_source,
+            "plan_cache": cache_stats,
+            "report": report.as_dict() if report is not None else None,
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    if report is not None:
+        print(report.summary())
+    if plan_source is not None:
+        skipped = " (tuning and planning skipped)" if report is None else ""
+        print(f"plan source: {plan_source}{skipped}")
+        print(f"plan cache:  {cache_stats}")
+    print(f"wall time:   {seconds:.2f}s")
+    return 0
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     from repro.baselines import SCHEMES, Workload, evaluate_dgcl_r, evaluate_scheme
 
@@ -125,11 +214,29 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
         tracer, metrics = Tracer(), MetricsRegistry()
     topology = _topology(args.gpus, args.topology)
     workload = Workload(args.dataset, args.model, topology)
-    schemes = [args.scheme] if args.scheme else list(SCHEMES)
-    results = [
-        evaluate_scheme(workload, scheme, tracer=tracer, metrics=metrics)
-        for scheme in schemes
-    ]
+    if args.scheme == "auto":
+        # Tune first, then evaluate exactly what the tuner picked (its
+        # partitioner/chunking/method knobs included).
+        from repro.autotune import AutoTuner
+
+        report = AutoTuner(workload.graph, topology, model_name=args.model,
+                           dataset=args.dataset).tune()
+        picked = report.candidate
+        print(f"auto-tuner picked: {picked.label()}",
+              file=sys.stderr if args.json else sys.stdout)
+        workload = Workload(args.dataset, args.model, topology,
+                            partitioner=picked.partitioner,
+                            chunks_per_class=picked.chunks_per_class)
+        results = [
+            evaluate_scheme(workload, picked.strategy, tracer=tracer,
+                            metrics=metrics, method=picked.method)
+        ]
+    else:
+        schemes = [args.scheme] if args.scheme else list(SCHEMES)
+        results = [
+            evaluate_scheme(workload, scheme, tracer=tracer, metrics=metrics)
+            for scheme in schemes
+        ]
     if topology.num_machines() > 1 and not args.scheme:
         r = evaluate_dgcl_r(workload)
         if r.ok:
@@ -181,20 +288,31 @@ def cmd_train(args: argparse.Namespace) -> int:
     from repro.gnn.distributed import DistributedTrainer
     from repro.graph.datasets import synthetic_features, synthetic_labels
 
-    workload = Workload(args.dataset, args.model,
-                        _topology(args.gpus, args.topology))
+    topology = _topology(args.gpus, args.topology)
+    workload = Workload(args.dataset, args.model, topology)
     spec = workload.spec
     features = synthetic_features(workload.graph, spec.feature_size)
     labels = synthetic_labels(workload.graph, spec.num_classes)
     if args.fault_spec:
         return _train_with_faults(args, workload, spec, features, labels)
+    relation, plan = workload.relation, None
+    if args.strategy != "spst" or args.plan_cache:
+        from repro.api import DGCLSession
+
+        session = DGCLSession(topology, strategy=args.strategy,
+                              plan_cache=args.plan_cache)
+        plan = session.build_comm_info(workload.graph)
+        relation = session.relation
+        print(f"plan: {plan} ({session.plan_source})")
+    else:
+        plan = workload.spst_plan
     tracer = metrics = None
     if args.emit_trace:
         from repro.obs import MetricsRegistry, Tracer
 
         tracer, metrics = Tracer(), MetricsRegistry()
     dist = DistributedTrainer(
-        workload.relation, workload.spst_plan, workload.model, features,
+        relation, plan, workload.model, features,
         labels, lr=args.lr, tracer=tracer, metrics=metrics,
     )
     print(f"training {args.model} on {args.dataset} across "
@@ -453,9 +571,27 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("-v", "--verbose", action="count", default=0,
                        help="library log level (-v info, -vv debug)")
 
-    p = sub.add_parser("plan", help="partition + SPST plan statistics")
+    p = sub.add_parser("plan", help="partition + plan statistics")
     common(p)
+    p.add_argument("--strategy", default="spst",
+                   choices=["spst", "p2p", "auto"],
+                   help="planning strategy (auto = cost-guided tuner)")
+    p.add_argument("--plan-cache", default=None, metavar="DIR",
+                   help="persistent plan-cache directory")
     p.add_argument("--output", help="save the plan as .npz")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
+
+    p = sub.add_parser("tune",
+                       help="auto-tune the communication scheme")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--driver", default="auto",
+                   choices=["auto", "exhaustive", "halving"],
+                   help="search driver (auto picks by space size)")
+    p.add_argument("--plan-cache", default=None, metavar="DIR",
+                   help="persist the winning plan; a second identical "
+                        "run skips tuning and planning")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output on stdout")
 
@@ -463,7 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--model", default="gcn")
     p.add_argument("--scheme", default=None,
-                   help="one scheme only (default: all)")
+                   help="one scheme only, or 'auto' to evaluate the "
+                        "tuner's pick (default: all)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output on stdout")
     p.add_argument("--emit-trace", default=None, metavar="PATH",
@@ -472,6 +609,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("train", help="run real distributed epochs")
     common(p)
     p.add_argument("--model", default="gcn")
+    p.add_argument("--strategy", default="spst",
+                   choices=["spst", "p2p", "auto"],
+                   help="planning strategy for the training plan")
+    p.add_argument("--plan-cache", default=None, metavar="DIR",
+                   help="persistent plan-cache directory")
     p.add_argument("--epochs", type=int, default=3)
     p.add_argument("--lr", type=float, default=0.05)
     p.add_argument("--fault-spec", default=None, metavar="FILE",
@@ -540,6 +682,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "info": cmd_info,
         "plan": cmd_plan,
+        "tune": cmd_tune,
         "evaluate": cmd_evaluate,
         "train": cmd_train,
         "trace": cmd_trace,

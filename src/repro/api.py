@@ -47,22 +47,58 @@ __all__ = [
     "scatter_gradients",
     "local_graphs",
     "communication_plan",
+    "tune",
     "inject_faults",
     "fault_log",
     "arm_telemetry",
     "shutdown",
 ]
 
+#: Planning strategies a session accepts.
+SESSION_STRATEGIES = ("spst", "p2p", "auto")
+
 
 class DGCLSession:
-    """One distributed-training context: topology, plan, runtime."""
+    """One distributed-training context: topology, plan, runtime.
+
+    ``strategy`` picks how :meth:`build_comm_info` plans: ``"spst"``
+    (the paper's planner, default), ``"p2p"`` (direct peer-to-peer
+    routing) or ``"auto"`` (cost-guided selection over the plan-based
+    candidates — :mod:`repro.autotune`).  ``plan_cache`` — a
+    :class:`~repro.autotune.cache.PlanCache` or a directory path —
+    makes planning persistent: repeated runs on identical inputs load
+    the stored plan, and drifted inputs are patched incrementally.
+    """
 
     def __init__(
-        self, topology: Topology, fault_plan: Optional[FaultPlan] = None
+        self,
+        topology: Topology,
+        fault_plan: Optional[FaultPlan] = None,
+        strategy: str = "spst",
+        plan_cache=None,
     ) -> None:
+        if strategy not in SESSION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"available: {SESSION_STRATEGIES}"
+            )
         self.topology = topology
+        self.strategy = strategy
+        self.plan_cache = None
+        if plan_cache is not None:
+            from repro.autotune.cache import PlanCache
+
+            self.plan_cache = (
+                plan_cache if isinstance(plan_cache, PlanCache)
+                else PlanCache(plan_cache)
+            )
         self.relation: Optional[CommRelation] = None
         self.plan: Optional[CommPlan] = None
+        #: Where the active plan came from: "planned", "cache",
+        #: "patched", "replanned", or None before build_comm_info.
+        self.plan_source: Optional[str] = None
+        #: The auto-tuner's report when strategy="auto" actually tuned.
+        self.tune_report = None
         self._allgather: Optional[CompiledAllgather] = None
         self.executor = PlanExecutor(topology)
         #: Simulated seconds spent in communication since init.
@@ -162,24 +198,163 @@ class DGCLSession:
         assignment: Optional[np.ndarray] = None,
         seed: int = 0,
         chunks_per_class: int = 4,
+        strategy: Optional[str] = None,
+        tune_kwargs: Optional[dict] = None,
     ) -> CommPlan:
-        """Partition the graph, build the relation, run SPST planning.
+        """Partition the graph, build the relation, and plan.
 
         Mirrors ``dgcl.buildCommInfo(graph, topology)``: afterwards the
         session can dispatch features and run graphAllgather.  Pass an
-        explicit ``assignment`` to bring your own partitioner.
+        explicit ``assignment`` to bring your own partitioner;
+        ``strategy`` overrides the session default for this call.
+
+        With a :attr:`plan_cache`, the plan for these exact inputs is
+        loaded instead of computed when present (``plan_source ==
+        "cache"``); on a miss with a drifted sibling entry the cached
+        plan is patched incrementally (``"patched"``, or ``"replanned"``
+        when the patch regressed past the threshold); a cold cache plans
+        normally and stores the result.
         """
+        strategy = strategy or self.strategy
+        if strategy not in SESSION_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; "
+                f"available: {SESSION_STRATEGIES}"
+            )
         if assignment is None:
             assignment = hierarchical_partition(
                 graph, self.topology, seed=seed
             ).assignment
+        assignment = np.asarray(assignment, dtype=np.int64)
         self.relation = CommRelation(graph, assignment, self.topology.num_devices)
+
+        key = None
+        if self.plan_cache is not None:
+            from repro.autotune.cache import PlanCacheError
+            from repro.autotune.fingerprint import cache_key
+
+            config = {
+                "strategy": strategy,
+                "chunks_per_class": chunks_per_class,
+                "seed": seed,
+            }
+            key = cache_key(graph, assignment, self.topology, config)
+            try:
+                plan = self.plan_cache.get(key, self.topology)
+            except PlanCacheError:
+                plan = None  # invalid entry: fall through and replan
+            if plan is not None:
+                return self._install_plan(plan, "cache")
+            donor = self.plan_cache.find_sibling(key)
+            if donor is not None:
+                from repro.autotune.replan import incremental_replan
+
+                result = incremental_replan(
+                    donor,
+                    self.relation,
+                    self.topology,
+                    chunks_per_class=chunks_per_class,
+                    seed=seed,
+                )
+                if result.patched:
+                    self.plan_cache.count_patch()
+                self._store_plan(key, result.plan, strategy)
+                return self._install_plan(result.plan, result.source)
+
+        plan = self._plan_from_scratch(
+            graph, strategy, seed, chunks_per_class,
+            tune_kwargs=tune_kwargs,
+        )
+        if key is not None:
+            self._store_plan(key, plan, strategy)
+        return self._install_plan(plan, "planned")
+
+    def _plan_from_scratch(
+        self,
+        graph: Graph,
+        strategy: str,
+        seed: int,
+        chunks_per_class: int,
+        tune_kwargs: Optional[dict] = None,
+    ) -> CommPlan:
+        """Plan against :attr:`relation` with the resolved strategy."""
+        if strategy == "auto":
+            kwargs = dict(tune_kwargs or {})
+            report = self.tune(
+                graph,
+                seed=seed,
+                chunks_per_class=chunks_per_class,
+                plan_based_only=True,
+                assignment=self.relation.assignment,
+                **kwargs,
+            )
+            self.tune_report = report
+            return report.build_plan()
+        if strategy == "p2p":
+            from repro.core.baseline_planners import peer_to_peer_plan
+
+            return peer_to_peer_plan(self.relation, self.topology)
         planner = SPSTPlanner(
             self.topology, chunks_per_class=chunks_per_class, seed=seed
         )
-        self.plan = planner.plan(self.relation)
+        return planner.plan(self.relation)
+
+    def _store_plan(self, key, plan: CommPlan, strategy: str) -> None:
+        """Record a freshly built plan in the session's cache."""
+        from repro.autotune.replan import plan_cost
+
+        meta = {"strategy": strategy, "cost_units": plan_cost(plan)}
+        if self.tune_report is not None and strategy == "auto":
+            meta["picked"] = self.tune_report.candidate.config()
+        self.plan_cache.put(key, plan, meta=meta)
+
+    def _install_plan(self, plan: CommPlan, source: str) -> CommPlan:
+        """Activate a plan and compile the allgather runtime."""
+        self.plan = plan
+        self.plan_source = source
         self._allgather = CompiledAllgather(self.relation, self.plan)
         return self.plan
+
+    def tune(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        chunks_per_class: int = 4,
+        plan_based_only: bool = False,
+        assignment: Optional[np.ndarray] = None,
+        **kwargs,
+    ):
+        """Run the cost-guided auto-tuner for ``graph`` on this topology.
+
+        Returns a :class:`~repro.autotune.tuner.TuneReport`; extra
+        keyword arguments are forwarded to
+        :class:`~repro.autotune.tuner.AutoTuner`.
+        """
+        from repro.autotune.space import SearchSpace
+        from repro.autotune.tuner import AutoTuner
+
+        space = kwargs.pop("space", None)
+        if space is None:
+            # An explicit assignment collapses the partitioner dimension.
+            partitioners = (
+                ("hierarchical",) if assignment is not None
+                else ("hierarchical", "metis")
+            )
+            space = SearchSpace(
+                self.topology,
+                partitioners=partitioners,
+                chunk_options=(chunks_per_class,),
+                plan_based_only=plan_based_only,
+            )
+        tuner = AutoTuner(
+            graph,
+            self.topology,
+            seed=seed,
+            space=space,
+            assignment=assignment,
+            **kwargs,
+        )
+        return tuner.tune()
 
     def _require_plan(self) -> CompiledAllgather:
         if self._allgather is None:
@@ -245,11 +420,17 @@ _SESSION: Optional[DGCLSession] = None
 
 
 def init(
-    topology: Topology, fault_plan: Optional[FaultPlan] = None
+    topology: Topology,
+    fault_plan: Optional[FaultPlan] = None,
+    strategy: str = "spst",
+    plan_cache=None,
 ) -> DGCLSession:
     """Initialise the distributed communication environment."""
     global _SESSION
-    _SESSION = DGCLSession(topology, fault_plan=fault_plan)
+    _SESSION = DGCLSession(
+        topology, fault_plan=fault_plan, strategy=strategy,
+        plan_cache=plan_cache,
+    )
     return _SESSION
 
 
@@ -290,6 +471,12 @@ def communication_plan() -> CommPlan:
     if plan is None:
         raise RuntimeError("call build_comm_info() first")
     return plan
+
+
+def tune(graph: Graph, **kwargs):
+    """Auto-tune the communication scheme for ``graph`` on the session
+    topology; returns a :class:`~repro.autotune.tuner.TuneReport`."""
+    return _session().tune(graph, **kwargs)
 
 
 def inject_faults(fault_plan) -> FaultInjector:

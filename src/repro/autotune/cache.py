@@ -1,0 +1,236 @@
+"""Persistent, content-addressed plan cache.
+
+Planning is the slowest unoptimized hot path in the library (Table 8
+benchmarks it), yet its output is fully determined by (graph,
+partition, topology, strategy config).  The :class:`PlanCache` stores
+each plan once under the combined content digest of those four inputs
+(:mod:`repro.autotune.fingerprint`) as a versioned JSON document (the
+structural codec of :mod:`repro.core.serialize`), so a repeated session
+skips planning entirely.
+
+Safety rules:
+
+* corrupt files, wrong-version files, and entries whose recorded key
+  does not match the requested key raise the typed
+  :class:`PlanCacheError` — a bad entry is *never* silently used, and
+  every rejection is counted as an invalidation;
+* writes are atomic (temp file + rename), so a crashed writer can at
+  worst leave a stale temp file, never a torn entry;
+* hit/miss/invalidation counters land both on the instance
+  (:attr:`PlanCache.stats`) and on the process-wide
+  :func:`repro.obs.metrics.global_metrics` registry under
+  ``autotune.plan_cache``.
+
+Beyond the exact lookup, :meth:`PlanCache.find_sibling` retrieves an
+entry that matches on graph + config but differs in topology or
+partition — the raw material of incremental replanning
+(:mod:`repro.autotune.replan`).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.autotune.fingerprint import CacheKey
+from repro.core.plan import CommPlan
+from repro.core.serialize import plan_from_jsonable, plan_to_jsonable
+from repro.obs.metrics import global_metrics
+from repro.topology.topology import Topology
+
+__all__ = ["PlanCache", "PlanCacheError", "CacheStats"]
+
+#: Version of the cache-entry envelope.  Bumping it invalidates every
+#: existing entry (they are rejected with :class:`PlanCacheError`).
+CACHE_FORMAT_VERSION = 1
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+class PlanCacheError(ValueError):
+    """A cache entry exists but must not be used (corrupt / wrong version
+    / key mismatch).  The caller treats it as a miss and replans."""
+
+
+@dataclass
+class CacheStats:
+    """Counters of one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    stores: int = 0
+    patches: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain mapping (for JSON reports)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "stores": self.stores,
+            "patches": self.patches,
+        }
+
+
+class PlanCache:
+    """Directory of content-addressed, versioned JSON plan entries."""
+
+    def __init__(self, directory: PathLike) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _count(self, outcome: str) -> None:
+        """Bump an outcome counter locally and on the global registry."""
+        setattr(self.stats, outcome, getattr(self.stats, outcome) + 1)
+        global_metrics().counter(
+            "autotune.plan_cache", outcome=outcome.rstrip("s")
+        ).inc()
+
+    def count_patch(self) -> None:
+        """Record that a sibling entry was adopted via incremental
+        replanning (callers bump this after a successful patch)."""
+        self._count("patches")
+
+    def path_for(self, key: CacheKey) -> Path:
+        """The entry file the key addresses."""
+        return self.directory / f"plan-{key.digest}.json"
+
+    # ------------------------------------------------------------------
+    def load_document(self, path: Path) -> dict:
+        """Read and validate one entry's envelope (not the plan inside).
+
+        Raises :class:`PlanCacheError` on unreadable JSON, a missing or
+        foreign envelope, or a version mismatch.
+        """
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+        except (OSError, ValueError) as exc:
+            raise PlanCacheError(
+                f"unreadable plan-cache entry {path}: {exc}"
+            ) from exc
+        if not isinstance(doc, dict) or doc.get("kind") != "dgcl-plan":
+            raise PlanCacheError(
+                f"{path} is not a plan-cache entry"
+            )
+        if doc.get("format") != CACHE_FORMAT_VERSION:
+            raise PlanCacheError(
+                f"{path} has cache format {doc.get('format')!r}; this "
+                f"library writes version {CACHE_FORMAT_VERSION}"
+            )
+        for section in ("key", "plan"):
+            if section not in doc:
+                raise PlanCacheError(f"{path} is missing its {section!r} section")
+        return doc
+
+    def get(self, key: CacheKey, topology: Topology) -> Optional[CommPlan]:
+        """The cached plan for ``key``, or None on a clean miss.
+
+        A present-but-unusable entry (corrupt, old version, recorded key
+        disagreeing with the requested one, unresolvable against
+        ``topology``) is counted as an invalidation and raised as
+        :class:`PlanCacheError` — never returned.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            self._count("misses")
+            return None
+        try:
+            doc = self.load_document(path)
+            if doc["key"] != key.as_dict():
+                raise PlanCacheError(
+                    f"{path} records a different planning input set than "
+                    "the requested key (digest collision or tampering)"
+                )
+            plan = plan_from_jsonable(doc["plan"], topology)
+        except PlanCacheError:
+            self._count("invalidations")
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            self._count("invalidations")
+            raise PlanCacheError(
+                f"plan-cache entry {path} cannot be reconstructed: {exc}"
+            ) from exc
+        self._count("hits")
+        return plan
+
+    def put(
+        self,
+        key: CacheKey,
+        plan: CommPlan,
+        meta: Optional[dict] = None,
+    ) -> Path:
+        """Store ``plan`` under ``key`` atomically; returns the path.
+
+        ``meta`` carries whatever the caller wants future sessions to
+        know (resolved strategy, recorded plan cost, ...).
+        """
+        doc = {
+            "kind": "dgcl-plan",
+            "format": CACHE_FORMAT_VERSION,
+            "key": key.as_dict(),
+            "meta": dict(meta or {}),
+            "plan": plan_to_jsonable(plan),
+        }
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+        self._count("stores")
+        return path
+
+    # ------------------------------------------------------------------
+    def find_sibling(self, key: CacheKey) -> Optional[dict]:
+        """An entry sharing ``key``'s graph and config but not its
+        topology and/or partition — the incremental-replan donor.
+
+        Unreadable entries encountered during the scan are skipped (the
+        exact-key path is where rejection is loud).  Entries differing
+        in *both* topology and partition are preferred last; same-graph
+        same-partition (topology drift only) donors come first.
+        """
+        best: Optional[dict] = None
+        best_rank = 3
+        for path in sorted(self.directory.glob("plan-*.json")):
+            if path == self.path_for(key):
+                continue
+            try:
+                doc = self.load_document(path)
+            except PlanCacheError:
+                continue
+            entry_key = doc["key"]
+            if (
+                entry_key.get("graph") != key.graph
+                or entry_key.get("config") != key.config
+            ):
+                continue
+            same_partition = entry_key.get("partition") == key.partition
+            same_topology = entry_key.get("topology") == key.topology
+            # rank 0: only topology drifted; 1: only partition; 2: both.
+            if same_partition and not same_topology:
+                rank = 0
+            elif same_topology and not same_partition:
+                rank = 1
+            else:
+                rank = 2
+            if rank < best_rank:
+                best, best_rank = doc, rank
+                if rank == 0:
+                    break
+        return best
+
+    def __len__(self) -> int:
+        return len(list(self.directory.glob("plan-*.json")))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PlanCache({str(self.directory)!r}, entries={len(self)}, "
+            f"stats={self.stats.as_dict()})"
+        )

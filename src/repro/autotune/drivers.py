@@ -1,0 +1,155 @@
+"""Pluggable search drivers for the strategy auto-tuner.
+
+A driver decides *which* candidates get evaluated at *which* fidelity;
+the tuner supplies an ``evaluate(candidate, fidelity)`` callable that
+prices one candidate under the staged cost model — fidelity ``1.0``
+means the full model (every layer boundary, production routing
+granularity), lower fidelities mean a *simulated short run*: fewer
+boundaries and single-chunk routing, an order of magnitude cheaper and
+rank-correlated with the full evaluation.
+
+* :class:`ExhaustiveSearch` evaluates every candidate at full fidelity
+  — exact, and cheap enough for the default spaces (≲ a dozen points);
+* :class:`SuccessiveHalving` runs rungs of increasing fidelity, keeping
+  the best ``1/eta`` fraction after each rung, and always finishes the
+  surviving candidates at fidelity 1.0 — the standard bandit schedule
+  for large spaces (chunk sweeps × partitioners × method overrides).
+
+:func:`select_driver` picks between them by space size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.autotune.space import CandidateScheme
+from repro.baselines.strategies import SchemeResult
+
+__all__ = ["Trial", "SearchDriver", "ExhaustiveSearch",
+           "SuccessiveHalving", "select_driver", "best_trial"]
+
+#: An evaluation callback: (candidate, fidelity in (0, 1]) -> Trial.
+EvaluateFn = Callable[[CandidateScheme, float], "Trial"]
+
+#: Spaces up to this size are searched exhaustively by default.
+EXHAUSTIVE_THRESHOLD = 12
+
+
+@dataclass
+class Trial:
+    """One priced candidate."""
+
+    candidate: CandidateScheme
+    result: SchemeResult
+    fidelity: float
+
+    @property
+    def cost(self) -> float:
+        """Cost-model epoch seconds; +inf for OOM/unsupported schemes."""
+        return self.result.epoch_time if self.result.ok else float("inf")
+
+    def as_dict(self) -> dict:
+        """JSON-able view for reports and benchmark artifacts."""
+        return {
+            "candidate": self.candidate.config(),
+            "label": self.candidate.label(),
+            "status": self.result.status,
+            "fidelity": self.fidelity,
+            "epoch_seconds": None if not self.result.ok else float(self.result.epoch_time),
+            "comm_seconds": None if not self.result.ok else float(self.result.comm_time),
+            "compute_seconds": None if not self.result.ok else float(self.result.compute_time),
+        }
+
+
+class SearchDriver:
+    """Interface: order the evaluations, return every trial executed."""
+
+    name = "base"
+
+    def search(
+        self, candidates: Sequence[CandidateScheme], evaluate: EvaluateFn
+    ) -> List[Trial]:
+        """Run the schedule; the best full-fidelity trial is the pick."""
+        raise NotImplementedError
+
+
+class ExhaustiveSearch(SearchDriver):
+    """Evaluate every candidate at full fidelity."""
+
+    name = "exhaustive"
+
+    def search(
+        self, candidates: Sequence[CandidateScheme], evaluate: EvaluateFn
+    ) -> List[Trial]:
+        """Price the whole space at fidelity 1.0."""
+        return [evaluate(c, 1.0) for c in candidates]
+
+
+class SuccessiveHalving(SearchDriver):
+    """Rung-based elimination with simulated short runs.
+
+    Rung ``r`` evaluates the survivors at fidelity
+    ``min_fidelity * eta**r`` (capped at 1.0) and keeps the cheapest
+    ``ceil(n / eta)``.  Infeasible candidates (infinite cost) are
+    dropped as soon as any feasible competitor exists.  The final rung
+    always runs at fidelity 1.0, so the winner is priced by the full
+    cost model.
+    """
+
+    name = "successive-halving"
+
+    def __init__(self, eta: int = 2, min_fidelity: float = 0.25) -> None:
+        if eta < 2:
+            raise ValueError("eta must be at least 2")
+        if not 0.0 < min_fidelity <= 1.0:
+            raise ValueError("min_fidelity must be in (0, 1]")
+        self.eta = eta
+        self.min_fidelity = min_fidelity
+
+    def search(
+        self, candidates: Sequence[CandidateScheme], evaluate: EvaluateFn
+    ) -> List[Trial]:
+        """Run the halving schedule down to a full-fidelity final rung."""
+        trials: List[Trial] = []
+        survivors = list(candidates)
+        fidelity = self.min_fidelity
+        while True:
+            at_full = fidelity >= 1.0
+            rung = [evaluate(c, min(fidelity, 1.0)) for c in survivors]
+            trials.extend(rung)
+            if at_full:
+                break
+            feasible = [t for t in rung if t.cost != float("inf")]
+            pool = feasible or rung
+            pool.sort(key=lambda t: t.cost)
+            keep = max(1, -(-len(pool) // self.eta))  # ceil division
+            survivors = [t.candidate for t in pool[:keep]]
+            fidelity = min(1.0, fidelity * self.eta)
+            if len(survivors) <= 1:
+                fidelity = 1.0  # finish the lone survivor at full cost
+        return trials
+
+
+def select_driver(
+    num_candidates: int, threshold: int = EXHAUSTIVE_THRESHOLD
+) -> SearchDriver:
+    """Exhaustive for small spaces, successive halving beyond them."""
+    if num_candidates <= threshold:
+        return ExhaustiveSearch()
+    return SuccessiveHalving()
+
+
+def best_trial(trials: Sequence[Trial]) -> Trial:
+    """The cheapest *full-fidelity* trial (ties break on label).
+
+    Raises ``ValueError`` when no full-fidelity trial exists — a driver
+    contract violation.
+    """
+    finals: Dict[CandidateScheme, Trial] = {}
+    for t in trials:
+        if t.fidelity >= 1.0:
+            finals[t.candidate] = t
+    if not finals:
+        raise ValueError("driver produced no full-fidelity trials")
+    return min(finals.values(), key=lambda t: (t.cost, t.candidate.label()))

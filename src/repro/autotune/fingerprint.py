@@ -1,0 +1,169 @@
+"""Content fingerprints: the identity half of the persistent plan cache.
+
+A cached plan is only reusable when *everything it was derived from* is
+unchanged, so cache keys are content hashes of the four inputs of
+planning:
+
+* the **data graph** — hashed over its canonical sorted edge set, so
+  two graphs built from the same edges in different order (or loaded
+  from different files) fingerprint identically, while flipping a
+  single edge's direction changes the digest;
+* the **partition** — the raw assignment vector; moving one vertex to a
+  different device changes the digest;
+* the **topology** — a canonical structural document (devices, links
+  with their ordered physical hops *and bandwidths*, placement
+  metadata, host staging paths, memory).  Link insertion order and the
+  topology's display name do not matter; changing one connection's
+  speed does;
+* the **strategy config** — the canonical JSON of whatever knobs drove
+  planning (strategy, chunking, seed, ...).
+
+Digests are truncated SHA-256 hex strings; :class:`CacheKey` bundles
+the four components plus their combined digest, which names the cache
+file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.topology.topology import Topology
+
+__all__ = [
+    "CacheKey",
+    "graph_fingerprint",
+    "partition_fingerprint",
+    "topology_fingerprint",
+    "topology_document",
+    "config_fingerprint",
+    "cache_key",
+]
+
+#: Truncation length of the hex digests (128 bits — collision-safe for
+#: any plausible cache population, short enough for file names).
+DIGEST_CHARS = 32
+
+
+def _digest(*chunks: bytes) -> str:
+    """Truncated SHA-256 over the concatenated chunks."""
+    h = hashlib.sha256()
+    for chunk in chunks:
+        h.update(chunk)
+    return h.hexdigest()[:DIGEST_CHARS]
+
+
+def graph_fingerprint(graph: Graph) -> str:
+    """Order-independent content hash of a graph's edge set."""
+    src, dst = graph.edges
+    n = np.int64(graph.num_vertices)
+    codes = np.sort(src.astype(np.int64) * n + dst.astype(np.int64))
+    return _digest(str(graph.num_vertices).encode(), codes.tobytes())
+
+
+def partition_fingerprint(assignment: np.ndarray) -> str:
+    """Content hash of a partition assignment vector."""
+    canonical = np.ascontiguousarray(assignment, dtype=np.int64)
+    return _digest(canonical.tobytes())
+
+
+def topology_document(topology: Topology) -> dict:
+    """Canonical structural description of a topology.
+
+    Everything planning can observe is included; everything cosmetic
+    (the display name, link declaration order) is normalised away.
+    """
+    links = sorted(
+        (
+            link.src,
+            link.dst,
+            tuple(
+                (c.name, str(c.kind), float(c.bandwidth))
+                for c in link.connections
+            ),
+        )
+        for link in topology.links
+    )
+    host_paths = {
+        str(dev): [
+            [
+                (c.name, str(c.kind), float(c.bandwidth))
+                for c in topology.host_write_path(dev)
+            ],
+            [
+                (c.name, str(c.kind), float(c.bandwidth))
+                for c in topology.host_read_path(dev)
+            ],
+        ]
+        for dev in topology.devices()
+        if topology.has_host_staging(dev)
+    }
+    return {
+        "num_devices": topology.num_devices,
+        "links": links,
+        "machine_of": list(topology.machine_of),
+        "socket_of": list(topology.socket_of),
+        "switch_of": list(topology.switch_of),
+        "memory_bytes": list(topology.memory_bytes),
+        "host_paths": host_paths,
+    }
+
+
+def topology_fingerprint(topology: Topology) -> str:
+    """Structural content hash of a topology (name-independent)."""
+    doc = topology_document(topology)
+    return _digest(json.dumps(doc, sort_keys=True).encode())
+
+
+def config_fingerprint(config: Mapping[str, object]) -> str:
+    """Content hash of a strategy-config mapping (canonical JSON)."""
+    return _digest(json.dumps(dict(config), sort_keys=True).encode())
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """The four-component identity of one cached plan."""
+
+    graph: str
+    partition: str
+    topology: str
+    config: str
+
+    @property
+    def digest(self) -> str:
+        """Combined digest — names the cache file."""
+        return _digest(
+            self.graph.encode(),
+            self.partition.encode(),
+            self.topology.encode(),
+            self.config.encode(),
+        )
+
+    def as_dict(self) -> dict:
+        """The components as a JSON-able mapping (stored in the entry)."""
+        return {
+            "graph": self.graph,
+            "partition": self.partition,
+            "topology": self.topology,
+            "config": self.config,
+        }
+
+
+def cache_key(
+    graph: Graph,
+    assignment: np.ndarray,
+    topology: Topology,
+    config: Mapping[str, object],
+) -> CacheKey:
+    """Fingerprint all four planning inputs into one :class:`CacheKey`."""
+    return CacheKey(
+        graph=graph_fingerprint(graph),
+        partition=partition_fingerprint(assignment),
+        topology=topology_fingerprint(topology),
+        config=config_fingerprint(config),
+    )

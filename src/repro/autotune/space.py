@@ -1,0 +1,187 @@
+"""The auto-tuner's search space of candidate communication schemes.
+
+DGCL's own evaluation (Table 5 and §7) shows no single strategy wins
+everywhere, so a candidate is a *point* in the cross-product the paper's
+experiments sweep by hand:
+
+* **strategy** — SPST planning (``dgcl``), SPST with cached remote
+  features (``dgcl-cache`` — §3's replication-factor-1 option),
+  ``peer-to-peer``, NeuGraph-style ``swap``, full K-hop
+  ``replication``, and the cross-machine ``dgcl-r`` hybrid;
+* **replication factor** — implied by the strategy: 0 for the pure
+  communication schemes, 1 boundary for ``dgcl-cache``, the full K-hop
+  closure for ``replication``, machine-level closures for ``dgcl-r``;
+* **comm-method override** — force one §6.2 transfer mechanism for
+  every pair instead of DGCL's automatic per-pair pick (None = auto);
+* **partitioner** — topology-aware ``hierarchical`` partitioning or
+  flat ``metis``;
+* **chunks per class** — SPST routing granularity.
+
+:class:`SearchSpace` enumerates only the *feasible* candidates for a
+topology: Swap is a single-machine design, DGCL-R needs at least two
+machines, and knobs that cannot influence a scheme (method overrides or
+chunking for communication-free Replication) are pinned to their
+canonical value so the space holds no duplicate evaluations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.topology.topology import Topology
+
+__all__ = ["CandidateScheme", "SearchSpace", "ALL_STRATEGIES",
+           "PLAN_STRATEGIES"]
+
+#: Every strategy the tuner knows how to evaluate.
+ALL_STRATEGIES: Tuple[str, ...] = (
+    "dgcl", "dgcl-cache", "peer-to-peer", "swap", "replication", "dgcl-r",
+)
+
+#: Strategies that produce a :class:`~repro.core.plan.CommPlan` a
+#: session can execute real collectives with.
+PLAN_STRATEGIES: Tuple[str, ...] = ("dgcl", "dgcl-cache", "peer-to-peer")
+
+_PARTITIONERS = ("hierarchical", "metis")
+
+
+@dataclass(frozen=True)
+class CandidateScheme:
+    """One point of the search space (hashable, JSON-able)."""
+
+    strategy: str
+    partitioner: str = "hierarchical"
+    method: Optional[str] = None  # CommMethod value, or None for auto
+    chunks_per_class: int = 4
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ALL_STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; "
+                f"available: {ALL_STRATEGIES}"
+            )
+        if self.partitioner not in _PARTITIONERS:
+            raise ValueError(
+                f"unknown partitioner {self.partitioner!r}; "
+                f"available: {_PARTITIONERS}"
+            )
+        if self.chunks_per_class < 1:
+            raise ValueError("chunks_per_class must be positive")
+
+    # ------------------------------------------------------------------
+    @property
+    def plan_based(self) -> bool:
+        """True when the candidate yields an executable CommPlan."""
+        return self.strategy in PLAN_STRATEGIES
+
+    def replication_factor(self, num_layers: int) -> Union[int, str]:
+        """Boundaries replicated instead of communicated (K = layers)."""
+        if self.strategy == "dgcl-cache":
+            return 1
+        if self.strategy == "replication":
+            return num_layers
+        if self.strategy == "dgcl-r":
+            return "machine"
+        return 0
+
+    def config(self) -> dict:
+        """Canonical JSON-able description (feeds the cache key)."""
+        return {
+            "strategy": self.strategy,
+            "partitioner": self.partitioner,
+            "method": self.method,
+            "chunks_per_class": self.chunks_per_class,
+        }
+
+    def label(self) -> str:
+        """Compact human-readable identifier for reports."""
+        parts = [self.strategy]
+        if self.partitioner != "hierarchical":
+            parts.append(self.partitioner)
+        if self.method is not None:
+            parts.append(f"m={self.method}")
+        if self.chunks_per_class != 4:
+            parts.append(f"c={self.chunks_per_class}")
+        return "/".join(parts)
+
+
+class SearchSpace:
+    """Feasible candidate enumeration for one topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        strategies: Optional[Sequence[str]] = None,
+        partitioners: Sequence[str] = ("hierarchical", "metis"),
+        methods: Sequence[Optional[str]] = (None,),
+        chunk_options: Sequence[int] = (4,),
+        plan_based_only: bool = False,
+    ) -> None:
+        self.topology = topology
+        requested = tuple(strategies) if strategies is not None else ALL_STRATEGIES
+        if plan_based_only:
+            requested = tuple(s for s in requested if s in PLAN_STRATEGIES)
+        self.strategies = requested
+        self.partitioners = tuple(partitioners)
+        self.methods = tuple(methods)
+        self.chunk_options = tuple(chunk_options)
+
+    # ------------------------------------------------------------------
+    def _feasible(self, strategy: str) -> bool:
+        machines = self.topology.num_machines()
+        if strategy == "swap":
+            return machines == 1
+        if strategy == "dgcl-r":
+            return machines > 1
+        return True
+
+    def candidates(self) -> List[CandidateScheme]:
+        """Every feasible, deduplicated candidate of this space."""
+        out: List[CandidateScheme] = []
+        seen = set()
+        for strategy in self.strategies:
+            if not self._feasible(strategy):
+                continue
+            for partitioner in self.partitioners:
+                for method in self.methods:
+                    for chunks in self.chunk_options:
+                        cand = CandidateScheme(
+                            strategy=strategy,
+                            partitioner=partitioner,
+                            method=method,
+                            chunks_per_class=chunks,
+                        )
+                        cand = self._canonical(cand)
+                        if cand not in seen:
+                            seen.add(cand)
+                            out.append(cand)
+        return out
+
+    @staticmethod
+    def _canonical(cand: CandidateScheme) -> CandidateScheme:
+        """Pin knobs that cannot influence the candidate's cost.
+
+        Replication moves no bytes, so transfer mechanism and chunking
+        are meaningless; Swap stages through host memory with its own
+        mechanism; only SPST-planned strategies route in chunks.
+        """
+        if cand.strategy == "replication":
+            return replace(cand, method=None, chunks_per_class=4)
+        if cand.strategy == "swap":
+            return replace(cand, method=None, chunks_per_class=4)
+        if cand.strategy == "peer-to-peer":
+            return replace(cand, chunks_per_class=4)
+        if cand.strategy == "dgcl-r":
+            return replace(cand, method=None)
+        return cand
+
+    def __len__(self) -> int:
+        return len(self.candidates())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SearchSpace(strategies={self.strategies}, "
+            f"partitioners={self.partitioners}, methods={self.methods}, "
+            f"chunks={self.chunk_options}, size={len(self)})"
+        )

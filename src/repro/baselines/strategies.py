@@ -24,7 +24,7 @@ closure; Swap stages everything through host memory.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Dict, List, Optional
 
@@ -35,6 +35,7 @@ from repro.core.plan import CommPlan
 from repro.core.relation import CommRelation
 from repro.cache import cached_assignment
 from repro.comm.collectives import ring_allreduce_time
+from repro.comm.methods import CommMethod, MethodTable
 from repro.core.spst import SPSTPlanner
 from repro.graph.csr import Graph
 from repro.graph.datasets import DATASETS, DatasetSpec, load_dataset
@@ -65,6 +66,10 @@ _PARTITION_CACHE: Dict[tuple, object] = {}
 _RELATION_CACHE: Dict[tuple, CommRelation] = {}
 _SPST_CACHE: Dict[tuple, CommPlan] = {}
 _P2P_CACHE: Dict[tuple, CommPlan] = {}
+# evaluate_scheme is pure in (workload identity, scheme, method): the
+# auto-tuner prices the same cell repeatedly across search rungs, so
+# results are memoised process-wide too.
+_EVAL_CACHE: Dict[tuple, "SchemeResult"] = {}
 
 
 def clear_caches() -> None:
@@ -73,6 +78,7 @@ def clear_caches() -> None:
     _RELATION_CACHE.clear()
     _SPST_CACHE.clear()
     _P2P_CACHE.clear()
+    _EVAL_CACHE.clear()
 
 
 @dataclass
@@ -111,13 +117,22 @@ class Workload:
         chunks_per_class: int = 4,
         graph: Optional[Graph] = None,
         spec: Optional[DatasetSpec] = None,
+        partitioner: str = "hierarchical",
+        assignment: Optional[np.ndarray] = None,
     ) -> None:
+        if partitioner not in ("hierarchical", "metis"):
+            raise ValueError(
+                f"unknown partitioner {partitioner!r}; "
+                "available: hierarchical, metis"
+            )
         self.dataset = dataset
         self.model_name = model_name
         self.topology = topology
         self.num_layers = num_layers
         self.seed = seed
         self.chunks_per_class = chunks_per_class
+        self.partitioner = partitioner
+        self._assignment = assignment
         self.spec = spec or DATASETS[dataset]
         self.graph = graph if graph is not None else load_dataset(dataset, seed=seed)
         self.model = build_model(
@@ -132,12 +147,18 @@ class Workload:
 
     # -- cached expensive artefacts -------------------------------------
     def _cache_key(self) -> tuple:
+        if self._assignment is not None:
+            from repro.autotune.fingerprint import partition_fingerprint
+
+            part = ("explicit", partition_fingerprint(self._assignment))
+        else:
+            part = (self.partitioner,)
         return (
             self.dataset,
             self.topology.name,
             self.topology.num_devices,
             self.seed,
-        )
+        ) + part
 
     @staticmethod
     def _count_cache(name: str, hit: bool) -> None:
@@ -146,18 +167,31 @@ class Workload:
             "cache.lookups", cache=name, outcome="hit" if hit else "miss"
         ).inc()
 
+    def _compute_assignment(self) -> np.ndarray:
+        """Run the configured partitioner (the cold path)."""
+        if self.partitioner == "metis":
+            from repro.partition.metis import partition as metis_partition
+
+            return metis_partition(
+                self.graph, self.num_devices, seed=self.seed
+            ).assignment
+        return hierarchical_partition(
+            self.graph, self.topology, seed=self.seed
+        ).assignment
+
     @cached_property
     def partition(self):
         key = self._cache_key()
         self._count_cache("partition", key in _PARTITION_CACHE)
         if key not in _PARTITION_CACHE:
-            assignment = cached_assignment(
-                ("partition",) + key,
-                self.graph.num_vertices,
-                lambda: hierarchical_partition(
-                    self.graph, self.topology, seed=self.seed
-                ).assignment,
-            )
+            if self._assignment is not None:
+                assignment = np.asarray(self._assignment, dtype=np.int64)
+            else:
+                assignment = cached_assignment(
+                    ("partition",) + key,
+                    self.graph.num_vertices,
+                    self._compute_assignment,
+                )
             from repro.partition.metis import PartitionResult, edge_cut
 
             sizes = np.bincount(assignment, minlength=self.num_devices)
@@ -327,6 +361,7 @@ def _evaluate_partitioned(
     cache_features: bool = False,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    methods: Optional["MethodTable"] = None,
 ) -> SchemeResult:
     try:
         workload.check_partition_memory(cache_features=cache_features)
@@ -339,9 +374,9 @@ def _evaluate_partitioned(
             compute_time=compute,
         )
     executor = None
-    if tracer is not None or metrics is not None:
+    if tracer is not None or metrics is not None or methods is not None:
         executor = PlanExecutor(workload.topology, tracer=tracer,
-                                metrics=metrics)
+                                metrics=metrics, methods=methods)
     comm = _planned_comm_time(workload, plan, nonatomic=nonatomic,
                               cache_features=cache_features,
                               executor=executor)
@@ -450,36 +485,77 @@ def _evaluate_replication(workload: Workload) -> SchemeResult:
     )
 
 
+def _copy_result(result: SchemeResult) -> SchemeResult:
+    """Independent copy of a memoised result (detail dict included)."""
+    return replace(result, detail=dict(result.detail))
+
+
 def evaluate_scheme(
     workload: Workload,
     scheme: str,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    method: Optional[object] = None,
 ) -> SchemeResult:
     """Run one scheme on one workload; never raises on OOM.
 
     With a ``tracer``/``metrics`` sink the priced collectives also emit
     per-flow spans and counters; the returned numbers are unchanged.
+
+    ``method`` forces one §6.2 transfer mechanism (a
+    :class:`~repro.comm.methods.CommMethod` or its string value) on
+    every device pair of the plan-based schemes instead of DGCL's
+    automatic per-pair selection — the knob the auto-tuner sweeps.
+
+    Identical ``(workload, scheme, method)`` cells are memoised
+    process-wide (the tuner prices the same cell across search rungs);
+    telemetry-armed calls bypass the memo so spans are always emitted.
     """
-    if scheme == "dgcl":
-        return _evaluate_partitioned(
-            workload, "dgcl", workload.spst_plan, nonatomic=True,
-            tracer=tracer, metrics=metrics,
+    method_key = str(method) if method is not None else None
+    memo_key = None
+    if tracer is None and metrics is None:
+        memo_key = workload._cache_key() + (
+            workload.model_name, workload.num_layers,
+            workload.chunks_per_class, scheme, method_key,
         )
-    if scheme == "dgcl-cache":
+        Workload._count_cache("evaluate", memo_key in _EVAL_CACHE)
+        if memo_key in _EVAL_CACHE:
+            return _copy_result(_EVAL_CACHE[memo_key])
+
+    methods = None
+    if method is not None and scheme in ("dgcl", "dgcl-cache", "peer-to-peer"):
+        forced = method if isinstance(method, CommMethod) else CommMethod(method)
+        methods = MethodTable(workload.topology, force=forced)
+
+    if scheme == "dgcl":
+        result = _evaluate_partitioned(
+            workload, "dgcl", workload.spst_plan, nonatomic=True,
+            tracer=tracer, metrics=metrics, methods=methods,
+        )
+    elif scheme == "dgcl-cache":
         # §3 option (1): cache remote layer-0 embeddings once, trade
         # GPU memory for the feature boundary's per-epoch allgather.
-        return _evaluate_partitioned(
+        result = _evaluate_partitioned(
             workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
             cache_features=True, tracer=tracer, metrics=metrics,
+            methods=methods,
         )
-    if scheme == "peer-to-peer":
-        return _evaluate_partitioned(
+    elif scheme == "peer-to-peer":
+        result = _evaluate_partitioned(
             workload, "peer-to-peer", workload.p2p_plan, nonatomic=False,
-            tracer=tracer, metrics=metrics,
+            tracer=tracer, metrics=metrics, methods=methods,
         )
-    if scheme == "swap":
-        return _evaluate_swap(workload, tracer=tracer, metrics=metrics)
-    if scheme == "replication":
-        return _evaluate_replication(workload)
-    raise KeyError(f"unknown scheme {scheme!r}; available: {SCHEMES}")
+    elif scheme == "swap":
+        result = _evaluate_swap(workload, tracer=tracer, metrics=metrics)
+    elif scheme == "replication":
+        result = _evaluate_replication(workload)
+    elif scheme == "dgcl-r":
+        from repro.baselines.dgcl_r import evaluate_dgcl_r
+
+        result = evaluate_dgcl_r(workload)
+    else:
+        raise KeyError(f"unknown scheme {scheme!r}; available: "
+                       f"{SCHEMES + ('dgcl-cache', 'dgcl-r')}")
+    if memo_key is not None:
+        _EVAL_CACHE[memo_key] = _copy_result(result)
+    return result

@@ -6,24 +6,151 @@ result across runs, so plans round-trip to a single ``.npz`` file:
 route structure as flat integer arrays, links referenced by their index
 in the topology's link tuple (the topology itself is reconstructed by
 the caller — it is code, not data).
+
+The ``.npz`` format is positional — it refuses to load against a
+topology whose link list changed at all.  The autotune plan cache needs
+the opposite: plans that survive *partial* topology drift so the
+incremental replanner can patch them.  :func:`plan_to_jsonable` /
+:func:`plan_from_jsonable` therefore reference links *structurally*
+(source, destination, ordered physical-hop names) instead of by index,
+and :func:`link_table` resolves those references against whatever
+topology is current — edges whose link vanished resolve to ``None`` and
+become the replanner's work list.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import List, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.plan import CommPlan, VertexClassRoute
-from repro.topology.topology import Topology
+from repro.topology.topology import Link, Topology
 
-__all__ = ["save_plan", "load_plan"]
+__all__ = [
+    "save_plan",
+    "load_plan",
+    "link_table",
+    "route_to_jsonable",
+    "route_from_jsonable",
+    "plan_to_jsonable",
+    "plan_from_jsonable",
+]
 
 PathLike = Union[str, "os.PathLike[str]"]
 
 _FORMAT_VERSION = 1
+
+#: Version of the structural JSON plan document (the plan-cache format).
+JSON_FORMAT_VERSION = 1
+
+#: Structural identity of a link: (src, dst, ordered physical hop names).
+LinkRef = Tuple[int, int, Tuple[str, ...]]
+
+
+def link_table(topology: Topology) -> Dict[LinkRef, Link]:
+    """Index a topology's links by their structural identity.
+
+    Two topologies that contain "the same wire" (same endpoints, same
+    ordered physical connections) map it to the same key, which is what
+    lets a JSON plan written against one topology resolve against a
+    later, partially different one.
+    """
+    return {
+        (link.src, link.dst, tuple(c.name for c in link.connections)): link
+        for link in topology.links
+    }
+
+
+def route_to_jsonable(route: VertexClassRoute) -> dict:
+    """One route as a pure-JSON document (structural link references)."""
+    return {
+        "source": int(route.source),
+        "destinations": [int(d) for d in route.destinations],
+        "vertices": [int(v) for v in route.vertices],
+        "edges": [
+            {
+                "src": int(link.src),
+                "dst": int(link.dst),
+                "hops": [c.name for c in link.connections],
+                "stage": int(stage),
+            }
+            for link, stage in route.edges
+        ],
+    }
+
+
+def route_from_jsonable(
+    doc: dict, table: Dict[LinkRef, Link]
+) -> Tuple[VertexClassRoute, bool]:
+    """Rebuild one route against ``table`` (see :func:`link_table`).
+
+    Returns ``(route, resolved)``.  When every edge's link still exists
+    the route comes back intact and ``resolved`` is True; otherwise the
+    route is returned *edgeless* (source, destinations and vertices are
+    always recoverable) and ``resolved`` is False — the caller re-grows
+    its tree.
+    """
+    edges: List[Tuple[Link, int]] = []
+    resolved = True
+    for edge in doc["edges"]:
+        link = table.get((edge["src"], edge["dst"], tuple(edge["hops"])))
+        if link is None:
+            resolved = False
+            break
+        edges.append((link, int(edge["stage"])))
+    return (
+        VertexClassRoute(
+            source=int(doc["source"]),
+            destinations=tuple(int(d) for d in doc["destinations"]),
+            vertices=np.asarray(doc["vertices"], dtype=np.int64),
+            edges=tuple(edges) if resolved else (),
+        ),
+        resolved,
+    )
+
+
+def plan_to_jsonable(plan: CommPlan) -> dict:
+    """A whole plan as a versioned, pure-JSON document."""
+    return {
+        "format": JSON_FORMAT_VERSION,
+        "name": plan.name,
+        "num_devices": plan.topology.num_devices,
+        "routes": [route_to_jsonable(route) for route in plan.routes],
+    }
+
+
+def plan_from_jsonable(
+    doc: dict, topology: Topology, name: Optional[str] = None
+) -> CommPlan:
+    """Rebuild a plan written by :func:`plan_to_jsonable`.
+
+    Strict: every edge must resolve against ``topology`` — callers that
+    expect drift should resolve routes individually with
+    :func:`route_from_jsonable` and repair the stragglers.
+    """
+    if doc.get("format") != JSON_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported JSON plan format {doc.get('format')!r}"
+        )
+    if doc["num_devices"] != topology.num_devices:
+        raise ValueError(
+            f"plan was built for {doc['num_devices']} devices, "
+            f"topology has {topology.num_devices}"
+        )
+    table = link_table(topology)
+    routes = []
+    for route_doc in doc["routes"]:
+        route, resolved = route_from_jsonable(route_doc, table)
+        if not resolved:
+            raise ValueError(
+                f"route {route.source}->{route.destinations} references "
+                "a link the topology no longer has"
+            )
+        routes.append(route)
+    return CommPlan(topology, routes, name=name or doc.get("name", "plan"))
 
 
 def save_plan(plan: CommPlan, path: PathLike) -> None:

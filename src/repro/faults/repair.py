@@ -32,7 +32,8 @@ from repro.faults.policy import UnrecoverableFaultError
 from repro.topology.links import PhysicalConnection
 from repro.topology.topology import Link, Topology
 
-__all__ = ["RepairResult", "filter_topology", "repair_plan", "alternate_path"]
+__all__ = ["RepairResult", "filter_topology", "repair_plan",
+           "regrow_routes", "alternate_path"]
 
 
 @dataclass
@@ -117,6 +118,57 @@ def _degraded_star(topology: Topology, route: VertexClassRoute) -> Optional[Vert
     )
 
 
+def regrow_routes(
+    topology: Topology,
+    kept: Sequence[VertexClassRoute],
+    broken: Sequence[VertexClassRoute],
+    seed: int = 0,
+) -> Tuple[List[VertexClassRoute], List[VertexClassRoute]]:
+    """Re-grow ``broken`` routes against the traffic ``kept`` commits.
+
+    The shared engine of plan patching: every kept route's edges are
+    charged into a fresh cost model, then each broken route's multicast
+    tree is re-grown by SPST on ``topology`` against that state — only
+    the broken routes' send/receive table entries change.  Routes SPST
+    cannot serve fall back to peer-to-peer stars over direct links;
+    raises :class:`UnrecoverableFaultError` when even that fails.
+    Both :func:`repair_plan` (mid-training fault recovery) and the
+    autotune incremental replanner route through here.
+
+    Returns ``(repaired, degraded)`` route lists.
+    """
+    planner = SPSTPlanner(topology, seed=seed)
+    model = StagedCostModel(topology)
+    for route in kept:
+        model.add_path(list(route.edges), route.weight)
+
+    repaired: List[VertexClassRoute] = []
+    degraded: List[VertexClassRoute] = []
+    for route in broken:
+        unit = PlanUnit(route.source, route.destinations, route.vertices)
+        try:
+            edges = planner._grow_tree(model, unit)
+            repaired.append(
+                VertexClassRoute(
+                    source=route.source,
+                    destinations=route.destinations,
+                    vertices=route.vertices,
+                    edges=tuple(edges),
+                )
+            )
+        except RuntimeError:
+            star = _degraded_star(topology, route)
+            if star is None:
+                raise UnrecoverableFaultError(
+                    f"route {route.source}->{route.destinations}",
+                    attempts=0,
+                    detail="no surviving path, even peer-to-peer",
+                ) from None
+            model.add_path(list(star.edges), star.weight)
+            degraded.append(star)
+    return repaired, degraded
+
+
 def repair_plan(
     plan: CommPlan,
     dead_connections: Sequence[str] = (),
@@ -157,35 +209,7 @@ def repair_plan(
             )
 
     survivors = filter_topology(plan.topology, dead_conns, dead_devs)
-    planner = SPSTPlanner(survivors, seed=seed)
-    model = StagedCostModel(survivors)
-    for route in kept:
-        model.add_path(list(route.edges), route.weight)
-
-    repaired: List[VertexClassRoute] = []
-    degraded: List[VertexClassRoute] = []
-    for route in broken:
-        unit = PlanUnit(route.source, route.destinations, route.vertices)
-        try:
-            edges = planner._grow_tree(model, unit)
-            repaired.append(
-                VertexClassRoute(
-                    source=route.source,
-                    destinations=route.destinations,
-                    vertices=route.vertices,
-                    edges=tuple(edges),
-                )
-            )
-        except RuntimeError:
-            star = _degraded_star(survivors, route)
-            if star is None:
-                raise UnrecoverableFaultError(
-                    f"route {route.source}->{route.destinations}",
-                    attempts=0,
-                    detail="no surviving path, even peer-to-peer",
-                ) from None
-            model.add_path(list(star.edges), star.weight)
-            degraded.append(star)
+    repaired, degraded = regrow_routes(survivors, kept, broken, seed=seed)
 
     new_plan = CommPlan(
         survivors, kept + repaired + degraded, name=f"{plan.name}-repaired"

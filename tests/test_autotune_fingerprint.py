@@ -1,0 +1,151 @@
+"""Cache-key fingerprints: stability and invalidation semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autotune.fingerprint import (
+    CacheKey,
+    cache_key,
+    config_fingerprint,
+    graph_fingerprint,
+    partition_fingerprint,
+    topology_fingerprint,
+)
+from repro.graph.csr import Graph
+from repro.topology.links import LinkKind, PhysicalConnection
+from repro.topology.presets import dgx1, dual_dgx1
+from repro.topology.topology import Link, Topology
+
+
+def _shuffled_graph(graph: Graph, seed: int) -> Graph:
+    """The same edge set, constructed in a different order."""
+    src, dst = graph.edges
+    order = np.random.default_rng(seed).permutation(src.size)
+    return Graph(src[order], dst[order], graph.num_vertices)
+
+
+class TestGraphFingerprint:
+    """Content addressing of the data graph."""
+
+    def test_construction_order_invariant(self, small_graph):
+        for seed in (1, 2, 3):
+            assert graph_fingerprint(_shuffled_graph(small_graph, seed)) == \
+                graph_fingerprint(small_graph)
+
+    def test_edge_flip_invalidates(self, tiny_graph):
+        src, dst = tiny_graph.edges
+        src2, dst2 = src.copy(), dst.copy()
+        src2[0], dst2[0] = dst[0], src[0]  # reverse one edge
+        flipped = Graph(src2, dst2, tiny_graph.num_vertices)
+        assert graph_fingerprint(flipped) != graph_fingerprint(tiny_graph)
+
+    def test_vertex_count_matters(self, tiny_graph):
+        src, dst = tiny_graph.edges
+        padded = Graph(src, dst, tiny_graph.num_vertices + 1)
+        assert graph_fingerprint(padded) != graph_fingerprint(tiny_graph)
+
+
+class TestPartitionFingerprint:
+    """Content addressing of the partition assignment."""
+
+    def test_dtype_invariant(self):
+        a32 = np.array([0, 1, 1, 0], dtype=np.int32)
+        a64 = np.array([0, 1, 1, 0], dtype=np.int64)
+        assert partition_fingerprint(a32) == partition_fingerprint(a64)
+
+    def test_vertex_move_invalidates(self):
+        a = np.array([0, 1, 1, 0], dtype=np.int64)
+        b = a.copy()
+        b[2] = 0  # one vertex moves device
+        assert partition_fingerprint(a) != partition_fingerprint(b)
+
+
+class TestTopologyFingerprint:
+    """Structural (name-independent) addressing of the device graph."""
+
+    def test_link_order_invariant(self):
+        topo = dgx1()
+        reordered = Topology(
+            num_devices=topo.num_devices,
+            links=list(reversed(topo.links)),
+            machine_of=topo.machine_of,
+            socket_of=topo.socket_of,
+            switch_of=topo.switch_of,
+            host_paths={d: (topo.host_write_path(d), topo.host_read_path(d))
+                        for d in topo.devices() if topo.has_host_staging(d)},
+            memory_bytes=topo.memory_bytes,
+            name=topo.name,
+        )
+        assert topology_fingerprint(reordered) == topology_fingerprint(topo)
+
+    def test_display_name_ignored(self):
+        topo = dgx1()
+        renamed = Topology(
+            num_devices=topo.num_devices,
+            links=list(topo.links),
+            machine_of=topo.machine_of,
+            socket_of=topo.socket_of,
+            switch_of=topo.switch_of,
+            host_paths={d: (topo.host_write_path(d), topo.host_read_path(d))
+                        for d in topo.devices() if topo.has_host_staging(d)},
+            memory_bytes=topo.memory_bytes,
+            name="something-else",
+        )
+        assert topology_fingerprint(renamed) == topology_fingerprint(topo)
+
+    def test_link_speed_change_invalidates(self):
+        topo = dgx1()
+        remap = {}
+        bumped_one = False
+        for link in topo.links:
+            for conn in link.connections:
+                if conn not in remap:
+                    factor = 2.0 if not bumped_one else 1.0
+                    bumped_one = True
+                    remap[conn] = PhysicalConnection(
+                        conn.name, conn.kind, conn.bandwidth * factor
+                    )
+        links = [Link(l.src, l.dst, tuple(remap[c] for c in l.connections))
+                 for l in topo.links]
+        faster = Topology(
+            num_devices=topo.num_devices,
+            links=links,
+            machine_of=topo.machine_of,
+            socket_of=topo.socket_of,
+            switch_of=topo.switch_of,
+            host_paths={d: (tuple(remap[c] for c in topo.host_write_path(d)),
+                            tuple(remap[c] for c in topo.host_read_path(d)))
+                        for d in topo.devices() if topo.has_host_staging(d)},
+            memory_bytes=topo.memory_bytes,
+            name=topo.name,
+        )
+        assert topology_fingerprint(faster) != topology_fingerprint(topo)
+
+    def test_distinct_presets_differ(self):
+        assert topology_fingerprint(dgx1()) != topology_fingerprint(dual_dgx1())
+
+
+class TestCacheKey:
+    """The combined key and its digest."""
+
+    def test_digest_is_stable_and_config_sensitive(self, small_graph):
+        topo = dgx1()
+        assignment = np.arange(small_graph.num_vertices) % topo.num_devices
+        k1 = cache_key(small_graph, assignment, topo, {"a": 1, "b": 2})
+        k2 = cache_key(small_graph, assignment, topo, {"b": 2, "a": 1})
+        assert k1 == k2 and k1.digest == k2.digest  # dict order irrelevant
+        k3 = cache_key(small_graph, assignment, topo, {"a": 1, "b": 3})
+        assert k3 != k1
+
+    def test_as_dict_roundtrip_fields(self, small_graph):
+        topo = dgx1()
+        assignment = np.arange(small_graph.num_vertices) % topo.num_devices
+        key = cache_key(small_graph, assignment, topo, {})
+        doc = key.as_dict()
+        assert CacheKey(**doc) == key
+
+    def test_config_fingerprint_rejects_unserialisable(self):
+        with pytest.raises(TypeError):
+            config_fingerprint({"bad": object()})

@@ -1,0 +1,136 @@
+"""PlanCache: roundtrip, counters, and loud rejection of bad entries."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.autotune import PlanCache, PlanCacheError, cache_key
+from repro.autotune.cache import CACHE_FORMAT_VERSION
+from repro.core.relation import CommRelation
+from repro.core.spst import SPSTPlanner
+from repro.topology.presets import dgx1
+
+
+@pytest.fixture()
+def planned(small_graph):
+    """(graph, assignment, topology, plan, key) for one small workload."""
+    topology = dgx1()
+    rng = np.random.default_rng(7)
+    assignment = rng.integers(0, topology.num_devices,
+                              small_graph.num_vertices)
+    relation = CommRelation(small_graph, assignment, topology.num_devices)
+    plan = SPSTPlanner(topology, seed=0).plan(relation)
+    key = cache_key(small_graph, assignment, topology,
+                    {"strategy": "spst", "chunks_per_class": 4, "seed": 0})
+    return small_graph, assignment, topology, plan, key
+
+
+def test_roundtrip_hit(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    cache.put(key, plan, meta={"strategy": "spst"})
+    loaded = cache.get(key, topology)
+    assert loaded is not None
+    assert len(loaded.routes) == len(plan.routes)
+    for a, b in zip(loaded.routes, plan.routes):
+        assert a.source == b.source and a.destinations == b.destinations
+        assert np.array_equal(a.vertices, b.vertices)
+        assert a.edges == b.edges  # links resolve to identical objects
+    assert cache.stats.as_dict() == {
+        "hits": 1, "misses": 0, "invalidations": 0, "stores": 1, "patches": 0,
+    }
+
+
+def test_clean_miss_counts(tmp_path, planned):
+    _, _, topology, _, key = planned
+    cache = PlanCache(tmp_path)
+    assert cache.get(key, topology) is None
+    assert cache.stats.misses == 1 and cache.stats.hits == 0
+
+
+def test_corrupt_entry_raises_never_used(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    path = cache.put(key, plan)
+    path.write_text("{ not json at all")
+    with pytest.raises(PlanCacheError):
+        cache.get(key, topology)
+    assert cache.stats.invalidations == 1
+
+
+def test_old_version_rejected(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    path = cache.put(key, plan)
+    doc = json.loads(path.read_text())
+    doc["format"] = CACHE_FORMAT_VERSION - 1
+    path.write_text(json.dumps(doc))
+    with pytest.raises(PlanCacheError, match="format"):
+        cache.get(key, topology)
+    assert cache.stats.invalidations == 1
+
+
+def test_foreign_file_rejected(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    path = cache.put(key, plan)
+    path.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(PlanCacheError, match="not a plan-cache entry"):
+        cache.get(key, topology)
+
+
+def test_recorded_key_mismatch_rejected(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    path = cache.put(key, plan)
+    doc = json.loads(path.read_text())
+    doc["key"]["partition"] = "0" * 32  # entry claims different inputs
+    path.write_text(json.dumps(doc))
+    with pytest.raises(PlanCacheError, match="different planning input"):
+        cache.get(key, topology)
+    assert cache.stats.invalidations == 1
+
+
+def test_missing_section_rejected(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    path = cache.put(key, plan)
+    doc = json.loads(path.read_text())
+    del doc["plan"]
+    path.write_text(json.dumps(doc))
+    with pytest.raises(PlanCacheError, match="missing"):
+        cache.get(key, topology)
+
+
+def test_find_sibling_prefers_topology_only_drift(tmp_path, planned):
+    graph, assignment, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    config = {"strategy": "spst", "chunks_per_class": 4, "seed": 0}
+
+    moved = assignment.copy()
+    moved[:5] = (moved[:5] + 1) % topology.num_devices
+    partition_drift = cache_key(graph, moved, topology, config)
+    cache.put(partition_drift, plan)
+
+    # A probe key differing only in partition should adopt that entry.
+    probe = cache_key(graph, assignment, topology, config)
+    donor = cache.find_sibling(probe)
+    assert donor is not None
+    assert donor["key"]["partition"] != probe.partition
+    assert donor["key"]["topology"] == probe.topology
+
+    # A different graph shares nothing: no donor.
+    other_key = cache_key(graph, moved, topology, {"strategy": "p2p"})
+    assert cache.find_sibling(other_key) is None
+
+
+def test_atomic_writes_leave_no_partial_files(tmp_path, planned):
+    _, _, topology, plan, key = planned
+    cache = PlanCache(tmp_path)
+    cache.put(key, plan)
+    cache.put(key, plan)  # overwrite in place
+    assert len(list(tmp_path.glob("*.tmp"))) == 0
+    assert len(cache) == 1
