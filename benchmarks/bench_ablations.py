@@ -136,8 +136,8 @@ def test_ablation_feature_caching(benchmark):
     results = {}
     for dataset in ("reddit", "web-google"):
         w = get_workload(dataset, "gcn", 8)
-        plain = evaluate_scheme(w, "dgcl")
-        cached = evaluate_scheme(w, "dgcl-cache")
+        plain = evaluate_scheme(w, scheme="dgcl")
+        cached = evaluate_scheme(w, scheme="dgcl-cache")
         results[dataset] = (plain, cached)
         rows.append([
             dataset,
@@ -159,7 +159,7 @@ def test_ablation_feature_caching(benchmark):
     assert saved_reddit > 0.4
 
     w = get_workload("web-google", "gcn", 8)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl-cache"),
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl-cache"),
                        rounds=3, iterations=1)
 
 

@@ -35,7 +35,7 @@ def tune_cell(dataset: str):
     report = tuner.tune()
     fixed = {}
     for scheme in FIXED_SCHEMES:
-        r = evaluate_scheme(w, scheme)
+        r = evaluate_scheme(w, scheme=scheme)
         fixed[scheme] = r.epoch_time if r.ok else float("inf")
     return report, fixed
 

@@ -21,7 +21,7 @@ def evaluate_depths():
         w = Workload("web-google", "gcn", shared_topology(8),
                      num_layers=layers)
         for scheme in ("dgcl", "replication"):
-            results[(layers, scheme)] = evaluate_scheme(w, scheme)
+            results[(layers, scheme)] = evaluate_scheme(w, scheme=scheme)
     return results
 
 
@@ -63,5 +63,5 @@ def test_depth_scaling(benchmark):
     assert (not rep3.ok) or rep3.epoch_time > 1.5 * results[(3, "dgcl")].epoch_time
 
     w = Workload("web-google", "gcn", shared_topology(8), num_layers=3)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=1,
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl"), rounds=1,
                        iterations=1)

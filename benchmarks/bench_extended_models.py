@@ -22,7 +22,7 @@ def evaluate_all():
     for model in MODELS:
         w = get_workload(DATASET, model, 8)
         for scheme in ("dgcl", "peer-to-peer"):
-            results[(model, scheme)] = evaluate_scheme(w, scheme)
+            results[(model, scheme)] = evaluate_scheme(w, scheme=scheme)
     return results
 
 
@@ -72,5 +72,5 @@ def test_extended_models(benchmark):
     )
 
     w = get_workload(DATASET, "gat", 8)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=3,
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl"), rounds=3,
                        iterations=1)

@@ -35,7 +35,7 @@ def test_fig2_p2p_overhead_grows(dataset, benchmark):
     fractions = {}
     for n in GPU_COUNTS:
         w = get_workload(dataset, "gcn", n)
-        r = evaluate_scheme(w, "peer-to-peer")
+        r = evaluate_scheme(w, scheme="peer-to-peer")
         assert r.ok
         comm_times[n] = r.comm_time
         fractions[n] = r.comm_time / r.epoch_time
@@ -67,5 +67,5 @@ def test_fig2_p2p_overhead_grows(dataset, benchmark):
 
     w = get_workload(dataset, "gcn", 8)
     benchmark.pedantic(
-        lambda: evaluate_scheme(w, "peer-to-peer"), rounds=3, iterations=1
+        lambda: evaluate_scheme(w, scheme="peer-to-peer"), rounds=3, iterations=1
     )

@@ -33,7 +33,7 @@ def evaluate_all():
         for model in MODELS:
             w = get_workload(dataset, model, 8)
             for scheme in SCHEMES:
-                results[(dataset, model, scheme)] = evaluate_scheme(w, scheme)
+                results[(dataset, model, scheme)] = evaluate_scheme(w, scheme=scheme)
     return results
 
 
@@ -104,5 +104,5 @@ def test_fig7_main_results(benchmark):
             assert all(swap.epoch_time >= o.epoch_time for o in others if o.ok)
 
     w = get_workload("web-google", "gcn", 8)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=3,
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl"), rounds=3,
                        iterations=1)

@@ -27,7 +27,7 @@ def collect():
     for n in GPU_COUNTS:
         w = get_workload("reddit", "gcn", n)
         for scheme in SCHEMES:
-            results[(n, scheme)] = evaluate_scheme(w, scheme)
+            results[(n, scheme)] = evaluate_scheme(w, scheme=scheme)
     return results
 
 
@@ -76,5 +76,5 @@ def test_fig8_gcn_reddit_scaling(benchmark):
     assert results[(16, "swap")].status == "unsupported"
 
     w = get_workload("reddit", "gcn", 16)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=3,
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl"), rounds=3,
                        iterations=1)

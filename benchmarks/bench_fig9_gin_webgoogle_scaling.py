@@ -20,7 +20,7 @@ def collect():
     for n in GPU_COUNTS:
         w = get_workload("web-google", "gin", n)
         for scheme in SCHEMES:
-            results[(n, scheme)] = evaluate_scheme(w, scheme)
+            results[(n, scheme)] = evaluate_scheme(w, scheme=scheme)
     return results
 
 
@@ -69,5 +69,5 @@ def test_fig9_gin_webgoogle_scaling(benchmark):
     assert results[(16, "swap")].status == "unsupported"
 
     w = get_workload("web-google", "gin", 8)
-    benchmark.pedantic(lambda: evaluate_scheme(w, "dgcl"), rounds=3,
+    benchmark.pedantic(lambda: evaluate_scheme(w, scheme="dgcl"), rounds=3,
                        iterations=1)

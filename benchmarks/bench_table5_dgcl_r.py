@@ -28,7 +28,7 @@ def collect():
     results = {}
     for dataset, model in CELLS:
         w = get_workload(dataset, model, 16)
-        results[(dataset, model, "dgcl")] = evaluate_scheme(w, "dgcl")
+        results[(dataset, model, "dgcl")] = evaluate_scheme(w, scheme="dgcl")
         results[(dataset, model, "dgcl-r")] = evaluate_dgcl_r(w)
     return results
 

@@ -27,7 +27,7 @@ def main(dataset: str = "web-google", model: str = "gcn", gpus: int = 8) -> None
     print("-" * len(header))
     results = []
     for scheme in SCHEMES:
-        r = evaluate_scheme(workload, scheme)
+        r = evaluate_scheme(workload, scheme=scheme)
         results.append(r)
         if r.ok:
             print(f"{scheme:14s} {r.ms():>11.3f} {r.ms('comm_time'):>10.3f} "

@@ -27,9 +27,12 @@ def main() -> None:
     # ---- Listing 1, lines 9-12: init, buildCommInfo, dispatch --------
     topology = dgx1()
     dgcl.init(topology)
-    plan = dgcl.build_comm_info(graph)
+    report = dgcl.build_comm_info(graph)
+    plan = report.plan
     print(f"topology: {topology}")
     print(f"plan:     {plan}")
+    print(f"          planned cost: {report.total_cost * 1e6:.2f} us over "
+          f"{report.num_stages} stage(s) [{report.engine} engine]")
     print(f"          volume by link kind: "
           f"{ {str(k): v for k, v in plan.volume_by_kind().items()} }")
 

@@ -32,7 +32,7 @@ def main(dataset: str = "reddit", model: str = "gcn") -> None:
         workload = Workload(dataset, model, topology_for_gpu_count(n))
         cells = []
         for scheme in SCHEMES:
-            r = evaluate_scheme(workload, scheme)
+            r = evaluate_scheme(workload, scheme=scheme)
             if r.ok:
                 cells.append(f"{r.ms():8.3f} ({r.ms('comm_time'):7.3f})")
                 best = best_by_count.get(n)

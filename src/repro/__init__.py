@@ -24,9 +24,9 @@ Quickstart::
     from repro.topology import dgx1
 
     graph = load_dataset("web-google")
-    dgcl.init(dgx1())
-    plan = dgcl.build_comm_info(graph)
-    print(plan)                       # stages, routed units, link usage
+    with dgcl.session(dgx1()) as s:
+        report = s.build_comm_info(graph)
+        print(report.plan)            # stages, routed units, link usage
 """
 
 from repro.core import CommPlan, CommRelation, SPSTPlanner, StagedCostModel

@@ -77,7 +77,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
         session = DGCLSession(topology, strategy=args.strategy,
                               plan_cache=args.plan_cache)
         start = time.perf_counter()
-        plan = session.build_comm_info(workload.graph)
+        plan = session.build_comm_info(workload.graph).plan
         planning_seconds = time.perf_counter() - start
         plan_source = session.plan_source
         if session.plan_cache is not None:
@@ -228,13 +228,13 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                             partitioner=picked.partitioner,
                             chunks_per_class=picked.chunks_per_class)
         results = [
-            evaluate_scheme(workload, picked.strategy, tracer=tracer,
+            evaluate_scheme(workload, scheme=picked.strategy, tracer=tracer,
                             metrics=metrics, method=picked.method)
         ]
     else:
         schemes = [args.scheme] if args.scheme else list(SCHEMES)
         results = [
-            evaluate_scheme(workload, scheme, tracer=tracer, metrics=metrics)
+            evaluate_scheme(workload, scheme=scheme, tracer=tracer, metrics=metrics)
             for scheme in schemes
         ]
     if topology.num_machines() > 1 and not args.scheme:
@@ -301,7 +301,7 @@ def cmd_train(args: argparse.Namespace) -> int:
 
         session = DGCLSession(topology, strategy=args.strategy,
                               plan_cache=args.plan_cache)
-        plan = session.build_comm_info(workload.graph)
+        plan = session.build_comm_info(workload.graph).plan
         relation = session.relation
         print(f"plan: {plan} ({session.plan_source})")
     else:
@@ -529,7 +529,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(f"traced {args.epochs} training epoch(s) of {args.model} on "
               f"{args.dataset}: {tracer.duration() * 1e3:.3f} ms simulated")
     else:
-        result = evaluate_scheme(workload, args.scheme, tracer=tracer,
+        result = evaluate_scheme(workload, scheme=args.scheme, tracer=tracer,
                                  metrics=metrics)
         print(f"traced {args.scheme} evaluation on {args.dataset}: "
               f"{result.status}"

@@ -1,25 +1,26 @@
 """The DGCL user-facing API (paper §4.2 and Listing 1).
 
-This module mirrors the paper's Python API so the example from Listing 1
-ports almost verbatim::
+The session-first surface is the recommended entry point — a
+:class:`DGCLSession` is a context manager that guarantees cleanup::
 
     import repro.api as dgcl
 
-    dgcl.init(topology)
-    dgcl.build_comm_info(graph)          # partition + plan
-    local_feats = dgcl.dispatch_features(features)
-    for layer in model.layers:
-        embeddings = dgcl.graph_allgather(local_feats)
-        ...                              # single-GPU layer per device
+    with dgcl.session(topology, strategy="auto") as s:
+        report = s.build_comm_info(graph)    # partition + plan -> PlanReport
+        local_feats = s.dispatch_features(features)
+        for layer in model.layers:
+            embeddings = s.graph_allgather(local_feats)
+            ...                              # single-GPU layer per device
 
-The functions operate on a process-global :class:`DGCLSession` (the
-paper's master process); library users who prefer explicit state can
-instantiate :class:`DGCLSession` directly.
+The module-global ``init()``/``shutdown()`` pair mirrors the paper's
+Listing 1 verbatim and stays as a thin shim over one process-global
+session.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +41,8 @@ from repro.topology.topology import Topology
 
 __all__ = [
     "DGCLSession",
+    "PlanReport",
+    "session",
     "init",
     "build_comm_info",
     "dispatch_features",
@@ -56,6 +59,48 @@ __all__ = [
 
 #: Planning strategies a session accepts.
 SESSION_STRATEGIES = ("spst", "p2p", "auto")
+
+#: SPST planner engines a session accepts.
+SESSION_ENGINES = ("scalar", "vectorized")
+
+#: Executor fidelities a session accepts.
+SESSION_FIDELITIES = ("event", "cost")
+
+
+@dataclass(frozen=True)
+class PlanReport:
+    """What a session-level planning call returns.
+
+    ``plan`` is the executable :class:`~repro.core.plan.CommPlan`
+    (``communication_plan()`` returns the same object for Listing-1
+    compatibility); the rest records how it was produced: where it came
+    from (``plan_source``: "planned", "cache", "patched" or
+    "replanned"), which planner engine and executor fidelity were in
+    effect, and the staged cost breakdown in unit-seconds.
+    """
+
+    plan: CommPlan
+    plan_source: str
+    engine: str
+    fidelity: str
+    stage_costs: Tuple[float, ...]
+    total_cost: float
+    tune_report: object = field(default=None, repr=False)
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stage_costs)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able summary (without the plan object)."""
+        return {
+            "plan_source": self.plan_source,
+            "engine": self.engine,
+            "fidelity": self.fidelity,
+            "stage_costs": list(self.stage_costs),
+            "total_cost": self.total_cost,
+            "num_routes": len(self.plan.routes),
+        }
 
 
 class DGCLSession:
@@ -76,14 +121,31 @@ class DGCLSession:
         fault_plan: Optional[FaultPlan] = None,
         strategy: str = "spst",
         plan_cache=None,
+        engine: str = "vectorized",
+        fidelity: str = "event",
     ) -> None:
         if strategy not in SESSION_STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; "
                 f"available: {SESSION_STRATEGIES}"
             )
+        if engine not in SESSION_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {SESSION_ENGINES}"
+            )
+        if fidelity not in SESSION_FIDELITIES:
+            raise ValueError(
+                f"unknown fidelity {fidelity!r}; "
+                f"available: {SESSION_FIDELITIES}"
+            )
         self.topology = topology
         self.strategy = strategy
+        #: SPST planner engine for plans built by this session.
+        self.engine = engine
+        #: Executor fidelity for this session's collectives.
+        self.fidelity = fidelity
+        #: True once :meth:`shutdown` ran; the session refuses new work.
+        self.closed = False
         self.plan_cache = None
         if plan_cache is not None:
             from repro.autotune.cache import PlanCache
@@ -111,6 +173,42 @@ class DGCLSession:
         self._repaired_conns: set = set()
         if fault_plan is not None:
             self.inject_faults(fault_plan)
+
+    # -- lifecycle ------------------------------------------------------
+    def __enter__(self) -> "DGCLSession":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False  # never swallow the body's exception
+
+    def shutdown(self) -> None:
+        """Release the session's runtime state; safe to call twice.
+
+        Drops the compiled allgather, plan, relation, fault injector and
+        telemetry sinks, and — when this session is the module-global
+        one — deregisters it, so ``init()``-style code cannot keep using
+        a dead session by accident.  Subsequent planning or collective
+        calls raise ``RuntimeError``.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        self._allgather = None
+        self.plan = None
+        self.relation = None
+        self.plan_source = None
+        self.injector = None
+        self.tracer = None
+        self.metrics = None
+        global _SESSION
+        if _SESSION is self:
+            _SESSION = None
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise RuntimeError("session is shut down")
 
     # ------------------------------------------------------------------
     def arm_telemetry(
@@ -195,18 +293,24 @@ class DGCLSession:
     def build_comm_info(
         self,
         graph: Graph,
+        *,
         assignment: Optional[np.ndarray] = None,
         seed: int = 0,
         chunks_per_class: int = 4,
         strategy: Optional[str] = None,
+        engine: Optional[str] = None,
         tune_kwargs: Optional[dict] = None,
-    ) -> CommPlan:
+    ) -> PlanReport:
         """Partition the graph, build the relation, and plan.
 
         Mirrors ``dgcl.buildCommInfo(graph, topology)``: afterwards the
-        session can dispatch features and run graphAllgather.  Pass an
-        explicit ``assignment`` to bring your own partitioner;
-        ``strategy`` overrides the session default for this call.
+        session can dispatch features and run graphAllgather.  All
+        options after the graph are keyword-only.  Pass an explicit
+        ``assignment`` to bring your own partitioner; ``strategy`` and
+        ``engine`` override the session defaults for this call.
+
+        Returns a :class:`PlanReport`; the bare plan stays available as
+        ``report.plan`` and through :meth:`communication_plan`.
 
         With a :attr:`plan_cache`, the plan for these exact inputs is
         loaded instead of computed when present (``plan_source ==
@@ -215,11 +319,17 @@ class DGCLSession:
         when the patch regressed past the threshold); a cold cache plans
         normally and stores the result.
         """
+        self._check_open()
         strategy = strategy or self.strategy
         if strategy not in SESSION_STRATEGIES:
             raise ValueError(
                 f"unknown strategy {strategy!r}; "
                 f"available: {SESSION_STRATEGIES}"
+            )
+        engine = engine or self.engine
+        if engine not in SESSION_ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; available: {SESSION_ENGINES}"
             )
         if assignment is None:
             assignment = hierarchical_partition(
@@ -244,7 +354,7 @@ class DGCLSession:
             except PlanCacheError:
                 plan = None  # invalid entry: fall through and replan
             if plan is not None:
-                return self._install_plan(plan, "cache")
+                return self._install_plan(plan, "cache", engine)
             donor = self.plan_cache.find_sibling(key)
             if donor is not None:
                 from repro.autotune.replan import incremental_replan
@@ -259,15 +369,15 @@ class DGCLSession:
                 if result.patched:
                     self.plan_cache.count_patch()
                 self._store_plan(key, result.plan, strategy)
-                return self._install_plan(result.plan, result.source)
+                return self._install_plan(result.plan, result.source, engine)
 
         plan = self._plan_from_scratch(
-            graph, strategy, seed, chunks_per_class,
+            graph, strategy, seed, chunks_per_class, engine,
             tune_kwargs=tune_kwargs,
         )
         if key is not None:
             self._store_plan(key, plan, strategy)
-        return self._install_plan(plan, "planned")
+        return self._install_plan(plan, "planned", engine)
 
     def _plan_from_scratch(
         self,
@@ -275,9 +385,11 @@ class DGCLSession:
         strategy: str,
         seed: int,
         chunks_per_class: int,
+        engine: str,
         tune_kwargs: Optional[dict] = None,
     ) -> CommPlan:
         """Plan against :attr:`relation` with the resolved strategy."""
+        self.tune_report = None  # only the auto strategy repopulates it
         if strategy == "auto":
             kwargs = dict(tune_kwargs or {})
             report = self.tune(
@@ -295,7 +407,8 @@ class DGCLSession:
 
             return peer_to_peer_plan(self.relation, self.topology)
         planner = SPSTPlanner(
-            self.topology, chunks_per_class=chunks_per_class, seed=seed
+            self.topology, chunks_per_class=chunks_per_class, seed=seed,
+            engine=engine,
         )
         return planner.plan(self.relation)
 
@@ -308,16 +421,28 @@ class DGCLSession:
             meta["picked"] = self.tune_report.candidate.config()
         self.plan_cache.put(key, plan, meta=meta)
 
-    def _install_plan(self, plan: CommPlan, source: str) -> CommPlan:
-        """Activate a plan and compile the allgather runtime."""
+    def _install_plan(
+        self, plan: CommPlan, source: str, engine: str
+    ) -> PlanReport:
+        """Activate a plan, compile the runtime, and report on it."""
         self.plan = plan
         self.plan_source = source
         self._allgather = CompiledAllgather(self.relation, self.plan)
-        return self.plan
+        model = plan.cost_model()
+        return PlanReport(
+            plan=plan,
+            plan_source=source,
+            engine=engine,
+            fidelity=self.fidelity,
+            stage_costs=tuple(model.stage_times()),
+            total_cost=model.total_cost(),
+            tune_report=self.tune_report if source == "planned" else None,
+        )
 
     def tune(
         self,
         graph: Graph,
+        *,
         seed: int = 0,
         chunks_per_class: int = 4,
         plan_based_only: bool = False,
@@ -326,10 +451,12 @@ class DGCLSession:
     ):
         """Run the cost-guided auto-tuner for ``graph`` on this topology.
 
-        Returns a :class:`~repro.autotune.tuner.TuneReport`; extra
-        keyword arguments are forwarded to
+        Everything after the graph is keyword-only.  Returns a
+        :class:`~repro.autotune.tuner.TuneReport`; extra keyword
+        arguments are forwarded to
         :class:`~repro.autotune.tuner.AutoTuner`.
         """
+        self._check_open()
         from repro.autotune.space import SearchSpace
         from repro.autotune.tuner import AutoTuner
 
@@ -363,6 +490,7 @@ class DGCLSession:
 
     def dispatch_features(self, features: np.ndarray) -> List[np.ndarray]:
         """Split global vertex features into per-device local blocks."""
+        self._check_open()
         if self.relation is None:
             raise RuntimeError("call build_comm_info() before dispatching")
         if features.shape[0] != self.relation.graph.num_vertices:
@@ -378,21 +506,24 @@ class DGCLSession:
         Returns per-device matrices in LocalGraph layout (local rows
         first, then remote rows) and advances the simulated clock.
         """
+        self._check_open()
         executor = self._priced_executor()
         runtime = self._require_plan()
         result = runtime.forward(local_embeddings)
         dim = local_embeddings[0].shape[1] if local_embeddings[0].ndim == 2 else 1
-        report = executor.execute(self.plan, dim * 4)
+        report = executor.execute(self.plan, dim * 4, fidelity=self.fidelity)
         self._advance(report, "graph_allgather")
         return result
 
     def scatter_gradients(self, full_grads: List[np.ndarray]) -> List[np.ndarray]:
         """Backward counterpart: return remote-row gradients to owners."""
+        self._check_open()
         executor = self._priced_executor()
         runtime = self._require_plan()
         result = runtime.backward(full_grads)
         dim = full_grads[0].shape[1]
-        report = executor.execute(self.plan, dim * 4, backward=True)
+        report = executor.execute(self.plan, dim * 4, backward=True,
+                                  fidelity=self.fidelity)
         self._advance(report, "scatter_gradients")
         return result
 
@@ -415,8 +546,41 @@ class DGCLSession:
             for d in range(self.relation.num_devices)
         ]
 
+    def communication_plan(self) -> CommPlan:
+        """The active :class:`CommPlan` (after :meth:`build_comm_info`)."""
+        if self.plan is None:
+            raise RuntimeError("call build_comm_info() first")
+        return self.plan
+
 
 _SESSION: Optional[DGCLSession] = None
+
+
+def session(
+    topology: Topology,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    strategy: str = "spst",
+    plan_cache=None,
+    engine: str = "vectorized",
+    fidelity: str = "event",
+) -> DGCLSession:
+    """Create a standalone session — the recommended entry point.
+
+    Use it as a context manager so shutdown is guaranteed even when the
+    body raises::
+
+        with dgcl.session(topology, strategy="auto") as s:
+            report = s.build_comm_info(graph)
+
+    Unlike :func:`init`, the session is *not* registered as the module
+    global; the Listing-1 module functions keep operating on whatever
+    ``init()`` installed.
+    """
+    return DGCLSession(
+        topology, fault_plan=fault_plan, strategy=strategy,
+        plan_cache=plan_cache, engine=engine, fidelity=fidelity,
+    )
 
 
 def init(
@@ -424,12 +588,14 @@ def init(
     fault_plan: Optional[FaultPlan] = None,
     strategy: str = "spst",
     plan_cache=None,
+    engine: str = "vectorized",
+    fidelity: str = "event",
 ) -> DGCLSession:
-    """Initialise the distributed communication environment."""
+    """Initialise the global environment (thin shim over a session)."""
     global _SESSION
-    _SESSION = DGCLSession(
+    _SESSION = session(
         topology, fault_plan=fault_plan, strategy=strategy,
-        plan_cache=plan_cache,
+        plan_cache=plan_cache, engine=engine, fidelity=fidelity,
     )
     return _SESSION
 
@@ -440,8 +606,12 @@ def _session() -> DGCLSession:
     return _SESSION
 
 
-def build_comm_info(graph: Graph, **kwargs) -> CommPlan:
-    """Partition, build the communication relation, and plan (SPST)."""
+def build_comm_info(graph: Graph, **kwargs) -> PlanReport:
+    """Partition, build the communication relation, and plan (SPST).
+
+    Returns a :class:`PlanReport`; use :func:`communication_plan` for
+    the bare plan (Listing-1 compatibility).
+    """
     return _session().build_comm_info(graph, **kwargs)
 
 
@@ -498,6 +668,8 @@ def arm_telemetry(
 
 
 def shutdown() -> None:
-    """Tear down the global session."""
+    """Tear down the global session (thin shim over its shutdown)."""
     global _SESSION
+    if _SESSION is not None:
+        _SESSION.shutdown()  # also deregisters itself from the module
     _SESSION = None

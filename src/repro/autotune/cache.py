@@ -50,9 +50,9 @@ CACHE_FORMAT_VERSION = 1
 PathLike = Union[str, "os.PathLike[str]"]
 
 
-class PlanCacheError(ValueError):
-    """A cache entry exists but must not be used (corrupt / wrong version
-    / key mismatch).  The caller treats it as a miss and replans."""
+# Defined in repro.errors (the consolidated hierarchy); re-exported
+# here because this module is its historical home.
+from repro.errors import PlanCacheError
 
 
 @dataclass

@@ -43,6 +43,9 @@ class Trial:
     candidate: CandidateScheme
     result: SchemeResult
     fidelity: float
+    #: Executor fidelity the price came from: "event" (flow simulation)
+    #: or "cost" (traffic-matrix pricing on halving rungs).
+    pricing: str = "event"
 
     @property
     def cost(self) -> float:
@@ -56,6 +59,7 @@ class Trial:
             "label": self.candidate.label(),
             "status": self.result.status,
             "fidelity": self.fidelity,
+            "pricing": self.pricing,
             "epoch_seconds": None if not self.result.ok else float(self.result.epoch_time),
             "comm_seconds": None if not self.result.ok else float(self.result.comm_time),
             "compute_seconds": None if not self.result.ok else float(self.result.compute_time),

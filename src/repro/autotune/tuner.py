@@ -244,15 +244,25 @@ class AutoTuner:
         return self._workloads[key]
 
     def evaluate(self, candidate: CandidateScheme, fidelity: float = 1.0) -> Trial:
-        """Price one candidate under the staged cost model."""
+        """Price one candidate under the staged cost model.
+
+        Halving rungs (fidelity < 1) price at the executor's cost-only
+        fidelity — stage times straight from the traffic matrix, no
+        per-transfer events — on top of the short-run workload; the
+        full-fidelity final rung runs the event simulation, so the
+        winner's number is the exact one the session would see.
+        """
         workload = self._workload(candidate, fidelity)
+        pricing = "cost" if fidelity < 1.0 else "event"
         result = evaluate_scheme(
-            workload, candidate.strategy, method=candidate.method
+            workload, scheme=candidate.strategy, method=candidate.method,
+            fidelity=pricing,
         )
         global_metrics().counter(
             "autotune.evaluations", strategy=candidate.strategy
         ).inc()
-        return Trial(candidate=candidate, result=result, fidelity=fidelity)
+        return Trial(candidate=candidate, result=result, fidelity=fidelity,
+                     pricing=pricing)
 
     def tune(self) -> TuneReport:
         """Search the space and report the winner."""

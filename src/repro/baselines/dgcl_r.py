@@ -46,7 +46,7 @@ def evaluate_dgcl_r(workload: Workload) -> SchemeResult:
         # Degenerates to plain DGCL on one machine.
         from repro.baselines.strategies import evaluate_scheme
 
-        result = evaluate_scheme(workload, "dgcl")
+        result = evaluate_scheme(workload, scheme="dgcl")
         return workload.result(
             "dgcl-r", status=result.status, epoch_time=result.epoch_time,
             comm_time=result.comm_time, compute_time=result.compute_time,

@@ -306,6 +306,7 @@ def _planned_comm_time(
     workload: Workload, plan: CommPlan, nonatomic: bool,
     executor: Optional[PlanExecutor] = None,
     cache_features: bool = False,
+    fidelity: str = "event",
 ) -> Dict[str, float]:
     """Forward allgather + backward scatter time per epoch for a plan.
 
@@ -320,7 +321,7 @@ def _planned_comm_time(
     forward = 0.0
     for li, bpu in enumerate(boundaries[first:], start=first):
         t0 = tracer.now if tracer is not None else 0.0
-        report = executor.execute(plan, bpu)
+        report = executor.execute(plan, bpu, fidelity=fidelity)
         forward += report.total_time
         if tracer is not None:
             tracer.add_span(f"allgather L{li}", "phase", TRAINER_TRACK,
@@ -342,7 +343,7 @@ def _planned_comm_time(
         )
         t0 = tracer.now if tracer is not None else 0.0
         report = executor.execute_backward(
-            backward_tuples, bpu, atomic=not nonatomic
+            backward_tuples, bpu, atomic=not nonatomic, fidelity=fidelity
         )
         transfer = report.total_time
         if tracer is not None:
@@ -362,6 +363,7 @@ def _evaluate_partitioned(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     methods: Optional["MethodTable"] = None,
+    fidelity: str = "event",
 ) -> SchemeResult:
     try:
         workload.check_partition_memory(cache_features=cache_features)
@@ -379,7 +381,7 @@ def _evaluate_partitioned(
                                 metrics=metrics, methods=methods)
     comm = _planned_comm_time(workload, plan, nonatomic=nonatomic,
                               cache_features=cache_features,
-                              executor=executor)
+                              executor=executor, fidelity=fidelity)
     sync = workload.model_sync_time
     comm = dict(comm, sync=sync)
     return workload.result(
@@ -492,14 +494,17 @@ def _copy_result(result: SchemeResult) -> SchemeResult:
 
 def evaluate_scheme(
     workload: Workload,
+    *,
     scheme: str,
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
     method: Optional[object] = None,
+    fidelity: str = "event",
 ) -> SchemeResult:
     """Run one scheme on one workload; never raises on OOM.
 
-    With a ``tracer``/``metrics`` sink the priced collectives also emit
+    Everything after the workload is keyword-only.  With a
+    ``tracer``/``metrics`` sink the priced collectives also emit
     per-flow spans and counters; the returned numbers are unchanged.
 
     ``method`` forces one §6.2 transfer mechanism (a
@@ -507,16 +512,26 @@ def evaluate_scheme(
     every device pair of the plan-based schemes instead of DGCL's
     automatic per-pair selection — the knob the auto-tuner sweeps.
 
-    Identical ``(workload, scheme, method)`` cells are memoised
-    process-wide (the tuner prices the same cell across search rungs);
-    telemetry-armed calls bypass the memo so spans are always emitted.
+    ``fidelity`` picks how the plan-based schemes are priced:
+    ``"event"`` (default) runs the full flow-level simulation,
+    ``"cost"`` prices straight from the per-stage traffic matrix —
+    O(stages x connections), the mode the auto-tuner's halving rungs
+    use.  Schemes without a CommPlan (swap / replication / dgcl-r)
+    always price at event fidelity.
+
+    Identical ``(workload, scheme, method, fidelity)`` cells are
+    memoised process-wide (the tuner prices the same cell across search
+    rungs); telemetry-armed calls bypass the memo so spans are always
+    emitted.
     """
+    if fidelity not in ("event", "cost"):
+        raise ValueError("fidelity must be 'event' or 'cost'")
     method_key = str(method) if method is not None else None
     memo_key = None
     if tracer is None and metrics is None:
         memo_key = workload._cache_key() + (
             workload.model_name, workload.num_layers,
-            workload.chunks_per_class, scheme, method_key,
+            workload.chunks_per_class, scheme, method_key, fidelity,
         )
         Workload._count_cache("evaluate", memo_key in _EVAL_CACHE)
         if memo_key in _EVAL_CACHE:
@@ -531,6 +546,7 @@ def evaluate_scheme(
         result = _evaluate_partitioned(
             workload, "dgcl", workload.spst_plan, nonatomic=True,
             tracer=tracer, metrics=metrics, methods=methods,
+            fidelity=fidelity,
         )
     elif scheme == "dgcl-cache":
         # §3 option (1): cache remote layer-0 embeddings once, trade
@@ -538,12 +554,13 @@ def evaluate_scheme(
         result = _evaluate_partitioned(
             workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
             cache_features=True, tracer=tracer, metrics=metrics,
-            methods=methods,
+            methods=methods, fidelity=fidelity,
         )
     elif scheme == "peer-to-peer":
         result = _evaluate_partitioned(
             workload, "peer-to-peer", workload.p2p_plan, nonatomic=False,
             tracer=tracer, metrics=metrics, methods=methods,
+            fidelity=fidelity,
         )
     elif scheme == "swap":
         result = _evaluate_swap(workload, tracer=tracer, metrics=metrics)

@@ -64,13 +64,9 @@ class Violation:
         return {"oracle": self.oracle, "detail": self.detail}
 
 
-class OracleViolation(AssertionError):
-    """Raised by replay/CLI paths when a plan breaks an oracle."""
-
-    def __init__(self, violations: List[Violation]) -> None:
-        self.violations = list(violations)
-        lines = [f"[{v.oracle}] {v.detail}" for v in self.violations]
-        super().__init__("; ".join(lines) or "oracle violation")
+# Defined in repro.errors (the consolidated hierarchy); re-exported
+# here because this module is its historical home.
+from repro.errors import OracleViolation
 
 
 @dataclass

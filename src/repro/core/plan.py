@@ -89,11 +89,18 @@ class CommPlan:
         self.routes: Tuple[VertexClassRoute, ...] = tuple(routes)
         self.name = name
         self._tuples: Optional[List[CommTuple]] = None
+        self._backward_tuples: Optional[List[CommTuple]] = None
+        self._num_stages: Optional[int] = None
+        self._traffic: Dict[bool, np.ndarray] = {}
 
     # ------------------------------------------------------------------
     @property
     def num_stages(self) -> int:
-        return max((r.max_stage() for r in self.routes), default=-1) + 1
+        if self._num_stages is None:
+            self._num_stages = (
+                max((r.max_stage() for r in self.routes), default=-1) + 1
+            )
+        return self._num_stages
 
     def tuples(self) -> List[CommTuple]:
         """Compiled transfers, batched per (link, stage), stage-ascending."""
@@ -124,30 +131,32 @@ class CommPlan:
         backward stage ``S - 1 - k``.  The link is the reverse direction
         of the forward link (same device pair).
         """
-        total = self.num_stages
-        reversed_tuples = []
-        for t in self.tuples():
-            back_link = self.topology.direct_link(t.dst, t.src)
-            if back_link is None:
-                raise RuntimeError(
-                    f"no reverse link {t.dst}->{t.src} for backward pass"
+        if self._backward_tuples is None:
+            total = self.num_stages
+            reversed_tuples = []
+            for t in self.tuples():
+                back_link = self.topology.direct_link(t.dst, t.src)
+                if back_link is None:
+                    raise RuntimeError(
+                        f"no reverse link {t.dst}->{t.src} for backward pass"
+                    )
+                # Prefer the reverse of the same link class when available.
+                for candidate in self.topology.links_between(t.dst, t.src):
+                    if candidate.kind == t.link.kind:
+                        back_link = candidate
+                        break
+                reversed_tuples.append(
+                    CommTuple(
+                        src=t.dst,
+                        dst=t.src,
+                        stage=total - 1 - t.stage,
+                        link=back_link,
+                        vertices=t.vertices,
+                    )
                 )
-            # Prefer the reverse of the same link class when available.
-            for candidate in self.topology.links_between(t.dst, t.src):
-                if candidate.kind == t.link.kind:
-                    back_link = candidate
-                    break
-            reversed_tuples.append(
-                CommTuple(
-                    src=t.dst,
-                    dst=t.src,
-                    stage=total - 1 - t.stage,
-                    link=back_link,
-                    vertices=t.vertices,
-                )
-            )
-        reversed_tuples.sort(key=lambda t: (t.stage, t.src, t.dst))
-        return reversed_tuples
+            reversed_tuples.sort(key=lambda t: (t.stage, t.src, t.dst))
+            self._backward_tuples = reversed_tuples
+        return list(self._backward_tuples)
 
     # ------------------------------------------------------------------
     def cost_model(self) -> StagedCostModel:
@@ -161,6 +170,32 @@ class CommPlan:
     def estimated_cost(self, bytes_per_unit: float = 1.0) -> float:
         """Cost-model estimate of the plan's execution time (§5.1)."""
         return self.cost_model().total_seconds(bytes_per_unit)
+
+    def traffic_matrix(self, backward: bool = False) -> np.ndarray:
+        """Aggregate units per ``(stage, connection)`` as a dense matrix.
+
+        Row ``k`` holds the total embedding units every physical
+        connection carries during stage ``k``; columns follow the
+        insertion order of ``topology.connections`` (the same order
+        :class:`~repro.core.cost_model.DenseCostState` uses).  This is
+        the input of the cost-only executor fidelity: stage times fall
+        out of one ``max`` over each row instead of a per-transfer event
+        simulation.
+        """
+        cached = self._traffic.get(backward)
+        if cached is None:
+            conn_index = {
+                name: i for i, name in enumerate(self.topology.connections)
+            }
+            num_stages = max(1, self.num_stages)
+            cached = np.zeros((num_stages, len(conn_index)), dtype=np.float64)
+            tuples = self.backward_tuples() if backward else self.tuples()
+            for t in tuples:
+                row = cached[t.stage]
+                for conn in t.link.connections:
+                    row[conn_index[conn.name]] += t.units
+            self._traffic[backward] = cached
+        return cached.copy()
 
     def volume_by_kind(self) -> Dict[LinkKind, int]:
         """Vertex-embedding units crossing each link kind."""

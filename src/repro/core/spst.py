@@ -27,6 +27,22 @@ Granularity
 equal chunks planned as weighted units.  Chunks of one class may take
 different trees, preserving the per-vertex load-balancing freedom the
 paper argues for (§5.1) at a fraction of the planning cost.
+
+Engines
+-------
+Two interchangeable engines grow the trees:
+
+* ``engine="scalar"`` — the reference implementation: per-edge
+  :meth:`StagedCostModel.incremental_cost` calls inside a heap Dijkstra.
+* ``engine="vectorized"`` (default) — the fast path: the same Dijkstra
+  (same shuffle, same heap tie-breaking, same commits) fed from
+  :class:`~repro.core.cost_model.DenseCostState`, which materialises
+  Algorithm 2's ``C(i, ·)`` one whole stage-row at a time with NumPy
+  and memoises rows until a commit dirties the stage.
+
+Both engines perform identical IEEE-double arithmetic in an identical
+order, so they return *identical* plans — the scalar engine stays the
+oracle the equivalence tests check the fast path against.
 """
 
 from __future__ import annotations
@@ -37,7 +53,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.cost_model import StagedCostModel
+from repro.core.cost_model import DenseCostState, StagedCostModel
 from repro.core.plan import CommPlan, VertexClassRoute
 from repro.core.relation import CommRelation, MulticastClass
 from repro.topology.topology import Link, Topology
@@ -73,6 +89,10 @@ class SPSTPlanner:
         each multicast class is split into.
     seed:
         Shuffle seed; the paper shuffles vertices before planning.
+    engine:
+        ``"vectorized"`` (default) for the NumPy row-batched fast path,
+        ``"scalar"`` for the reference per-edge implementation.  Both
+        produce identical plans.
     """
 
     def __init__(
@@ -82,6 +102,7 @@ class SPSTPlanner:
         chunks_per_class: int = 4,
         seed: int = 0,
         refine_passes: int = 0,
+        engine: str = "vectorized",
     ) -> None:
         if granularity not in ("vertex", "chunk"):
             raise ValueError("granularity must be 'vertex' or 'chunk'")
@@ -89,11 +110,14 @@ class SPSTPlanner:
             raise ValueError("chunks_per_class must be positive")
         if refine_passes < 0:
             raise ValueError("refine_passes must be non-negative")
+        if engine not in ("scalar", "vectorized"):
+            raise ValueError("engine must be 'scalar' or 'vectorized'")
         self.topology = topology
         self.granularity = granularity
         self.chunks_per_class = chunks_per_class
         self.seed = seed
         self.refine_passes = refine_passes
+        self.engine = engine
 
     # ------------------------------------------------------------------
     def _units(self, classes: Sequence[MulticastClass]) -> List[PlanUnit]:
@@ -108,12 +132,18 @@ class SPSTPlanner:
                         PlanUnit(cls.source, dests, np.asarray([v], dtype=np.int64))
                     )
             else:
-                pieces = np.array_split(
-                    cls.vertices, min(self.chunks_per_class, cls.size)
-                )
-                for piece in pieces:
-                    if piece.size:
-                        units.append(PlanUnit(cls.source, dests, piece))
+                # Equal split, first `size % k` pieces one longer —
+                # np.array_split semantics without its per-call overhead.
+                pieces = min(self.chunks_per_class, cls.size)
+                base, rem = divmod(cls.size, pieces)
+                start = 0
+                for i in range(pieces):
+                    end = start + base + (1 if i < rem else 0)
+                    if end > start:
+                        units.append(
+                            PlanUnit(cls.source, dests, cls.vertices[start:end])
+                        )
+                    start = end
         rng = np.random.default_rng(self.seed)
         order = rng.permutation(len(units))
         return [units[i] for i in order]
@@ -186,6 +216,160 @@ class SPSTPlanner:
                 remaining.discard(link.dst)
         return tree_edges
 
+    # -- vectorized engine ---------------------------------------------
+    def _grow_tree_fast(
+        self,
+        state: DenseCostState,
+        unit: PlanUnit,
+        out: List[List[Tuple[int, int]]],
+    ) -> List[Tuple[int, int]]:
+        """The scalar Dijkstra fed from memoised ``C(stage, ·)`` rows.
+
+        Same heap entries, same relaxation guards, same commit order as
+        :meth:`_grow_tree`; the differences are mechanical: edge weights
+        come from pair rows :class:`DenseCostState` computed in bulk
+        (parallel links pre-collapsed to the strictly cheapest,
+        first-on-ties — what sequential strict-improvement relaxation
+        keeps), so the committed tree is identical by construction.
+        """
+        num_devices = self.topology.num_devices
+        links = self.topology.links
+        depth: Dict[int, int] = {unit.source: 0}
+        in_tree = bytearray(num_devices)
+        in_tree[unit.source] = 1
+        remaining = set(unit.destinations)
+        remaining.discard(unit.source)
+        is_target = bytearray(num_devices)
+        for node in remaining:
+            is_target[node] = 1
+        tree_edges: List[Tuple[int, int]] = []
+        weight = unit.weight
+        num_stages = state.num_stages
+        weight_row = state.weight_row
+        inf = float("inf")
+        heappush, heappop = heapq.heappush, heapq.heappop
+
+        # Memoised C(stage, ·) rows survive across the Dijkstras of one
+        # tree: a committed path only perturbs the stages it lands on,
+        # so only those rows are dropped after each commit.
+        rows: List[Optional[Tuple[List[float], List[int]]]] = (
+            [None] * num_stages
+        )
+        # Seed entries grow with the tree; each Dijkstra restarts from a
+        # plain copy of this list (the tuples are immutable and shared).
+        seeds: List[Tuple[float, int, int]] = [(0.0, unit.source, 0)]
+        while remaining:
+            # No explicit blocked set: the strict `<` relaxation guard
+            # already rejects every node the reference engine blocks.
+            # Tree seeds sit at dist 0.0 (no non-negative path beats
+            # that), and a settled node's dist is final (pops are
+            # non-decreasing, weights are >= 0, improvement is strict).
+            dist: List[float] = [inf] * num_devices
+            for node in depth:
+                dist[node] = 0.0
+            parent_link: List[int] = [-1] * num_devices
+            heap: List[Tuple[float, int, int]] = seeds.copy()
+            heapq.heapify(heap)
+            target = -1
+            # Best target distance seen so far.  Edge weights are >= 0,
+            # so an entry strictly above this bound settles strictly
+            # after the first target and can never influence its path —
+            # pruning those pushes is exact, not heuristic.
+            bound = inf
+            while heap:
+                cost, node, d = heappop(heap)
+                # Stale entry: a cheaper push has already settled it
+                # (seeds pop at exactly their 0.0 dist, so they process).
+                if cost > dist[node]:
+                    continue
+                if is_target[node]:
+                    target = node
+                    break
+                if d >= num_stages:
+                    continue
+                row = rows[d]
+                if row is None:
+                    row = rows[d] = weight_row(weight, d)
+                pair_weight, pair_link = row
+                d1 = d + 1
+                for nxt, pair in out[node]:
+                    new_cost = cost + pair_weight[pair]
+                    if new_cost < dist[nxt] and new_cost <= bound:
+                        dist[nxt] = new_cost
+                        parent_link[nxt] = pair_link[pair]
+                        heappush(heap, (new_cost, nxt, d1))
+                        if is_target[nxt] and new_cost < bound:
+                            bound = new_cost
+            if target < 0:
+                raise RuntimeError(
+                    f"destinations {sorted(remaining)} unreachable from "
+                    f"tree of device {unit.source}"
+                )
+
+            path: List[int] = []
+            node = target
+            while not in_tree[node]:
+                link_id = parent_link[node]
+                path.append(link_id)
+                node = links[link_id].src
+            path.reverse()
+            d = depth[node]
+            for link_id in path:
+                state.add_link(link_id, d, weight)
+                rows[d] = None  # this stage's costs just moved
+                tree_edges.append((link_id, d))
+                d += 1
+                dst = links[link_id].dst
+                depth[dst] = d
+                in_tree[dst] = 1
+                is_target[dst] = 0
+                seeds.append((0.0, dst, d))
+                remaining.discard(dst)
+        return tree_edges
+
+    def _plan_vectorized(self, relation: CommRelation, name: str) -> CommPlan:
+        state = DenseCostState(self.topology)
+        out = state.out_pairs
+        links = self.topology.links
+        units = self._units(relation.classes)
+        edge_ids: List[List[Tuple[int, int]]] = []
+        for unit in units:
+            edge_ids.append(self._grow_tree_fast(state, unit, out))
+
+        rng = np.random.default_rng(self.seed + 1)
+        for _ in range(self.refine_passes):
+            improved = False
+            for i in rng.permutation(len(units)):
+                unit = units[i]
+                old_edges = edge_ids[i]
+                before = state.total_cost()
+                for link_id, stage in old_edges:
+                    state.remove_link(link_id, stage, unit.weight)
+                new_edges = self._grow_tree_fast(state, unit, out)
+                after = state.total_cost()
+                if after < before - 1e-18:
+                    edge_ids[i] = new_edges
+                    improved = True
+                elif new_edges != old_edges:
+                    # The re-route was not better: restore the original.
+                    for link_id, stage in new_edges:
+                        state.remove_link(link_id, stage, unit.weight)
+                    for link_id, stage in old_edges:
+                        state.add_link(link_id, stage, unit.weight)
+            if not improved:
+                break
+
+        routes = [
+            VertexClassRoute(
+                source=unit.source,
+                destinations=unit.destinations,
+                vertices=unit.vertices,
+                edges=tuple([(links[lid], stage) for lid, stage in edges]),
+            )
+            for unit, edges in zip(units, edge_ids)
+        ]
+        return CommPlan(self.topology, routes, name=name)
+
     # ------------------------------------------------------------------
     def plan(
         self, relation: CommRelation, name: str = "spst"
@@ -199,6 +383,8 @@ class SPSTPlanner:
         """
         if relation.num_devices > self.topology.num_devices:
             raise ValueError("relation references more devices than topology")
+        if self.engine == "vectorized":
+            return self._plan_vectorized(relation, name)
         model = StagedCostModel(self.topology)
         units = self._units(relation.classes)
         routes: List[VertexClassRoute] = []

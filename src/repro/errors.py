@@ -1,0 +1,109 @@
+"""The library's typed error hierarchy.
+
+Every exception the library raises deliberately derives from
+:class:`ReproError`, so callers can catch the whole family with one
+clause::
+
+    try:
+        plan = session.build_comm_info(graph)
+    except repro.errors.ReproError as exc:
+        ...
+
+Each class also keeps the stdlib base it historically subclassed
+(``ValueError``, ``RuntimeError``, ``AssertionError``) so existing
+``except`` clauses written against those keep working.  The original
+defining modules (``repro.faults.spec``, ``repro.faults.policy``,
+``repro.simulator.devices``, ``repro.autotune.cache``,
+``repro.chaos.oracles``) re-export these names for compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = [
+    "ReproError",
+    "FaultSpecError",
+    "UnrecoverableFaultError",
+    "DeviceLostError",
+    "SimulatedOOMError",
+    "PlanCacheError",
+    "OracleViolation",
+]
+
+
+class ReproError(Exception):
+    """Base class of every deliberate error the library raises."""
+
+
+class FaultSpecError(ReproError, ValueError):
+    """A fault spec (JSON or constructor argument) failed validation.
+
+    Raised with a message naming the offending event and field, so a
+    mistyped ``--fault-spec`` file fails with "event #2 (link-loss):
+    unknown connection field 'conection'" instead of a raw ``KeyError``.
+    """
+
+
+class UnrecoverableFaultError(ReproError, RuntimeError):
+    """Retry budget exhausted (or no route left) with no fallback."""
+
+    def __init__(self, subject: str, attempts: int, detail: str = "") -> None:
+        self.subject = subject
+        self.attempts = attempts
+        self.detail = detail
+        extra = f": {detail}" if detail else ""
+        super().__init__(
+            f"unrecoverable fault on {subject} after {attempts} attempts{extra}"
+        )
+
+
+class DeviceLostError(ReproError, RuntimeError):
+    """A permanent device loss confirmed by the failure detector.
+
+    Protocol-level recovery cannot resurrect a crashed GPU; the error
+    carries everything the trainer needs to roll back and repartition.
+    """
+
+    def __init__(self, devices: Sequence[int], time: float, fault_log=None,
+                 report=None):
+        self.devices: List[int] = sorted(devices)
+        self.time = time
+        self.fault_log = fault_log
+        self.report = report
+        super().__init__(
+            f"device(s) {self.devices} lost at t={time * 1e6:.1f} us; "
+            "trainer-level rollback required"
+        )
+
+
+class SimulatedOOMError(ReproError, RuntimeError):
+    """A simulated device ran out of memory."""
+
+    def __init__(self, device: int, requested: int, capacity: int, in_use: int):
+        self.device = device
+        self.requested = requested
+        self.capacity = capacity
+        self.in_use = in_use
+        super().__init__(
+            f"device {device} OOM: requested {requested} B with "
+            f"{capacity - in_use} B free ({in_use}/{capacity} B in use)"
+        )
+
+
+class PlanCacheError(ReproError, ValueError):
+    """A cache entry exists but must not be used (corrupt / wrong version
+    / key mismatch).  The caller treats it as a miss and replans."""
+
+
+class OracleViolation(ReproError, AssertionError):
+    """Raised by replay/CLI paths when a plan breaks an oracle.
+
+    ``violations`` holds the individual
+    :class:`~repro.chaos.oracles.Violation` records.
+    """
+
+    def __init__(self, violations: Sequence[object]) -> None:
+        self.violations = list(violations)
+        lines = [f"[{v.oracle}] {v.detail}" for v in self.violations]
+        super().__init__("; ".join(lines) or "oracle violation")

@@ -29,35 +29,9 @@ __all__ = [
 ]
 
 
-class UnrecoverableFaultError(RuntimeError):
-    """Retry budget exhausted (or no route left) with no fallback."""
-
-    def __init__(self, subject: str, attempts: int, detail: str = "") -> None:
-        self.subject = subject
-        self.attempts = attempts
-        self.detail = detail
-        extra = f": {detail}" if detail else ""
-        super().__init__(
-            f"unrecoverable fault on {subject} after {attempts} attempts{extra}"
-        )
-
-
-class DeviceLostError(RuntimeError):
-    """A permanent device loss confirmed by the failure detector.
-
-    Protocol-level recovery cannot resurrect a crashed GPU; the error
-    carries everything the trainer needs to roll back and repartition.
-    """
-
-    def __init__(self, devices: Sequence[int], time: float, fault_log=None, report=None):
-        self.devices: List[int] = sorted(devices)
-        self.time = time
-        self.fault_log = fault_log
-        self.report = report
-        super().__init__(
-            f"device(s) {self.devices} lost at t={time * 1e6:.1f} us; "
-            "trainer-level rollback required"
-        )
+# Defined in repro.errors (the consolidated hierarchy); re-exported
+# here because this module is their historical home.
+from repro.errors import DeviceLostError, UnrecoverableFaultError
 
 
 class RecoveryPolicy:

@@ -46,13 +46,9 @@ __all__ = [
 ]
 
 
-class FaultSpecError(ValueError):
-    """A fault spec (JSON or constructor argument) failed validation.
-
-    Raised with a message naming the offending event and field, so a
-    mistyped ``--fault-spec`` file fails with "event #2 (link-loss):
-    unknown connection field 'conection'" instead of a raw ``KeyError``.
-    """
+# Defined in repro.errors (the consolidated hierarchy); re-exported
+# here because this module is its historical home.
+from repro.errors import FaultSpecError
 
 
 def _check_device(device: int) -> None:

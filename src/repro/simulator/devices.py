@@ -15,18 +15,9 @@ from typing import Dict
 __all__ = ["SimulatedOOMError", "DeviceMemory"]
 
 
-class SimulatedOOMError(RuntimeError):
-    """A simulated device ran out of memory."""
-
-    def __init__(self, device: int, requested: int, capacity: int, in_use: int):
-        self.device = device
-        self.requested = requested
-        self.capacity = capacity
-        self.in_use = in_use
-        super().__init__(
-            f"device {device} OOM: requested {requested} B with "
-            f"{capacity - in_use} B free ({in_use}/{capacity} B in use)"
-        )
+# Defined in repro.errors (the consolidated hierarchy); re-exported
+# here because this module is its historical home.
+from repro.errors import SimulatedOOMError
 
 
 class DeviceMemory:

@@ -29,7 +29,13 @@ from repro.core.plan import CommPlan, CommTuple
 from repro.core.relation import CommRelation
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import Tracer, connection_track, device_track
-from repro.simulator.network import DEFAULT_ALPHA, Flow, FlowResult, NetworkSimulator
+from repro.simulator.network import (
+    DEFAULT_ALPHA,
+    Flow,
+    FlowResult,
+    NetworkSimulator,
+    bottleneck_seconds,
+)
 from repro.topology.links import LinkKind
 from repro.topology.topology import Topology
 
@@ -180,16 +186,23 @@ class PlanExecutor:
 
     # ------------------------------------------------------------------
     def execute(self, plan: CommPlan, bytes_per_unit: float,
-                backward: bool = False) -> ExecutionReport:
-        """Run one graphAllgather (forward) or gradient scatter (backward)."""
+                backward: bool = False,
+                fidelity: str = "event") -> ExecutionReport:
+        """Run one graphAllgather (forward) or gradient scatter (backward).
+
+        ``fidelity="event"`` is the full flow-level simulation;
+        ``fidelity="cost"`` prices the same tuples from the aggregate
+        per-stage traffic only — O(stages x connections), no events.
+        """
         tuples = plan.backward_tuples() if backward else plan.tuples()
-        return self.execute_tuples(tuples, bytes_per_unit)
+        return self.execute_tuples(tuples, bytes_per_unit, fidelity=fidelity)
 
     def execute_backward(
         self,
         tuples: Sequence[CommTuple],
         bytes_per_unit: float,
         atomic: bool,
+        fidelity: str = "event",
     ) -> ExecutionReport:
         """Gradient scatter with or without atomic accumulation (§6.2).
 
@@ -198,15 +211,21 @@ class PlanExecutor:
         schedule runs at full rate.
         """
         eff = ATOMIC_RECEIVE_EFFICIENCY if atomic else 1.0
-        return self.execute_tuples(tuples, bytes_per_unit / eff)
+        return self.execute_tuples(tuples, bytes_per_unit / eff,
+                                   fidelity=fidelity)
 
     def execute_tuples(
-        self, tuples: Sequence[CommTuple], bytes_per_unit: float
+        self, tuples: Sequence[CommTuple], bytes_per_unit: float,
+        fidelity: str = "event",
     ) -> ExecutionReport:
         """Run an arbitrary tuple subset (used for per-link breakdowns)."""
+        if fidelity not in ("event", "cost"):
+            raise ValueError("fidelity must be 'event' or 'cost'")
         if not tuples:
             return ExecutionReport(total_time=0.0)
-        if self.coordination == "centralized":
+        if fidelity == "cost":
+            report = self._execute_cost_only(tuples, bytes_per_unit)
+        elif self.coordination == "centralized":
             report = self._execute_centralized(tuples, bytes_per_unit)
         else:
             report = self._execute_decentralized(tuples, bytes_per_unit)
@@ -227,6 +246,44 @@ class PlanExecutor:
             return 0.0
         factor = self.methods.profile(t.src, t.dst).alpha_factor
         return self.alpha * (factor - 1.0)
+
+    # -- cost-only: stage times straight from the traffic matrix --------
+    def _execute_cost_only(
+        self, tuples: Sequence[CommTuple], bytes_per_unit: float
+    ) -> ExecutionReport:
+        """Coarse pricing: per-stage bottleneck serialisation, no events.
+
+        Each stage's duration is the load of its most contended
+        connection (the fluid model's lower bound) plus one startup
+        latency, and stages run back-to-back — a barrier-style
+        approximation of the decentralized protocol.  Per-pair method
+        efficiency, packing efficiency, and the fault injector's
+        ``capacity_of`` overrides all apply exactly as in the event
+        simulation; what is lost is fair-sharing contention detail and
+        cross-stage overlap.  The report carries ``stage_finish`` but no
+        flows.
+        """
+        stage_bytes: Dict[int, Dict[object, float]] = {}
+        stage_setup: Dict[int, float] = {}
+        for t in tuples:
+            size = self._flow_bytes(t, bytes_per_unit)
+            row = stage_bytes.setdefault(t.stage, {})
+            for conn in t.link.connections:
+                row[conn] = row.get(conn, 0.0) + size
+            setup = self.alpha + self._setup_extra(t)
+            if setup > stage_setup.get(t.stage, 0.0):
+                stage_setup[t.stage] = setup
+        now = 0.0
+        stage_finish: Dict[int, float] = {}
+        for k in sorted(stage_bytes):
+            if self.coordination == "centralized":
+                now += self.master_latency
+            now += stage_setup[k] + bottleneck_seconds(
+                stage_bytes[k], capacity_of=self.capacity_of
+            )
+            stage_finish[k] = now
+        return ExecutionReport(total_time=now, flows=[],
+                               stage_finish=stage_finish)
 
     # -- decentralized: dependency-triggered stage starts ---------------
     def _execute_decentralized(

@@ -26,7 +26,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.topology.links import PhysicalConnection
 
-__all__ = ["Flow", "FlowResult", "NetworkSimulator"]
+__all__ = ["Flow", "FlowResult", "NetworkSimulator", "bottleneck_seconds"]
 
 #: Default per-transfer startup latency (CUDA launch + flag spin).  The
 #: real-hardware value is ~5 us; it is scaled by the same 1/100 factor as
@@ -67,6 +67,39 @@ class FlowResult:
     @property
     def duration(self) -> float:
         return self.finish_time - self.flow.release_time
+
+
+def bottleneck_seconds(
+    bytes_by_conn: Dict[PhysicalConnection, float],
+    capacity_of: Optional[Callable[[PhysicalConnection], float]] = None,
+) -> float:
+    """Serialization time of an aggregate load: ``max(bytes / capacity)``.
+
+    The fluid model's lower bound for a set of flows released together —
+    the most loaded connection must move all its bytes regardless of how
+    fairly rates are shared.  ``capacity_of`` applies the same bandwidth
+    overrides (fault injection) as :class:`NetworkSimulator`; bytes on a
+    dead connection raise ``RuntimeError`` just like permanently stalled
+    flows do.
+    """
+    worst = 0.0
+    dead: List[str] = []
+    for conn, size in bytes_by_conn.items():
+        if size <= 0.0:
+            continue
+        cap = capacity_of(conn) if capacity_of is not None else conn.bytes_per_second
+        if cap <= 0.0:
+            dead.append(conn.name)
+            continue
+        t = size / cap
+        if t > worst:
+            worst = t
+    if dead:
+        raise RuntimeError(
+            "flows permanently stalled on dead connections: "
+            + ", ".join(sorted(dead))
+        )
+    return worst
 
 
 class _ActiveFlow:

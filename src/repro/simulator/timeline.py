@@ -47,6 +47,22 @@ def timeline_events(
     the transfers they perturbed.
     """
     events = []
+    if not report.flows and report.stage_finish:
+        # Cost-only reports carry no per-transfer flows; synthesize one
+        # aggregate bar per stage from the cumulative finish times.
+        start = 0.0
+        for stage in sorted(report.stage_finish):
+            finish = report.stage_finish[stage]
+            events.append(
+                TimelineEvent(
+                    label=f"stage {stage} (aggregate)",
+                    stage=stage,
+                    start=start,
+                    finish=finish,
+                    size_bytes=0.0,
+                )
+            )
+            start = finish
     for result in report.flows:
         tag = result.flow.tag
         if tag is not None and hasattr(tag, "src"):

@@ -43,6 +43,14 @@ class Link:
             raise ValueError("a link needs at least one physical connection")
         if self.src == self.dst:
             raise ValueError("self links are not allowed")
+        # Links key the hot dicts of plan compilation; hashing the
+        # connection tuple on every lookup dominates, so do it once.
+        object.__setattr__(
+            self, "_hash", hash((self.src, self.dst, self.connections))
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
 
     @property
     def bottleneck_bandwidth(self) -> float:

@@ -26,8 +26,10 @@ class TestModuleApi:
     def test_listing1_workflow(self, graph):
         """The paper's Listing 1, end to end."""
         dgcl.init(dgx1())
-        plan = dgcl.build_comm_info(graph)
-        assert plan.num_stages >= 1
+        report = dgcl.build_comm_info(graph)
+        assert report.num_stages >= 1
+        assert report.plan is dgcl.communication_plan()
+        assert report.total_cost == pytest.approx(sum(report.stage_costs))
         features = synthetic_features(graph, 12, seed=0)
         local = dgcl.dispatch_features(features)
         assert len(local) == 8

@@ -1,0 +1,116 @@
+"""The public API surface, pinned.
+
+``repro.api`` is the compatibility contract of the library: the names
+in ``__all__`` and their signatures are what Listing-1 scripts, the
+docs, and downstream callers are written against.  This snapshot makes
+any change to that surface an *explicit* diff in review instead of an
+accidental side effect — if a failure lands here, either revert the
+signature change or update the snapshot (and ``docs/api.md``)
+deliberately.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+import repro.api as api
+
+#: Exactly the names the module exports, alphabetical.
+EXPECTED_ALL = [
+    "DGCLSession",
+    "PlanReport",
+    "arm_telemetry",
+    "build_comm_info",
+    "communication_plan",
+    "dispatch_features",
+    "fault_log",
+    "graph_allgather",
+    "init",
+    "inject_faults",
+    "local_graphs",
+    "scatter_gradients",
+    "session",
+    "shutdown",
+    "tune",
+]
+
+#: Module-level functions: name -> str(inspect.signature).
+EXPECTED_FUNCTIONS = {
+    "arm_telemetry":
+        "(tracer: 'Optional[Tracer]' = None, "
+        "metrics: 'Optional[MetricsRegistry]' = None) -> 'DGCLSession'",
+    "build_comm_info": "(graph: 'Graph', **kwargs) -> 'PlanReport'",
+    "communication_plan": "() -> 'CommPlan'",
+    "dispatch_features": "(features: 'np.ndarray') -> 'List[np.ndarray]'",
+    "fault_log": "() -> 'FaultLog'",
+    "graph_allgather":
+        "(local_embeddings: 'List[np.ndarray]') -> 'List[np.ndarray]'",
+    "init":
+        "(topology: 'Topology', fault_plan: 'Optional[FaultPlan]' = None, "
+        "strategy: 'str' = 'spst', plan_cache=None, "
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') "
+        "-> 'DGCLSession'",
+    "inject_faults": "(fault_plan) -> 'FaultInjector'",
+    "local_graphs": "() -> 'List[LocalGraph]'",
+    "scatter_gradients":
+        "(full_grads: 'List[np.ndarray]') -> 'List[np.ndarray]'",
+    "session":
+        "(topology: 'Topology', *, fault_plan: 'Optional[FaultPlan]' = None, "
+        "strategy: 'str' = 'spst', plan_cache=None, "
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') "
+        "-> 'DGCLSession'",
+    "shutdown": "() -> 'None'",
+    "tune": "(graph: 'Graph', **kwargs)",
+}
+
+#: Session methods whose keyword-only contract the docs promise.
+EXPECTED_METHODS = {
+    "DGCLSession.__init__":
+        "(self, topology: 'Topology', fault_plan: 'Optional[FaultPlan]' = "
+        "None, strategy: 'str' = 'spst', plan_cache=None, "
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') -> 'None'",
+    "DGCLSession.build_comm_info":
+        "(self, graph: 'Graph', *, assignment: 'Optional[np.ndarray]' = "
+        "None, seed: 'int' = 0, chunks_per_class: 'int' = 4, "
+        "strategy: 'Optional[str]' = None, engine: 'Optional[str]' = None, "
+        "tune_kwargs: 'Optional[dict]' = None) -> 'PlanReport'",
+    "DGCLSession.tune":
+        "(self, graph: 'Graph', *, seed: 'int' = 0, "
+        "chunks_per_class: 'int' = 4, plan_based_only: 'bool' = False, "
+        "assignment: 'Optional[np.ndarray]' = None, **kwargs)",
+}
+
+#: PlanReport's dataclass fields, in declaration order.
+EXPECTED_PLAN_REPORT_FIELDS = [
+    "plan", "plan_source", "engine", "fidelity",
+    "stage_costs", "total_cost", "tune_report",
+]
+
+
+class TestApiSurface:
+    def test_all_is_exact(self):
+        assert sorted(api.__all__) == EXPECTED_ALL
+        for name in api.__all__:
+            assert hasattr(api, name)
+
+    def test_function_signatures(self):
+        for name, expected in EXPECTED_FUNCTIONS.items():
+            got = str(inspect.signature(getattr(api, name)))
+            assert got == expected, f"{name}: {got!r} != {expected!r}"
+
+    def test_method_signatures(self):
+        for path, expected in EXPECTED_METHODS.items():
+            cls_name, meth_name = path.split(".")
+            obj = getattr(getattr(api, cls_name), meth_name)
+            got = str(inspect.signature(obj))
+            assert got == expected, f"{path}: {got!r} != {expected!r}"
+
+    def test_plan_report_fields(self):
+        import dataclasses
+
+        fields = [f.name for f in dataclasses.fields(api.PlanReport)]
+        assert fields == EXPECTED_PLAN_REPORT_FIELDS
+
+    def test_knob_vocabularies(self):
+        assert api.SESSION_ENGINES == ("scalar", "vectorized")
+        assert api.SESSION_FIDELITIES == ("event", "cost")

@@ -17,8 +17,10 @@ class TestSessionAuto:
 
     def test_auto_strategy_plans_and_communicates(self, small_graph):
         session = DGCLSession(dgx1(), strategy="auto")
-        plan = session.build_comm_info(small_graph)
-        assert session.plan_source == "planned"
+        report = session.build_comm_info(small_graph)
+        assert report.plan_source == "planned"
+        assert report.tune_report is session.tune_report
+        plan = report.plan
         assert session.tune_report is not None
         assert session.tune_report.candidate.plan_based
         plan.validate(session.relation)
@@ -31,7 +33,7 @@ class TestSessionAuto:
 
     def test_p2p_strategy(self, small_graph):
         session = DGCLSession(dgx1(), strategy="p2p")
-        plan = session.build_comm_info(small_graph)
+        plan = session.build_comm_info(small_graph).plan
         assert plan.num_stages == 1  # direct sends only
         plan.validate(session.relation)
 
@@ -41,12 +43,12 @@ class TestSessionAuto:
 
     def test_warm_cache_skips_planning(self, small_graph, tmp_path):
         first = DGCLSession(dgx1(), strategy="auto", plan_cache=tmp_path)
-        plan_a = first.build_comm_info(small_graph)
+        plan_a = first.build_comm_info(small_graph).plan
         assert first.plan_source == "planned"
         assert first.plan_cache.stats.stores == 1
 
         second = DGCLSession(dgx1(), strategy="auto", plan_cache=tmp_path)
-        plan_b = second.build_comm_info(small_graph)
+        plan_b = second.build_comm_info(small_graph).plan
         assert second.plan_source == "cache"
         assert second.tune_report is None  # tuning skipped entirely
         assert second.plan_cache.stats.hits == 1
@@ -66,7 +68,7 @@ class TestSessionAuto:
         moved[idx] = (moved[idx] + 1) % topo.num_devices
 
         drifted = DGCLSession(topo, strategy="spst", plan_cache=tmp_path)
-        plan = drifted.build_comm_info(small_graph, assignment=moved)
+        plan = drifted.build_comm_info(small_graph, assignment=moved).plan
         assert drifted.plan_source in ("patched", "replanned")
         if drifted.plan_source == "patched":
             assert drifted.plan_cache.stats.patches == 1

@@ -164,6 +164,6 @@ class TestMemoisation:
         tuner, _ = single_machine_tuner
         workload = tuner._workload(CandidateScheme("dgcl"), 1.0)
         tracer, metrics = Tracer(), MetricsRegistry()
-        result = evaluate_scheme(workload, "dgcl", tracer=tracer,
+        result = evaluate_scheme(workload, scheme="dgcl", tracer=tracer,
                                  metrics=metrics)
         assert result.ok and len(tracer.events()) > 0

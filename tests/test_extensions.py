@@ -72,16 +72,16 @@ class TestFeatureCaching:
 
     def test_cache_reduces_comm(self):
         w = _workload()
-        plain = evaluate_scheme(w, "dgcl")
-        cached = evaluate_scheme(w, "dgcl-cache")
+        plain = evaluate_scheme(w, scheme="dgcl")
+        cached = evaluate_scheme(w, scheme="dgcl-cache")
         assert cached.ok and plain.ok
         assert cached.comm_time < plain.comm_time
         assert cached.compute_time == pytest.approx(plain.compute_time)
 
     def test_cache_skips_exactly_the_feature_boundary(self):
         w = _workload()
-        plain = evaluate_scheme(w, "dgcl")
-        cached = evaluate_scheme(w, "dgcl-cache")
+        plain = evaluate_scheme(w, scheme="dgcl")
+        cached = evaluate_scheme(w, scheme="dgcl-cache")
         # backward traffic is identical; only the forward feature
         # allgather disappears.
         assert cached.detail["backward"] == pytest.approx(
@@ -96,8 +96,8 @@ class TestFeatureCaching:
         for memory in np.arange(23e6, 19e6, -0.2e6):
             clear_caches()
             w = _workload(feature_size=2048, memory=int(memory))
-            plain = evaluate_scheme(w, "dgcl")
-            cached = evaluate_scheme(w, "dgcl-cache")
+            plain = evaluate_scheme(w, scheme="dgcl")
+            cached = evaluate_scheme(w, scheme="dgcl-cache")
             if plain.ok and cached.status == "oom":
                 return
         pytest.fail("feature caching never hit the memory wall")

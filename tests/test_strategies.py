@@ -46,14 +46,14 @@ class TestSchemeEvaluation:
     def test_all_schemes_run(self):
         w = make_workload(dgx1())
         for scheme in SCHEMES:
-            r = evaluate_scheme(w, scheme)
+            r = evaluate_scheme(w, scheme=scheme)
             assert r.status in ("ok", "oom", "unsupported")
             assert r.scheme == scheme
             assert r.num_devices == 8
 
     def test_replication_has_zero_comm(self):
         w = make_workload(dgx1())
-        r = evaluate_scheme(w, "replication")
+        r = evaluate_scheme(w, scheme="replication")
         assert r.ok and r.comm_time == 0.0
         # epoch = compute + the (tiny) weight allreduce
         assert r.epoch_time == pytest.approx(
@@ -64,7 +64,7 @@ class TestSchemeEvaluation:
     def test_epoch_is_comm_plus_compute_plus_sync(self):
         w = make_workload(dgx1())
         for scheme in ("dgcl", "peer-to-peer", "swap"):
-            r = evaluate_scheme(w, scheme)
+            r = evaluate_scheme(w, scheme=scheme)
             assert r.epoch_time == pytest.approx(
                 r.comm_time + r.compute_time + r.detail["sync"]
             )
@@ -74,32 +74,32 @@ class TestSchemeEvaluation:
 
     def test_dgcl_comm_not_worse_than_p2p(self):
         w = make_workload(dgx1())
-        dgcl = evaluate_scheme(w, "dgcl")
-        p2p = evaluate_scheme(w, "peer-to-peer")
+        dgcl = evaluate_scheme(w, scheme="dgcl")
+        p2p = evaluate_scheme(w, scheme="peer-to-peer")
         assert dgcl.comm_time <= p2p.comm_time * 1.05
 
     def test_single_device_no_comm(self):
         w = make_workload(single_device())
         for scheme in ("dgcl", "peer-to-peer", "replication"):
-            r = evaluate_scheme(w, scheme)
+            r = evaluate_scheme(w, scheme=scheme)
             assert r.ok
             assert r.comm_time == 0.0
 
     def test_swap_unsupported_on_two_machines(self):
         w = make_workload(dual_dgx1())
-        r = evaluate_scheme(w, "swap")
+        r = evaluate_scheme(w, scheme="swap")
         assert r.status == "unsupported"
 
     def test_unknown_scheme(self):
         w = make_workload(dgx1())
         with pytest.raises(KeyError):
-            evaluate_scheme(w, "quantum")
+            evaluate_scheme(w, scheme="quantum")
 
     def test_oom_with_tiny_memory(self):
         tiny = dgx1(memory_bytes=1_000_000)
         w = make_workload(tiny)
         for scheme in ("dgcl", "peer-to-peer", "replication"):
-            assert evaluate_scheme(w, scheme).status == "oom"
+            assert evaluate_scheme(w, scheme=scheme).status == "oom"
 
     def test_replication_ooms_before_partitioned(self):
         """Replication stores the closure: it must OOM at a memory size
@@ -109,8 +109,8 @@ class TestSchemeEvaluation:
             clear_caches()
             w = make_workload(topo, num_vertices=2000, num_edges=20000,
                               feature_size=512, hidden_size=128)
-            rep = evaluate_scheme(w, "replication")
-            part = evaluate_scheme(w, "dgcl")
+            rep = evaluate_scheme(w, scheme="replication")
+            part = evaluate_scheme(w, scheme="dgcl")
             if rep.status == "oom" and part.ok:
                 return
         pytest.fail("no capacity separated replication from partitioning")
@@ -121,14 +121,14 @@ class TestSchemeEvaluation:
 
     def test_detail_breakdown(self):
         w = make_workload(dgx1())
-        r = evaluate_scheme(w, "dgcl")
+        r = evaluate_scheme(w, scheme="dgcl")
         assert r.detail["total"] == pytest.approx(
             r.detail["forward"] + r.detail["backward"]
         )
 
     def test_result_ms_helper(self):
         w = make_workload(dgx1())
-        r = evaluate_scheme(w, "dgcl")
+        r = evaluate_scheme(w, scheme="dgcl")
         assert r.ms() == pytest.approx(r.epoch_time * 1e3)
 
 
@@ -136,7 +136,7 @@ class TestDgclR:
     def test_single_machine_degenerates_to_dgcl(self):
         w = make_workload(dgx1())
         a = evaluate_dgcl_r(w)
-        b = evaluate_scheme(w, "dgcl")
+        b = evaluate_scheme(w, scheme="dgcl")
         assert a.scheme == "dgcl-r"
         assert a.epoch_time == pytest.approx(b.epoch_time)
 

@@ -73,9 +73,9 @@ class TestWorkloadPlumbing:
         assert w.model_sync_time == 0.0
 
     def test_three_layer_epoch_costs_more_comm(self):
-        shallow = evaluate_scheme(tiny_workload(num_layers=2), "dgcl")
+        shallow = evaluate_scheme(tiny_workload(num_layers=2), scheme="dgcl")
         clear_caches()
-        deep = evaluate_scheme(tiny_workload(num_layers=3), "dgcl")
+        deep = evaluate_scheme(tiny_workload(num_layers=3), scheme="dgcl")
         assert deep.comm_time > shallow.comm_time
 
 
