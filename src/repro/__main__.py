@@ -18,7 +18,12 @@ Commands:
   Chrome/Perfetto or JSONL trace of the simulated timeline;
 * ``chaos`` — soak the hardened protocol under N seeded random fault
   schedules, check the invariant oracles, shrink any failing schedule
-  to a minimal replayable JSON (``--replay``).
+  to a minimal replayable JSON (``--replay``); ``--elastic-every N``
+  interleaves seeded random grow/shrink handoffs with the faults;
+* ``elastic`` — run planned grow/shrink handoffs on a training job
+  (``--action EPOCH:KIND:DEVICES``) and verify gradient parity, or
+  compare the contention-aware scheduler against naive placement
+  (``--place N,N,...``).
 
 ``--json`` (on ``plan`` / ``evaluate``) switches stdout to a machine-
 readable document; ``--emit-trace PATH`` attaches a tracer and writes
@@ -426,6 +431,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         correlated=args.correlated,
         mix=args.mix,
         train_every=args.train_every,
+        elastic_every=args.elastic_every,
+        elastic_epochs=args.elastic_epochs,
     )
     runner = SoakRunner(config)
 
@@ -496,6 +503,133 @@ def cmd_chaos(args: argparse.Namespace) -> int:
               f"replay with: repro chaos --replay {path}",
               file=sys.stderr if args.json else sys.stdout)
     return 1
+
+
+def _parse_actions(texts):
+    """``--action 2:shrink:6,7`` -> (epoch, kind, devices) tuples."""
+    actions = []
+    for text in texts or ():
+        parts = text.split(":")
+        if len(parts) != 3:
+            raise argparse.ArgumentTypeError(
+                f"actions look like EPOCH:KIND:DEV[,DEV...], got {text!r}"
+            )
+        epoch_text, kind, devs_text = parts
+        kind = kind.strip().lower()
+        if kind not in ("grow", "shrink"):
+            raise argparse.ArgumentTypeError(
+                f"action kind must be grow or shrink, got {kind!r}"
+            )
+        try:
+            epoch = int(epoch_text)
+            devices = tuple(
+                int(d) for d in devs_text.split(",") if d.strip()
+            )
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"actions look like EPOCH:KIND:DEV[,DEV...], got {text!r}"
+            )
+        actions.append((epoch, kind, devices))
+    return actions
+
+
+def _elastic_place(args) -> int:
+    """``elastic --place``: contention-aware vs naive job placement."""
+    from repro.elastic import ElasticScheduler, JobSpec
+
+    sizes = [int(s) for s in args.place.split(",") if s.strip()]
+    jobs = [
+        JobSpec(name=f"job-{chr(ord('a') + i)}", devices=size)
+        for i, size in enumerate(sizes)
+    ]
+    scheduler = ElasticScheduler(_topology(args.gpus, args.topology))
+    aware = scheduler.place(jobs)
+    naive = scheduler.naive_place(jobs)
+    if args.json:
+        print(json.dumps({
+            "gpus": args.gpus,
+            "topology": args.topology,
+            "jobs": [{"name": j.name, "devices": j.devices} for j in jobs],
+            "aware": aware.as_dict(),
+            "naive": naive.as_dict(),
+        }, indent=2, sort_keys=True))
+        return 0
+    print(f"placing {len(jobs)} job(s) on {args.gpus} devices:")
+    for label, placement in (("aware", aware), ("naive", naive)):
+        print(f"  {label}:")
+        for job, devs in sorted(placement.assignments.items()):
+            print(f"    {job}: {list(devs)}")
+        print(f"    {placement.interference.summary()}")
+    saved = naive.interference.total - aware.interference.total
+    print(f"interference avoided: {saved * 1e6:.3f} us per probe round")
+    return 0
+
+
+def cmd_elastic(args: argparse.Namespace) -> int:
+    """``elastic``: planned grow/shrink handoffs, or a placement demo."""
+    import numpy as np
+
+    from repro.baselines import Workload
+    from repro.elastic import ElasticController, ElasticPolicy
+    from repro.gnn import SingleDeviceTrainer, build_model
+    from repro.graph.datasets import synthetic_features, synthetic_labels
+
+    if args.place:
+        return _elastic_place(args)
+
+    try:
+        actions = _parse_actions(args.action)
+    except argparse.ArgumentTypeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    topology = _topology(args.gpus, args.topology)
+    workload = Workload(args.dataset, args.model, topology)
+    spec = workload.spec
+    features = synthetic_features(workload.graph, spec.feature_size)
+    labels = synthetic_labels(workload.graph, spec.num_classes)
+    devices = None
+    if args.devices:
+        devices = [int(d) for d in args.devices.split(",") if d.strip()]
+    trainer = ElasticController(
+        workload.graph,
+        topology,
+        workload.model,
+        features,
+        labels,
+        devices=devices,
+        elastic=ElasticPolicy(min_devices=args.min_devices),
+        lr=args.lr,
+    )
+    report = trainer.train_with_schedule(args.epochs, actions)
+    reference = SingleDeviceTrainer(
+        workload.graph,
+        build_model(args.model, spec.feature_size, spec.hidden_size,
+                    spec.num_classes, seed=0),
+        features, labels, lr=args.lr,
+    )
+    ref = reference.train(args.epochs)
+    ok = bool(np.allclose(ref, report.losses, rtol=1e-4))
+    if args.json:
+        print(json.dumps({
+            "dataset": args.dataset,
+            "model": args.model,
+            "gpus": args.gpus,
+            "epochs": args.epochs,
+            "losses": [float(x) for x in report.losses],
+            "transitions": [t.as_dict() for t in trainer.transitions],
+            "interventions": trainer.log.interventions(),
+            "gradient_parity": ok,
+        }, indent=2, sort_keys=True))
+        return 0 if ok else 1
+    print(f"elastic training of {args.model} on {args.dataset} "
+          f"({args.gpus}-device topology):")
+    for epoch, loss in enumerate(report.losses):
+        print(f"  epoch {epoch}: loss = {loss:.4f}")
+    for t in trainer.transitions:
+        print(f"  {t.summary()}")
+    print(f"interventions: {trainer.log.interventions()}")
+    print(f"matches single-device reference: {ok}")
+    return 0 if ok else 1
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -642,6 +776,11 @@ def build_parser() -> argparse.ArgumentParser:
                         "'link-loss=2,flag-duplicate=0'")
     p.add_argument("--train-every", type=int, default=0, metavar="N",
                    help="every Nth seed also checks gradient parity")
+    p.add_argument("--elastic-every", type=int, default=0, metavar="N",
+                   help="every Nth seed interleaves a seeded random "
+                        "grow/shrink schedule with the faults")
+    p.add_argument("--elastic-epochs", type=_positive_int, default=4,
+                   help="training epochs per elastic seed")
     p.add_argument("--summary", default=None, metavar="PATH",
                    help="write the soak summary JSON artifact")
     p.add_argument("--artifacts-dir", default="chaos-failures",
@@ -655,6 +794,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine-readable report on stdout")
     p.add_argument("-v", "--verbose", action="count", default=0,
                    help="library log level (-v info, -vv debug)")
+
+    p = sub.add_parser("elastic",
+                       help="planned grow/shrink handoffs, or a "
+                            "contention-aware placement demo")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--epochs", type=_positive_int, default=6)
+    p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--devices", default=None, metavar="D,D,...",
+                   help="initially active device subset (default: all)")
+    p.add_argument("--min-devices", type=_positive_int, default=1,
+                   help="policy floor for shrink transitions")
+    p.add_argument("--action", action="append", default=None,
+                   metavar="EPOCH:KIND:DEV[,DEV...]",
+                   help="a scheduled transition, e.g. 2:shrink:6,7 "
+                        "(repeatable)")
+    p.add_argument("--place", default=None, metavar="N,N,...",
+                   help="instead of training, place jobs of these "
+                        "sizes and compare contention-aware vs naive "
+                        "placement")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
 
     p = sub.add_parser("trace",
                        help="run one traced evaluation and export it")
@@ -687,6 +848,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "train": cmd_train,
         "trace": cmd_trace,
         "chaos": cmd_chaos,
+        "elastic": cmd_elastic,
     }
     return handlers[args.command](args)
 

@@ -28,6 +28,8 @@ from repro.comm.allgather import CompiledAllgather
 from repro.core.plan import CommPlan
 from repro.core.relation import CommRelation, LocalGraph
 from repro.core.spst import SPSTPlanner
+from repro.elastic.controller import ElasticPolicy, TransitionReport
+from repro.errors import ElasticSpecError
 from repro.faults.injector import FaultInjector
 from repro.faults.log import FaultLog
 from repro.faults.repair import repair_plan
@@ -36,6 +38,8 @@ from repro.graph.csr import Graph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
+from repro.runtime.bootstrap import simulate_bootstrap
+from repro.runtime.protocol import DEFAULT_CONTROL_LATENCY
 from repro.simulator.executor import PlanExecutor
 from repro.topology.topology import Topology
 
@@ -113,6 +117,10 @@ class DGCLSession:
     :class:`~repro.autotune.cache.PlanCache` or a directory path —
     makes planning persistent: repeated runs on identical inputs load
     the stored plan, and drifted inputs are patched incrementally.
+    ``elastic`` — an :class:`~repro.elastic.controller.ElasticPolicy` —
+    governs :meth:`grow`/:meth:`shrink` transitions (floor/ceiling,
+    replan mode); without one, transitions run under the default
+    policy.
     """
 
     def __init__(
@@ -123,6 +131,7 @@ class DGCLSession:
         plan_cache=None,
         engine: str = "vectorized",
         fidelity: str = "event",
+        elastic: Optional[ElasticPolicy] = None,
     ) -> None:
         if strategy not in SESSION_STRATEGIES:
             raise ValueError(
@@ -138,7 +147,17 @@ class DGCLSession:
                 f"unknown fidelity {fidelity!r}; "
                 f"available: {SESSION_FIDELITIES}"
             )
+        #: The physical topology the session was created on; the active
+        #: topology (:attr:`topology`) is its restriction to
+        #: :attr:`active_devices` after elastic transitions.
+        self.base_topology = topology
         self.topology = topology
+        #: Active device ids in the base topology's numbering.
+        self.active_devices: List[int] = list(range(topology.num_devices))
+        #: Elastic policy for :meth:`grow`/:meth:`shrink` (may be None).
+        self.elastic = elastic
+        #: Planned transitions this session ran, in order.
+        self.transitions: List[TransitionReport] = []
         self.strategy = strategy
         #: SPST planner engine for plans built by this session.
         self.engine = engine
@@ -171,6 +190,12 @@ class DGCLSession:
         #: Chaos layer: None until :meth:`inject_faults` attaches one.
         self.injector: Optional[FaultInjector] = None
         self._repaired_conns: set = set()
+        #: Session-lifetime log: fault handling and elastic transitions
+        #: both land here (the injector shares it when armed).
+        self._fault_log = FaultLog()
+        #: Inputs of the last build_comm_info, replayed on transitions.
+        self._build_args: Optional[Dict[str, object]] = None
+        self._feature_dim = 0
         if fault_plan is not None:
             self.inject_faults(fault_plan)
 
@@ -242,15 +267,19 @@ class DGCLSession:
         """
         if not isinstance(fault_plan, FaultPlan):
             fault_plan = FaultPlan.load(fault_plan)
-        self.injector = FaultInjector(fault_plan)
+        self.injector = FaultInjector(fault_plan, log=self._fault_log)
         return self.injector
 
     @property
     def fault_log(self) -> FaultLog:
-        """The session's fault log (empty when no faults are injected)."""
-        if self.injector is None:
-            return FaultLog()
-        return self.injector.log
+        """The session's intervention log.
+
+        Fault handling *and* planned ``scale-out``/``scale-in``
+        transitions land here, so one log tells the whole availability
+        story of a session (and the injector appends to the same log
+        when faults are armed).
+        """
+        return self._fault_log
 
     def _priced_executor(self) -> PlanExecutor:
         """The executor for the next collective, fault-aware if armed."""
@@ -331,6 +360,17 @@ class DGCLSession:
             raise ValueError(
                 f"unknown engine {engine!r}; available: {SESSION_ENGINES}"
             )
+        # Remember how this plan was asked for, so an elastic transition
+        # can replay the build on the re-sized topology.  An explicit
+        # assignment is deliberately not replayed: transitions repartition.
+        self._build_args = {
+            "graph": graph,
+            "seed": seed,
+            "chunks_per_class": chunks_per_class,
+            "strategy": strategy,
+            "engine": engine,
+            "tune_kwargs": tune_kwargs,
+        }
         if assignment is None:
             assignment = hierarchical_partition(
                 graph, self.topology, seed=seed
@@ -495,6 +535,7 @@ class DGCLSession:
             raise RuntimeError("call build_comm_info() before dispatching")
         if features.shape[0] != self.relation.graph.num_vertices:
             raise ValueError("features must cover every vertex")
+        self._feature_dim = features.shape[1] if features.ndim == 2 else 1
         return [
             features[self.relation.local_vertices[d]].copy()
             for d in range(self.relation.num_devices)
@@ -552,6 +593,142 @@ class DGCLSession:
             raise RuntimeError("call build_comm_info() first")
         return self.plan
 
+    # -- elastic transitions -------------------------------------------
+    def grow(self, devices) -> TransitionReport:
+        """Add base-topology ``devices`` to the session's active set.
+
+        A planned handoff on the session clock: drain the in-flight
+        collectives, restrict the base topology onto the new set,
+        replay the last :meth:`build_comm_info` on it (repartition +
+        replan — the plan cache, when armed, patches incrementally),
+        and price the §6.3 re-dispatch.  Recorded as a ``scale-out``
+        intervention in :attr:`fault_log`.  After a transition,
+        re-dispatch features: the local blocks changed owners.
+        """
+        return self._elastic_transition("grow", devices)
+
+    def shrink(self, devices) -> TransitionReport:
+        """Remove base-topology ``devices`` from the active set.
+
+        The ``scale-in`` counterpart of :meth:`grow`; same handoff,
+        same pricing, same logging.
+        """
+        return self._elastic_transition("shrink", devices)
+
+    def _elastic_transition(self, kind: str, devices) -> TransitionReport:
+        self._check_open()
+        policy = self.elastic or ElasticPolicy()
+        delta = sorted(set(int(d) for d in devices))
+        if not delta:
+            raise ElasticSpecError(f"{kind}: empty device set")
+        bad = [d for d in delta if not 0 <= d < self.base_topology.num_devices]
+        if bad:
+            raise ElasticSpecError(
+                f"{kind}: unknown device(s) {bad}: the base topology has "
+                f"{self.base_topology.num_devices} devices"
+            )
+        active = set(self.active_devices)
+        if kind == "grow":
+            overlap = sorted(set(delta) & active)
+            if overlap:
+                raise ElasticSpecError(
+                    f"grow: device(s) {overlap} are already active"
+                )
+            ceiling = policy.max_devices or self.base_topology.num_devices
+            if len(active) + len(delta) > ceiling:
+                raise ElasticSpecError(
+                    f"grow: {len(active)} + {len(delta)} devices exceeds "
+                    f"the policy ceiling of {ceiling}"
+                )
+            after = sorted(active | set(delta))
+        else:
+            missing = sorted(set(delta) - active)
+            if missing:
+                raise ElasticSpecError(
+                    f"shrink: device(s) {missing} are not active"
+                )
+            after = sorted(active - set(delta))
+            if len(after) < max(policy.min_devices, 1):
+                raise ElasticSpecError(
+                    f"shrink: {len(after)} device(s) would remain, policy "
+                    f"floor is {max(policy.min_devices, 1)}"
+                )
+
+        before = tuple(self.active_devices)
+        start = self.simulated_comm_seconds
+        drain = policy.drain_rtts * DEFAULT_CONTROL_LATENCY * len(before)
+        self.simulated_comm_seconds += drain
+
+        self.active_devices = after
+        if len(after) == self.base_topology.num_devices:
+            self.topology = self.base_topology
+        else:
+            self.topology = self.base_topology.restrict(after)
+        if self.tracer is not None:
+            self.executor = PlanExecutor(
+                self.topology, tracer=self.tracer, metrics=self.metrics
+            )
+        else:
+            self.executor = PlanExecutor(self.topology)
+
+        plan_source = "deferred"  # no plan yet: nothing to hand off
+        replan_start = self.simulated_comm_seconds
+        boot = 0.0
+        if self.plan is not None and self._build_args is not None:
+            args = dict(self._build_args)
+            report = self.build_comm_info(
+                args["graph"],
+                seed=args["seed"],
+                chunks_per_class=args["chunks_per_class"],
+                strategy=args["strategy"],
+                engine=args["engine"],
+                tune_kwargs=args["tune_kwargs"],
+            )
+            plan_source = report.plan_source
+            boot = simulate_bootstrap(
+                self.relation,
+                self.plan,
+                feature_bytes_per_vertex=self._feature_dim * 4,
+            ).total_seconds
+            self.simulated_comm_seconds += boot
+        replan = self.simulated_comm_seconds - replan_start - boot
+
+        action = "scale-out" if kind == "grow" else "scale-in"
+        downtime = self.simulated_comm_seconds - start
+        self._fault_log.append(
+            self.simulated_comm_seconds,
+            "trainer",
+            action,
+            f"device(s) {delta}",
+            f"{len(before)}->{len(after)} devices via {plan_source} plan; "
+            f"downtime {downtime * 1e6:.1f} us",
+        )
+        if self.metrics is not None:
+            self.metrics.counter("elastic.transition", kind=action).inc()
+        if self.tracer is not None:
+            self.tracer.add_span(
+                action, "phase", TRAINER_TRACK, start,
+                self.simulated_comm_seconds,
+                devices=len(after), plan=plan_source,
+            )
+            if self.tracer.now < self.simulated_comm_seconds:
+                self.tracer.advance(self.simulated_comm_seconds - self.tracer.now)
+        report = TransitionReport(
+            kind=kind,
+            delta=tuple(delta),
+            devices_before=before,
+            devices_after=tuple(after),
+            start=start,
+            finish=self.simulated_comm_seconds,
+            drain_seconds=drain,
+            checkpoint_seconds=0.0,
+            replan_seconds=replan,
+            bootstrap_seconds=boot,
+            plan_source=plan_source,
+        )
+        self.transitions.append(report)
+        return report
+
 
 _SESSION: Optional[DGCLSession] = None
 
@@ -564,6 +741,7 @@ def session(
     plan_cache=None,
     engine: str = "vectorized",
     fidelity: str = "event",
+    elastic: Optional[ElasticPolicy] = None,
 ) -> DGCLSession:
     """Create a standalone session — the recommended entry point.
 
@@ -580,6 +758,7 @@ def session(
     return DGCLSession(
         topology, fault_plan=fault_plan, strategy=strategy,
         plan_cache=plan_cache, engine=engine, fidelity=fidelity,
+        elastic=elastic,
     )
 
 
@@ -590,12 +769,14 @@ def init(
     plan_cache=None,
     engine: str = "vectorized",
     fidelity: str = "event",
+    elastic: Optional[ElasticPolicy] = None,
 ) -> DGCLSession:
     """Initialise the global environment (thin shim over a session)."""
     global _SESSION
     _SESSION = session(
         topology, fault_plan=fault_plan, strategy=strategy,
         plan_cache=plan_cache, engine=engine, fidelity=fidelity,
+        elastic=elastic,
     )
     return _SESSION
 

@@ -23,13 +23,18 @@ Everything is deterministic: no wall clock, no hidden randomness — a
 failing seed found in nightly CI reproduces on any laptop.
 """
 
-from repro.chaos.generator import DEFAULT_MIX, FaultPlanGenerator
+from repro.chaos.generator import (
+    DEFAULT_MIX,
+    ElasticScheduleGenerator,
+    FaultPlanGenerator,
+)
 from repro.chaos.oracles import ORACLES, OracleViolation, Violation
 from repro.chaos.shrink import ShrinkResult, shrink_plan
 from repro.chaos.soak import SeedResult, SoakConfig, SoakReport, SoakRunner
 
 __all__ = [
     "FaultPlanGenerator",
+    "ElasticScheduleGenerator",
     "DEFAULT_MIX",
     "OracleViolation",
     "Violation",

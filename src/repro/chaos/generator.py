@@ -44,7 +44,7 @@ from repro.faults.spec import (
     _event_sort_key,
 )
 
-__all__ = ["FaultPlanGenerator", "DEFAULT_MIX"]
+__all__ = ["FaultPlanGenerator", "ElasticScheduleGenerator", "DEFAULT_MIX"]
 
 #: Default relative weights of the fault kinds.  Crashes default to
 #: zero: a confirmed device death legitimately aborts the allgather
@@ -283,3 +283,80 @@ class FaultPlanGenerator:
                 count=int(rng.integers(1, 3)),
             )
         raise ValueError(f"unknown fault kind {kind!r}")  # pragma: no cover
+
+
+class ElasticScheduleGenerator:
+    """Seeded random grow/shrink schedules for the mixed elastic soak.
+
+    Samples ``(epoch, kind, devices)`` action lists for
+    :meth:`~repro.elastic.controller.ElasticController.train_with_schedule`.
+    The sampler tracks the active device set while drawing, so every
+    schedule is *legal by construction*: shrinks never go below
+    ``min_devices``, grows never exceed the topology, re-added devices
+    are ones a previous shrink released, and devices in ``forbidden``
+    (e.g. crashed by the interleaved fault plan) are never grow targets.
+
+    Like :class:`FaultPlanGenerator`, ``sample(seed)`` is a pure
+    function of the seed.
+    """
+
+    def __init__(
+        self,
+        num_devices: int,
+        epochs: int,
+        *,
+        min_devices: int = 2,
+        density: float = 2.0,
+        forbidden: Sequence[int] = (),
+    ) -> None:
+        if num_devices < 2:
+            raise ValueError("elastic schedules need at least 2 devices")
+        if epochs < 2:
+            raise ValueError("elastic schedules need at least 2 epochs")
+        if not 1 <= min_devices <= num_devices:
+            raise ValueError(
+                f"min_devices must lie in [1, {num_devices}], got {min_devices}"
+            )
+        if density < 0:
+            raise ValueError("density must be non-negative")
+        self.num_devices = int(num_devices)
+        self.epochs = int(epochs)
+        self.min_devices = int(min_devices)
+        self.density = float(density)
+        self.forbidden = sorted(set(int(d) for d in forbidden))
+
+    def sample(self, seed: int):
+        """One legal action schedule, a pure function of ``seed``."""
+        import numpy as np
+
+        rng = np.random.default_rng([int(seed), 0xE1A5])
+        n = max(1, int(rng.poisson(self.density)))
+        # Epochs are drawn up front and applied in sorted order: the
+        # active-set tracking below then matches the order in which
+        # train_with_schedule will actually execute the actions.
+        epochs = sorted(int(e) for e in rng.integers(1, self.epochs, size=n))
+        active = set(range(self.num_devices))
+        actions = []
+        for epoch in epochs:
+            can_shrink = len(active) > self.min_devices
+            grow_pool = sorted(
+                set(range(self.num_devices)) - active - set(self.forbidden)
+            )
+            if can_shrink and (not grow_pool or rng.random() < 0.5):
+                width = int(rng.integers(1, len(active) - self.min_devices + 1))
+                devs = sorted(
+                    int(d) for d in rng.choice(
+                        sorted(active), size=width, replace=False
+                    )
+                )
+                active -= set(devs)
+                actions.append((epoch, "shrink", tuple(devs)))
+            elif grow_pool:
+                width = int(rng.integers(1, len(grow_pool) + 1))
+                devs = sorted(
+                    int(d)
+                    for d in rng.choice(grow_pool, size=width, replace=False)
+                )
+                active |= set(devs)
+                actions.append((epoch, "grow", tuple(devs)))
+        return actions

@@ -84,6 +84,14 @@ class SoakConfig:
     #: parity (0 = protocol-level oracles only).
     train_every: int = 0
     train_epochs: int = 3
+    #: Every Nth seed additionally interleaves a seeded random
+    #: grow/shrink schedule with the fault plan and holds the elastic
+    #: run to the determinism, gradient-parity and delivery oracles
+    #: (0 = no elastic actions).
+    elastic_every: int = 0
+    elastic_epochs: int = 4
+    elastic_min_devices: int = 2
+    elastic_density: float = 2.0
     # Workload shape (matches the protocol test suite's fixture).
     num_vertices: int = 250
     num_edges: int = 1800
@@ -105,6 +113,8 @@ class SoakConfig:
             "correlated": self.correlated,
             "mix": dict(self.mix) if self.mix else None,
             "train_every": self.train_every,
+            "elastic_every": self.elastic_every,
+            "elastic_epochs": self.elastic_epochs,
             "broken_policy": self.policy_factory is not None,
             "dedupe_flags": self.dedupe_flags,
         }
@@ -239,8 +249,9 @@ class SoakRunner:
             correlated=cfg.correlated,
             stages=self.plan.num_stages,
         )
-        self._ref_losses: Optional[List[float]] = None
+        self._ref_losses: Dict[int, List[float]] = {}
         self._train_task = None
+        self._elastic_generator = None
 
     # ------------------------------------------------------------------
     def _policy(self):
@@ -340,17 +351,17 @@ class SoakRunner:
 
         return build_gcn(6, 8, 4, seed=7)
 
-    def _reference_losses(self) -> List[float]:
-        if self._ref_losses is None:
+    def _reference_losses(self, epochs: Optional[int] = None) -> List[float]:
+        epochs = self.config.train_epochs if epochs is None else int(epochs)
+        if epochs not in self._ref_losses:
             from repro.gnn import SingleDeviceTrainer
 
             g, features, labels = self._training_task()
             trainer = SingleDeviceTrainer(g, self._model(), features, labels)
-            self._ref_losses = [
-                float(trainer.run_epoch().loss)
-                for _ in range(self.config.train_epochs)
+            self._ref_losses[epochs] = [
+                float(trainer.run_epoch().loss) for _ in range(epochs)
             ]
-        return self._ref_losses
+        return self._ref_losses[epochs]
 
     def check_training(self, plan: FaultPlan) -> List[Violation]:
         """Gradient parity with the single-device reference.
@@ -410,12 +421,153 @@ class SoakRunner:
         return violations
 
     # ------------------------------------------------------------------
-    def run_seed(self, seed: int, train: bool = False) -> SeedResult:
+    # Mixed elastic soak (faults + randomized grow/shrink)
+    def _elastic_schedule(self, seed: int):
+        if self._elastic_generator is None:
+            from repro.chaos.generator import ElasticScheduleGenerator
+
+            cfg = self.config
+            self._elastic_generator = ElasticScheduleGenerator(
+                num_devices=cfg.gpus,
+                epochs=cfg.elastic_epochs,
+                min_devices=min(cfg.elastic_min_devices, cfg.gpus),
+                density=cfg.elastic_density,
+            )
+        return self._elastic_generator.sample(seed)
+
+    def _run_elastic(self, plan: FaultPlan, schedule):
+        """One elastic training run under ``plan``; never raises."""
+        from repro.elastic import ElasticPolicy, ElasticSpecError
+        from repro.elastic.controller import ElasticController
+
+        g, features, labels = self._training_task()
+        trainer = ElasticController(
+            g, self.topology, self._model(), features, labels,
+            elastic=ElasticPolicy(
+                min_devices=min(self.config.elastic_min_devices,
+                                self.config.gpus),
+            ),
+            fault_plan=plan,
+        )
+        try:
+            report = trainer.train_with_schedule(
+                self.config.elastic_epochs, schedule
+            )
+        except (DeviceLostError, UnrecoverableFaultError,
+                ElasticSpecError) as exc:
+            return None, [Violation(
+                "liveness",
+                f"elastic run aborted under a recoverable plan: "
+                f"{type(exc).__name__}: {exc}",
+            )]
+        return trainer, report
+
+    def check_elastic(self, plan: FaultPlan, seed: int) -> List[Violation]:
+        """Oracles over a run mixing ``plan`` with random grow/shrink.
+
+        The same seeded elastic schedule is interleaved with the fault
+        plan and the run is held to three invariants:
+
+        * **determinism** — a second identical run produces the same
+          losses, the same final clock and the same fault-log
+          signature (handoffs included);
+        * **gradient-parity** — planned transitions keep the live
+          weights, so the loss trajectory still matches the
+          single-device reference;
+        * **delivery** — the post-transition plan still delivers every
+          device's full feature matrix byte-exactly.
+
+        Crash plans are skipped for the same reason
+        :meth:`check_training` skips them: losing a partition
+        legitimately changes the trajectory (and a crashed device is
+        not a legal grow target).
+        """
+        if plan.crashed_devices:
+            return []
+        schedule = self._elastic_schedule(seed)
+        first = self._run_elastic(plan, schedule)
+        if first[0] is None:
+            return first[1]
+        second = self._run_elastic(plan, schedule)
+        if second[0] is None:
+            return second[1]
+        trainer, report = first
+        trainer2, report2 = second
+        violations: List[Violation] = []
+
+        if list(report.losses) != list(report2.losses):
+            violations.append(Violation(
+                "determinism", "elastic runs diverged in per-epoch losses",
+            ))
+        if trainer.clock != trainer2.clock:
+            violations.append(Violation(
+                "determinism",
+                f"elastic runs diverged in simulated time "
+                f"({trainer.clock} vs {trainer2.clock})",
+            ))
+        if trainer.log.signature() != trainer2.log.signature():
+            violations.append(Violation(
+                "determinism", "elastic runs diverged in fault-log records",
+            ))
+
+        if len(trainer.transitions) != len(schedule):
+            violations.append(Violation(
+                "timeline",
+                f"{len(trainer.transitions)} transition(s) ran, schedule "
+                f"had {len(schedule)}",
+            ))
+        for t in trainer.transitions:
+            if t.downtime_seconds <= 0:
+                violations.append(Violation(
+                    "timeline",
+                    f"{t.kind} at epoch {t.epoch} took no simulated time",
+                ))
+
+        ref = self._reference_losses(self.config.elastic_epochs)
+        if len(report.losses) != len(ref):
+            violations.append(Violation(
+                "gradient-parity",
+                f"{len(report.losses)} epochs trained, expected {len(ref)}",
+            ))
+        elif not np.allclose(report.losses, ref, rtol=1e-4, atol=1e-6):
+            gaps = [abs(a - b) for a, b in zip(report.losses, ref)]
+            violations.append(Violation(
+                "gradient-parity",
+                f"elastic losses diverged from the single-device "
+                f"reference (max gap {max(gaps):.3e})",
+            ))
+
+        # Delivery on the final plan: every device still receives its
+        # full feature matrix byte-exactly after all the handoffs.
+        features = self._training_task()[1]
+        relation, final_plan = trainer.relation, trainer.plan
+        blocks = [
+            features[relation.local_vertices[d]]
+            for d in range(relation.num_devices)
+        ]
+        gathered = CompiledAllgather(relation, final_plan).forward(blocks)
+        for d in range(relation.num_devices):
+            expected = features[relation.local_graph(d).global_ids]
+            if not np.array_equal(gathered[d], expected):
+                violations.append(Violation(
+                    "delivery",
+                    f"device {d}: post-transition plan delivered wrong "
+                    f"bytes",
+                ))
+                break
+        return violations
+
+    # ------------------------------------------------------------------
+    def run_seed(
+        self, seed: int, train: bool = False, elastic: bool = False
+    ) -> SeedResult:
         """Generate, execute and score one seed."""
         plan = self.generator.sample(seed)
         violations, obs = self.check_plan(plan)
         if train:
             violations += self.check_training(plan)
+        if elastic:
+            violations += self.check_elastic(plan, seed)
         if violations:
             outcome = "violation"
         elif obs.error == "DeviceLostError":
@@ -437,5 +589,8 @@ class SoakRunner:
         results = []
         for i in range(seeds):
             train = cfg.train_every > 0 and i % cfg.train_every == 0
-            results.append(self.run_seed(start_seed + i, train=train))
+            elastic = cfg.elastic_every > 0 and i % cfg.elastic_every == 0
+            results.append(
+                self.run_seed(start_seed + i, train=train, elastic=elastic)
+            )
         return SoakReport(results=results, config=cfg.knobs())

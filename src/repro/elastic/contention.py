@@ -1,0 +1,226 @@
+"""Cross-job contention pricing on shared physical connections.
+
+The paper's Table 3 measures what happens when two transfers share a
+QPI: each one takes roughly twice as long, because the staged cost
+model's ``t(S)`` charges a connection with the *sum* of the traffic
+crossing it.  This module generalises that observation from transfers
+inside one job to traffic across *jobs*: when several jobs hold
+disjoint device sets on one physical topology, any connection that more
+than one job's plan touches serialises their traffic against each
+other.
+
+The interference price of a placement is, per shared connection::
+
+    interference(c) = sum_j t_j(c) - max_j t_j(c)
+
+i.e. the extra unit-seconds serialisation adds beyond what the heaviest
+single job would have paid alone — zero whenever a connection belongs
+to one job only.  The scheduler minimises the sum of this quantity.
+
+Two traffic profiles feed the pricing: :func:`plan_traffic` charges a
+job's actual :class:`~repro.core.plan.CommPlan` (restricted-topology
+connection names survive ``Topology.restrict`` unchanged, so per-job
+plans price directly in the base namespace), and :func:`uniform_traffic`
+is the plan-free probe the scheduler uses before any job has a plan —
+one unit between every ordered device pair over the cheapest direct
+link.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.core.plan import CommPlan
+from repro.errors import ElasticSpecError
+from repro.topology.topology import Topology
+
+__all__ = [
+    "JobTraffic",
+    "plan_traffic",
+    "uniform_traffic",
+    "InterferenceReport",
+    "interference_report",
+    "validate_disjoint",
+]
+
+
+@dataclass(frozen=True)
+class JobTraffic:
+    """One job's per-epoch traffic, by physical connection name."""
+
+    job: str
+    devices: Tuple[int, ...]
+    conn_units: Mapping[str, float]
+
+    def seconds_on(self, topology: Topology) -> Dict[str, float]:
+        """Traffic converted to unit-seconds via connection bandwidth."""
+        conns = topology.connections
+        out: Dict[str, float] = {}
+        for name, units in self.conn_units.items():
+            conn = conns.get(name)
+            if conn is None:
+                continue
+            out[name] = units / conn.bytes_per_second
+        return out
+
+
+def validate_disjoint(
+    topology: Topology, allocations: Mapping[str, Sequence[int]]
+) -> Dict[str, Tuple[int, ...]]:
+    """Check job device sets against the base topology.
+
+    Raises :class:`~repro.errors.ElasticSpecError` on empty sets,
+    unknown device ids, or overlap between jobs; returns the cleaned
+    ``{job: devices}`` mapping.
+    """
+    owner: Dict[int, str] = {}
+    cleaned: Dict[str, Tuple[int, ...]] = {}
+    for job, devices in allocations.items():
+        devs = tuple(sorted(set(int(d) for d in devices)))
+        if not devs:
+            raise ElasticSpecError(f"job {job!r} has an empty device set")
+        bad = [d for d in devs if not 0 <= d < topology.num_devices]
+        if bad:
+            raise ElasticSpecError(
+                f"job {job!r} names unknown device(s) {bad}: topology "
+                f"has {topology.num_devices} devices"
+            )
+        for d in devs:
+            if d in owner:
+                raise ElasticSpecError(
+                    f"device {d} allocated to both {owner[d]!r} and {job!r}"
+                )
+            owner[d] = job
+        cleaned[job] = devs
+    return cleaned
+
+
+def plan_traffic(
+    job: str, devices: Sequence[int], plan: CommPlan
+) -> JobTraffic:
+    """A job's real traffic profile, from its (restricted) plan.
+
+    ``plan`` is typically built on ``base.restrict(devices)``;
+    restriction preserves physical-connection objects and names, so the
+    per-connection units read straight off the plan's edges price
+    correctly in the base topology's namespace.
+    """
+    units: Dict[str, float] = {}
+    for route in plan.routes:
+        for link, _stage in route.edges:
+            for conn in link.connections:
+                units[conn.name] = units.get(conn.name, 0.0) + route.weight
+    return JobTraffic(
+        job=job, devices=tuple(sorted(devices)), conn_units=units
+    )
+
+
+def uniform_traffic(
+    topology: Topology, job: str, devices: Sequence[int]
+) -> JobTraffic:
+    """Plan-free probe: one unit per ordered pair over the direct link.
+
+    What the scheduler prices before a job has planned anything — the
+    all-to-all worst case a communication relation can approach.  Pairs
+    with no direct link contribute nothing (the planner would route
+    them through peers whose links the probe already counts).
+    """
+    units: Dict[str, float] = {}
+    devs = tuple(sorted(set(int(d) for d in devices)))
+    for a in devs:
+        for b in devs:
+            if a == b:
+                continue
+            link = topology.direct_link(a, b)
+            if link is None:
+                continue
+            for conn in link.connections:
+                units[conn.name] = units.get(conn.name, 0.0) + 1.0
+    return JobTraffic(job=job, devices=devs, conn_units=units)
+
+
+@dataclass
+class InterferenceReport:
+    """Priced cross-job contention for one placement."""
+
+    #: Extra unit-seconds per shared connection (only contended ones).
+    per_connection: Dict[str, float]
+    #: Which jobs touch each contended connection.
+    sharers: Dict[str, List[str]]
+    #: Each job's isolated unit-seconds (no sharing), for scale.
+    isolated_seconds: Dict[str, float]
+    #: Sum of ``per_connection`` — the quantity the scheduler minimises.
+    total: float
+
+    @property
+    def is_clean(self) -> bool:
+        """True when no connection is shared between jobs."""
+        return not self.per_connection
+
+    def as_dict(self) -> dict:
+        """JSON-ready view: total, per-connection extras, isolated time."""
+        return {
+            "total_interference_seconds": self.total,
+            "contended_connections": {
+                name: {
+                    "extra_seconds": seconds,
+                    "jobs": list(self.sharers.get(name, [])),
+                }
+                for name, seconds in sorted(self.per_connection.items())
+            },
+            "isolated_seconds": dict(sorted(self.isolated_seconds.items())),
+        }
+
+    def summary(self) -> str:
+        """One line naming the worst shared connection and its cost."""
+        if self.is_clean:
+            return "interference: none (no shared connections)"
+        worst = max(self.per_connection.items(), key=lambda kv: kv[1])
+        return (
+            f"interference: {self.total * 1e6:.3f} us over "
+            f"{len(self.per_connection)} shared connection(s); worst "
+            f"{worst[0]} (+{worst[1] * 1e6:.3f} us, "
+            f"jobs {', '.join(self.sharers[worst[0]])})"
+        )
+
+
+def interference_report(
+    topology: Topology, jobs: Sequence[JobTraffic]
+) -> InterferenceReport:
+    """Price the cross-job contention of ``jobs`` on ``topology``.
+
+    Validates that the jobs' device sets are disjoint
+    (:class:`~repro.errors.ElasticSpecError` otherwise), then charges
+    each shared connection with the serialisation overhead beyond its
+    heaviest single user — the Table-3 QPI effect, per connection,
+    across jobs.
+    """
+    validate_disjoint(topology, {jt.job: jt.devices for jt in jobs})
+    per_job_seconds = {jt.job: jt.seconds_on(topology) for jt in jobs}
+    isolated = {
+        job: sum(seconds.values()) for job, seconds in per_job_seconds.items()
+    }
+
+    by_conn: Dict[str, Dict[str, float]] = {}
+    for job, seconds in per_job_seconds.items():
+        for name, t in seconds.items():
+            if t > 0.0:
+                by_conn.setdefault(name, {})[job] = t
+
+    per_connection: Dict[str, float] = {}
+    sharers: Dict[str, List[str]] = {}
+    for name, loads in by_conn.items():
+        if len(loads) < 2:
+            continue
+        extra = sum(loads.values()) - max(loads.values())
+        if extra <= 0.0:
+            continue
+        per_connection[name] = extra
+        sharers[name] = sorted(loads)
+    return InterferenceReport(
+        per_connection=per_connection,
+        sharers=sharers,
+        isolated_seconds=isolated,
+        total=sum(per_connection.values()),
+    )

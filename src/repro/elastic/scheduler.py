@@ -1,0 +1,260 @@
+"""Contention-aware placement and autoscaling of jobs on one topology.
+
+The multi-tenant half of the elastic story: several training jobs hold
+disjoint device sets on one physical topology, and the scheduler's
+objective is the priced cross-job interference of
+:func:`~repro.elastic.contention.interference_report` — the extra
+unit-seconds that sharing a QPI or PCIe trunk costs beyond each
+connection's heaviest single user.
+
+:meth:`ElasticScheduler.place` packs jobs by hardware affinity (switch,
+then socket, then machine) so their probe traffic shares as few
+physical connections as possible; :meth:`ElasticScheduler.naive_place`
+is the strawman that stripes device ids round-robin across jobs — the
+placement a topology-blind scheduler produces, which on a DGX-1 drags
+every job's traffic across the QPI.  ``benchmarks/bench_elastic.py``
+holds the two head to head.
+
+:meth:`ElasticScheduler.autoscale` turns a per-job load signal into
+:class:`ElasticAction` grow/shrink requests that an
+:class:`~repro.elastic.controller.ElasticController` (or a
+:class:`~repro.api.DGCLSession`) executes; device choice again
+minimises the marginal interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.elastic.contention import (
+    InterferenceReport,
+    JobTraffic,
+    interference_report,
+    uniform_traffic,
+    validate_disjoint,
+)
+from repro.errors import ElasticSpecError
+from repro.topology.topology import Topology
+
+__all__ = ["JobSpec", "ElasticAction", "Placement", "ElasticScheduler"]
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job's resource request."""
+
+    name: str
+    devices: int
+    #: Autoscale bounds; ``max_devices`` None means "whatever is free".
+    min_devices: int = 1
+    max_devices: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ElasticSpecError(
+                f"job {self.name!r} requests {self.devices} devices"
+            )
+        if self.min_devices < 1 or self.min_devices > self.devices:
+            raise ElasticSpecError(
+                f"job {self.name!r}: min_devices must be in "
+                f"[1, {self.devices}]"
+            )
+        if self.max_devices is not None and self.max_devices < self.devices:
+            raise ElasticSpecError(
+                f"job {self.name!r}: max_devices below the initial request"
+            )
+
+
+@dataclass(frozen=True)
+class ElasticAction:
+    """One grow/shrink request the scheduler emits for a controller."""
+
+    job: str
+    kind: str  # "grow" | "shrink"
+    devices: Tuple[int, ...]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.kind} {self.job} {list(self.devices)}"
+
+
+@dataclass
+class Placement:
+    """Job → device-set assignment plus its priced interference."""
+
+    assignments: Dict[str, Tuple[int, ...]]
+    interference: InterferenceReport
+
+    def as_dict(self) -> dict:
+        """JSON-ready view: per-job device sets + priced interference."""
+        return {
+            "assignments": {
+                job: list(devs) for job, devs in sorted(self.assignments.items())
+            },
+            "interference": self.interference.as_dict(),
+        }
+
+
+class ElasticScheduler:
+    """Places and autoscales jobs to minimise priced interference."""
+
+    #: Load-signal thresholds: grow above ``high``, shrink below ``low``.
+    HIGH_LOAD = 0.8
+    LOW_LOAD = 0.3
+
+    def __init__(self, topology: Topology) -> None:
+        self.topology = topology
+
+    # ------------------------------------------------------------------
+    def _affinity_key(self, device: int) -> Tuple[int, int, int]:
+        t = self.topology
+        return (t.machine_of[device], t.socket_of[device], t.switch_of[device])
+
+    def _traffic(self, allocations: Mapping[str, Sequence[int]]) -> List[JobTraffic]:
+        return [
+            uniform_traffic(self.topology, job, devs)
+            for job, devs in allocations.items()
+            if len(devs) > 0
+        ]
+
+    def _priced(self, allocations: Mapping[str, Sequence[int]]) -> InterferenceReport:
+        return interference_report(self.topology, self._traffic(allocations))
+
+    def score(self, allocations: Mapping[str, Sequence[int]]) -> float:
+        """Total priced interference of an allocation (lower is better)."""
+        return self._priced(allocations).total
+
+    # ------------------------------------------------------------------
+    def place(self, jobs: Sequence[JobSpec]) -> Placement:
+        """Affinity-packed placement: greedy, largest job first.
+
+        Each job grows its device set one device at a time, preferring
+        the free device that adds the least probe interference against
+        everything placed so far, breaking ties by hardware affinity to
+        the job's seed device (same switch, then socket, then machine)
+        and finally by id — deterministic for a fixed topology.
+        """
+        self._check_jobs(jobs)
+        free = set(range(self.topology.num_devices))
+        assignments: Dict[str, Tuple[int, ...]] = {}
+        for spec in sorted(jobs, key=lambda j: (-j.devices, j.name)):
+            chosen: List[int] = []
+            for _ in range(spec.devices):
+                best: Optional[Tuple[float, Tuple[int, int, int], int]] = None
+                for dev in sorted(free):
+                    trial = dict(assignments)
+                    trial[spec.name] = tuple(chosen + [dev])
+                    cost = self.score(trial)
+                    if chosen:
+                        anchor = self._affinity_key(chosen[0])
+                        key = self._affinity_key(dev)
+                        distance = (
+                            int(key[0] != anchor[0]),
+                            int(key[:2] != anchor[:2]),
+                            int(key != anchor),
+                        )
+                    else:
+                        distance = (0, 0, 0)
+                    rank = (cost, distance, dev)
+                    if best is None or rank < best:
+                        best = rank
+                if best is None:
+                    raise ElasticSpecError(
+                        f"not enough free devices for job {spec.name!r}: "
+                        f"requested {spec.devices}, "
+                        f"{len(free) + len(chosen)} available"
+                    )
+                chosen.append(best[2])
+                free.discard(best[2])
+            assignments[spec.name] = tuple(sorted(chosen))
+        return Placement(assignments, self._priced(assignments))
+
+    def naive_place(self, jobs: Sequence[JobSpec]) -> Placement:
+        """Topology-blind strawman: stripe device ids round-robin."""
+        self._check_jobs(jobs)
+        order = sorted(jobs, key=lambda j: j.name)
+        assignments: Dict[str, List[int]] = {spec.name: [] for spec in order}
+        want = {spec.name: spec.devices for spec in order}
+        next_dev = 0
+        while any(len(assignments[s.name]) < want[s.name] for s in order):
+            for spec in order:
+                if len(assignments[spec.name]) < want[spec.name]:
+                    if next_dev >= self.topology.num_devices:
+                        raise ElasticSpecError(
+                            "not enough devices for the requested jobs"
+                        )
+                    assignments[spec.name].append(next_dev)
+                    next_dev += 1
+        final = {job: tuple(devs) for job, devs in assignments.items()}
+        return Placement(final, self._priced(final))
+
+    def _check_jobs(self, jobs: Sequence[JobSpec]) -> None:
+        if not jobs:
+            raise ElasticSpecError("no jobs to place")
+        names = [j.name for j in jobs]
+        if len(set(names)) != len(names):
+            raise ElasticSpecError(f"duplicate job names in {names}")
+        total = sum(j.devices for j in jobs)
+        if total > self.topology.num_devices:
+            raise ElasticSpecError(
+                f"jobs request {total} devices, topology has "
+                f"{self.topology.num_devices}"
+            )
+
+    # ------------------------------------------------------------------
+    def autoscale(
+        self,
+        placement: Placement,
+        loads: Mapping[str, float],
+        jobs: Optional[Sequence[JobSpec]] = None,
+    ) -> List[ElasticAction]:
+        """Turn a load signal into grow/shrink actions.
+
+        ``loads`` maps job name → utilisation in [0, ∞): above
+        :attr:`HIGH_LOAD` the job gets one more device (the free device
+        with the least marginal interference), below :attr:`LOW_LOAD`
+        it gives one up (the held device whose removal sheds the most).
+        Emits at most one action per job per call — autoscaling is a
+        feedback loop, not a bulk re-placement.
+        """
+        specs = {j.name: j for j in (jobs or ())}
+        allocations = validate_disjoint(self.topology, placement.assignments)
+        used = {d for devs in allocations.values() for d in devs}
+        free = sorted(set(range(self.topology.num_devices)) - used)
+        actions: List[ElasticAction] = []
+        for job in sorted(allocations):
+            load = loads.get(job)
+            if load is None:
+                continue
+            devs = allocations[job]
+            spec = specs.get(job)
+            if load > self.HIGH_LOAD and free:
+                limit = spec.max_devices if spec and spec.max_devices else None
+                if limit is not None and len(devs) >= limit:
+                    continue
+                best = None
+                for dev in free:
+                    trial = dict(allocations)
+                    trial[job] = devs + (dev,)
+                    rank = (self.score(trial), dev)
+                    if best is None or rank < best:
+                        best = rank
+                actions.append(ElasticAction(job, "grow", (best[1],)))
+                free.remove(best[1])
+                allocations[job] = tuple(sorted(devs + (best[1],)))
+            elif load < self.LOW_LOAD:
+                floor = spec.min_devices if spec else 1
+                if len(devs) <= floor:
+                    continue
+                best = None
+                for dev in devs:
+                    trial = dict(allocations)
+                    trial[job] = tuple(d for d in devs if d != dev)
+                    rank = (self.score(trial), dev)
+                    if best is None or rank < best:
+                        best = rank
+                actions.append(ElasticAction(job, "shrink", (best[1],)))
+                allocations[job] = tuple(d for d in devs if d != best[1])
+                free.append(best[1])
+                free.sort()
+        return actions

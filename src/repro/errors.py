@@ -24,6 +24,7 @@ from typing import List, Sequence
 __all__ = [
     "ReproError",
     "FaultSpecError",
+    "ElasticSpecError",
     "UnrecoverableFaultError",
     "DeviceLostError",
     "SimulatedOOMError",
@@ -42,6 +43,17 @@ class FaultSpecError(ReproError, ValueError):
     Raised with a message naming the offending event and field, so a
     mistyped ``--fault-spec`` file fails with "event #2 (link-loss):
     unknown connection field 'conection'" instead of a raw ``KeyError``.
+    """
+
+
+class ElasticSpecError(ReproError, ValueError):
+    """An elastic device-set request failed validation.
+
+    Raised when a grow/shrink/placement request names an empty device
+    set, devices the base topology does not have, devices that overlap
+    another job's allocation, or devices already (or not) part of the
+    job — before any drain or checkpoint work starts, so a bad request
+    costs nothing on the simulated clock.
     """
 
 

@@ -22,6 +22,8 @@ ACTIONS = (
     "retry",       # the same operation was re-issued
     "repair",      # the plan or path was rebuilt around the fault
     "degrade",     # fell back to peer-to-peer routing
+    "scale-out",   # a planned elastic transition grew the device set
+    "scale-in",    # a planned elastic transition shrank the device set
     "abort",       # an operation was abandoned (peer confirmed dead)
     "checkpoint",  # trainer snapshot taken
     "rollback",    # trainer state restored from a checkpoint
@@ -98,6 +100,20 @@ class FaultLog:
         """Recovery interventions per policy: retry / repair / degrade."""
         counts = self.counts()
         return {k: counts.get(k, 0) for k in ("retry", "repair", "degrade")}
+
+    def interventions(self) -> Dict[str, int]:
+        """Every deliberate intervention, involuntary and planned.
+
+        Extends :meth:`policy_counts` with the elastic vocabulary:
+        ``scale-out`` / ``scale-in`` transitions are interventions too —
+        voluntary ones — and a soak report that only tallied the
+        involuntary three would under-count what the run did.
+        """
+        counts = self.counts()
+        return {
+            k: counts.get(k, 0)
+            for k in ("retry", "repair", "degrade", "scale-out", "scale-in")
+        }
 
     def as_events(self) -> List[Dict[str, object]]:
         """All records as JSON-ready dicts, in log order."""

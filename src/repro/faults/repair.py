@@ -28,6 +28,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.cost_model import StagedCostModel
 from repro.core.plan import CommPlan, VertexClassRoute
 from repro.core.spst import PlanUnit, SPSTPlanner
+from repro.errors import ElasticSpecError
 from repro.faults.policy import UnrecoverableFaultError
 from repro.topology.links import PhysicalConnection
 from repro.topology.topology import Link, Topology
@@ -60,15 +61,28 @@ def filter_topology(
     Device ids are preserved (a crashed device keeps its id but loses
     every link), so routes and relations keep addressing by the
     original numbering.
+
+    Survival is *bidirectional*: a direction whose same-kind mirror
+    died is dropped too.  Plans grown on the result feed training, and
+    every forward transfer's gradient runs over the reverse link — a
+    wire that only works one way cannot carry a route.  (The hardened
+    protocol's transfer-level repair, :func:`alternate_path`, still
+    uses surviving single directions.)
     """
     dead_conns = set(dead_connections)
     dead_devs = set(dead_devices)
-    links = [
+    alive = [
         link
         for link in topology.links
         if link.src not in dead_devs
         and link.dst not in dead_devs
         and not any(c.name in dead_conns for c in link.connections)
+    ]
+    alive_pairs = {(link.src, link.dst, link.kind) for link in alive}
+    links = [
+        link
+        for link in alive
+        if (link.dst, link.src, link.kind) in alive_pairs
     ]
     host_paths = {
         dev: (topology.host_write_path(dev), topology.host_read_path(dev))
@@ -87,17 +101,23 @@ def filter_topology(
     )
 
 
+def _link_key(link: Link) -> Tuple[int, int, Tuple[str, ...]]:
+    """Structural identity of a logical link (survives re-filtering)."""
+    return (link.src, link.dst, tuple(c.name for c in link.connections))
+
+
 def _route_broken(
-    route: VertexClassRoute, dead_conns: Set[str], dead_devs: Set[int]
+    route: VertexClassRoute, alive_keys: Set[tuple], dead_devs: Set[int]
 ) -> bool:
+    """Does the route touch dead hardware — or a dropped direction?
+
+    Checked against the *surviving* link set rather than the dead
+    names, so a route riding a wire whose reverse twin died is broken
+    too (its backward pass has nowhere to run).
+    """
     if route.source in dead_devs or any(d in dead_devs for d in route.destinations):
         return True
-    for link, _ in route.edges:
-        if link.src in dead_devs or link.dst in dead_devs:
-            return True
-        if any(c.name in dead_conns for c in link.connections):
-            return True
-    return False
+    return any(_link_key(link) not in alive_keys for link, _ in route.edges)
 
 
 def _degraded_star(topology: Topology, route: VertexClassRoute) -> Optional[VertexClassRoute]:
@@ -135,8 +155,19 @@ def regrow_routes(
     Both :func:`repair_plan` (mid-training fault recovery) and the
     autotune incremental replanner route through here.
 
-    Returns ``(repaired, degraded)`` route lists.
+    Returns ``(repaired, degraded)`` route lists.  Raises
+    :class:`~repro.errors.ElasticSpecError` when a broken route's
+    endpoints name devices ``topology`` does not have — the caller
+    handed a route set and a device set that disagree.
     """
+    for route in broken:
+        endpoints = {route.source, *route.destinations}
+        bad = sorted(d for d in endpoints if not 0 <= d < topology.num_devices)
+        if bad:
+            raise ElasticSpecError(
+                f"route {route.source}->{route.destinations} names unknown "
+                f"device(s) {bad}: topology has {topology.num_devices} devices"
+            )
     planner = SPSTPlanner(topology, seed=seed)
     model = StagedCostModel(topology)
     for route in kept:
@@ -169,13 +200,74 @@ def regrow_routes(
     return repaired, degraded
 
 
+def _validated_elastic_sets(
+    num_devices: int,
+    dead_devices: Sequence[int],
+    added_devices: Sequence[int],
+    expanded_topology: Optional[Topology],
+) -> Tuple[Set[int], Set[int]]:
+    """Typed validation of the device sets a repair/expansion names.
+
+    Raises :class:`~repro.errors.ElasticSpecError` on empty, unknown or
+    overlapping sets; returns ``(dead, added)`` as clean sets.
+    """
+    dead_list = list(dead_devices)
+    dead = set(dead_list)
+    bad = sorted(d for d in dead if not 0 <= d < num_devices)
+    if bad:
+        raise ElasticSpecError(
+            f"unknown dead device(s) {bad}: the plan's topology has "
+            f"{num_devices} devices"
+        )
+    added_list = list(added_devices)
+    added = set(added_list)
+    if expanded_topology is not None and not added_list:
+        raise ElasticSpecError(
+            "expanded_topology given but the added device set is empty"
+        )
+    if not added_list:
+        return dead, added
+    if expanded_topology is None:
+        raise ElasticSpecError(
+            f"added device(s) {sorted(added)} need an expanded_topology "
+            "to live on"
+        )
+    if len(added) != len(added_list):
+        raise ElasticSpecError(
+            f"added device set {added_list} repeats devices"
+        )
+    bad = sorted(
+        d for d in added if not 0 <= d < expanded_topology.num_devices
+    )
+    if bad:
+        raise ElasticSpecError(
+            f"unknown added device(s) {bad}: the expanded topology has "
+            f"{expanded_topology.num_devices} devices"
+        )
+    overlap = sorted(d for d in added if d < num_devices)
+    if overlap:
+        raise ElasticSpecError(
+            f"added device(s) {overlap} overlap the plan's existing "
+            f"devices 0..{num_devices - 1}"
+        )
+    expected = set(range(num_devices, expanded_topology.num_devices))
+    if added != expected:
+        raise ElasticSpecError(
+            f"added device set {sorted(added)} must be exactly the "
+            f"expanded topology's new ids {sorted(expected)}"
+        )
+    return dead, added
+
+
 def repair_plan(
     plan: CommPlan,
     dead_connections: Sequence[str] = (),
     dead_devices: Sequence[int] = (),
     seed: int = 0,
+    added_devices: Sequence[int] = (),
+    expanded_topology: Optional[Topology] = None,
 ) -> RepairResult:
-    """Incrementally re-plan the routes the dead hardware broke.
+    """Incrementally re-plan around dead hardware — or onto new hardware.
 
     Surviving routes are kept verbatim (their send/receive table
     entries are untouched); broken routes are re-grown by SPST against
@@ -183,22 +275,36 @@ def repair_plan(
     :class:`UnrecoverableFaultError` when a broken class has no
     surviving route at all.
 
+    Device *additions* (the elastic scale-out path) pass
+    ``added_devices`` plus an ``expanded_topology`` whose first
+    ``plan.topology.num_devices`` ids are the plan's existing devices
+    and whose tail ids are the new ones.  Kept trees are re-based onto
+    the expanded topology by structural link reference; trees whose
+    links the expansion does not carry are re-grown, and regrowth may
+    route *through* the new devices.  Empty / unknown / overlapping
+    device sets raise :class:`~repro.errors.ElasticSpecError`.
+
     Note: dead *devices* here must no longer be route endpoints — the
     trainer repartitions ownership first, then repairs transit routes.
     This function re-routes traffic that merely *forwarded through* the
     dead hardware.
     """
     dead_conns = set(dead_connections)
-    dead_devs = set(dead_devices)
-    if not dead_conns and not dead_devs:
+    dead_devs, added = _validated_elastic_sets(
+        plan.topology.num_devices, dead_devices, added_devices,
+        expanded_topology,
+    )
+    if not dead_conns and not dead_devs and not added:
         return RepairResult(plan=plan, untouched_routes=len(plan.routes))
+
+    base = expanded_topology if added else plan.topology
+    survivors = filter_topology(base, dead_conns, dead_devs)
+    alive_keys = {_link_key(link) for link in survivors.links}
 
     kept: List[VertexClassRoute] = []
     broken: List[VertexClassRoute] = []
     for route in plan.routes:
-        (broken if _route_broken(route, dead_conns, dead_devs) else kept).append(route)
-    if not broken:
-        return RepairResult(plan=plan, untouched_routes=len(plan.routes))
+        (broken if _route_broken(route, alive_keys, dead_devs) else kept).append(route)
     for route in broken:
         if route.source in dead_devs or any(d in dead_devs for d in route.destinations):
             raise UnrecoverableFaultError(
@@ -208,11 +314,50 @@ def repair_plan(
                 "repartition ownership before repairing routes",
             )
 
-    survivors = filter_topology(plan.topology, dead_conns, dead_devs)
+    if added:
+        # Re-base kept trees onto the expanded topology by structural
+        # link identity; links the expansion does not carry put their
+        # route back on the regrow list.
+        from repro.core.serialize import link_table
+
+        table = link_table(survivors)
+        rebased: List[VertexClassRoute] = []
+        for route in kept:
+            edges: List[Tuple[Link, int]] = []
+            for link, stage in route.edges:
+                match = table.get(
+                    (link.src, link.dst, tuple(c.name for c in link.connections))
+                )
+                if match is None:
+                    break
+                edges.append((match, stage))
+            else:
+                rebased.append(
+                    VertexClassRoute(
+                        source=route.source,
+                        destinations=route.destinations,
+                        vertices=route.vertices,
+                        edges=tuple(edges),
+                    )
+                )
+                continue
+            broken.append(
+                VertexClassRoute(
+                    source=route.source,
+                    destinations=route.destinations,
+                    vertices=route.vertices,
+                    edges=(),
+                )
+            )
+        kept = rebased
+    elif not broken:
+        return RepairResult(plan=plan, untouched_routes=len(plan.routes))
+
     repaired, degraded = regrow_routes(survivors, kept, broken, seed=seed)
 
+    suffix = "expanded" if added else "repaired"
     new_plan = CommPlan(
-        survivors, kept + repaired + degraded, name=f"{plan.name}-repaired"
+        survivors, kept + repaired + degraded, name=f"{plan.name}-{suffix}"
     )
     return RepairResult(
         plan=new_plan,

@@ -209,8 +209,18 @@ class ResilientTrainer:
         part = hierarchical_partition(self.graph, topo, seed=self.seed)
         self.topology = topo
         self.relation = CommRelation(self.graph, part.assignment, topo.num_devices)
-        self.plan = SPSTPlanner(topo, seed=self.seed).plan(self.relation)
+        self.plan = self._plan_for(topo, self.relation, part.assignment)
         self._rebuild_trainer()
+
+    def _plan_for(self, topology: Topology, relation: CommRelation, assignment):
+        """Plan the relation on ``topology`` — subclass hook.
+
+        The base trainer always plans from scratch;
+        :class:`~repro.elastic.controller.ElasticController` overrides
+        this with a memo/patch ladder so planned transitions reuse
+        surviving trees instead of paying Table 8's full planning cost.
+        """
+        return SPSTPlanner(topology, seed=self.seed).plan(relation)
 
     def _rebuild_trainer(self) -> None:
         """Fresh DistributedTrainer over the current plan, same weights."""

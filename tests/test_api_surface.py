@@ -48,7 +48,8 @@ EXPECTED_FUNCTIONS = {
     "init":
         "(topology: 'Topology', fault_plan: 'Optional[FaultPlan]' = None, "
         "strategy: 'str' = 'spst', plan_cache=None, "
-        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') "
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event', "
+        "elastic: 'Optional[ElasticPolicy]' = None) "
         "-> 'DGCLSession'",
     "inject_faults": "(fault_plan) -> 'FaultInjector'",
     "local_graphs": "() -> 'List[LocalGraph]'",
@@ -57,7 +58,8 @@ EXPECTED_FUNCTIONS = {
     "session":
         "(topology: 'Topology', *, fault_plan: 'Optional[FaultPlan]' = None, "
         "strategy: 'str' = 'spst', plan_cache=None, "
-        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') "
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event', "
+        "elastic: 'Optional[ElasticPolicy]' = None) "
         "-> 'DGCLSession'",
     "shutdown": "() -> 'None'",
     "tune": "(graph: 'Graph', **kwargs)",
@@ -68,7 +70,8 @@ EXPECTED_METHODS = {
     "DGCLSession.__init__":
         "(self, topology: 'Topology', fault_plan: 'Optional[FaultPlan]' = "
         "None, strategy: 'str' = 'spst', plan_cache=None, "
-        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event') -> 'None'",
+        "engine: 'str' = 'vectorized', fidelity: 'str' = 'event', "
+        "elastic: 'Optional[ElasticPolicy]' = None) -> 'None'",
     "DGCLSession.build_comm_info":
         "(self, graph: 'Graph', *, assignment: 'Optional[np.ndarray]' = "
         "None, seed: 'int' = 0, chunks_per_class: 'int' = 4, "
