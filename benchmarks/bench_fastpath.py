@@ -50,8 +50,10 @@ CANDIDATES = [
     for method in METHODS
 ]
 
-#: Composite (planning + pricing) speedup the fast path must clear on
-#: the full Table-8 workload.
+#: Composite (planning + pricing) speedup recorded in the artifact.
+#: The regression gate lives in ``benchmarks/compare.py`` (which diffs
+#: the artifact against the committed baseline with a wall-clock
+#: tolerance) rather than as a hard-coded floor assert here.
 SPEEDUP_FLOOR = 5.0
 
 
@@ -164,12 +166,10 @@ def test_fastpath_offline_pipeline():
         "speedup_floor": None if SMOKE else SPEEDUP_FLOOR,
     })
 
-    # Perf gates only at full scale: smoke planning is a few
+    # Shape check only at full scale: smoke planning is a few
     # milliseconds, where the vectorized engine's fixed numpy setup
-    # overhead can exceed the loop savings.
+    # overhead can exceed the loop savings.  The speedup *floor* is no
+    # longer asserted here — benchmarks/compare.py gates the artifact
+    # against the committed baseline instead.
     if not SMOKE:
         assert plan_new < plan_old
-        assert composite >= SPEEDUP_FLOOR, (
-            f"offline pipeline speedup {composite:.2f}x below the "
-            f"{SPEEDUP_FLOOR}x floor"
-        )

@@ -93,3 +93,59 @@ def test_telemetry_overhead(benchmark):
         armed.execute(plan, w.boundary_bytes()[0])
 
     benchmark.pedantic(record_once, rounds=3, iterations=1)
+
+
+def test_telemetry_neutrality_newer_paths():
+    """Auditor/recorder/tracer neutrality on the paths added since.
+
+    The original contract covered the executor and protocol runner;
+    this pins it on the auditor + flight recorder (executor sinks), the
+    auto-tuner's audited full-fidelity rung, and elastic-transition
+    training with an armed tracer.  Every simulated number must be
+    bit-identical armed vs unarmed.
+    """
+    import numpy as np
+
+    from repro.autotune import AutoTuner
+    from repro.elastic import ElasticPolicy
+    from repro.elastic.controller import ElasticController
+    from repro.graph.generators import rmat
+    from repro.obs import CostModelAuditor, FlightRecorder
+
+    # Executor: auditor + recorder armed.
+    w = get_workload("web-google", "gcn", 8)
+    bpu = w.boundary_bytes()[0]
+    plan = w.spst_plan
+    bare = PlanExecutor(w.topology).execute(plan, bpu)
+    armed = PlanExecutor(
+        w.topology, auditor=CostModelAuditor(), recorder=FlightRecorder()
+    ).execute(plan, bpu)
+    assert armed.total_time == bare.total_time
+    assert armed.stage_finish == bare.stage_finish
+
+    # Auto-tuner: every trial's cost identical with the audited rung.
+    g = rmat(250, 1800, seed=4)
+    topo = get_workload("web-google", "gcn", 8).topology
+    plain = AutoTuner(g, topo).tune()
+    audited = AutoTuner(g, topo, auditor=CostModelAuditor()).tune()
+    assert [t.cost for t in plain.trials] == [t.cost for t in audited.trials]
+    assert plain.candidate == audited.candidate
+
+    # Elastic transitions: same losses and final clock with a tracer.
+    rng = np.random.default_rng(0)
+    feats = rng.standard_normal((g.num_vertices, 6)).astype(np.float32)
+    labels = rng.integers(0, 4, g.num_vertices)
+    schedule = [(1, "shrink", (6, 7)), (2, "grow", (6, 7))]
+
+    def run(tracer=None):
+        from repro.gnn import build_gcn
+
+        controller = ElasticController(
+            g, topo, build_gcn(6, 8, 4, seed=7), feats, labels,
+            elastic=ElasticPolicy(min_devices=2), tracer=tracer,
+        )
+        report = controller.train_with_schedule(4, schedule)
+        return list(report.losses), controller.clock
+
+    bare_run, armed_run = run(), run(Tracer())
+    assert bare_run == armed_run

@@ -16,6 +16,12 @@ Commands:
   single-device reference;
 * ``trace`` — run one traced evaluation (or training run) and write a
   Chrome/Perfetto or JSONL trace of the simulated timeline;
+* ``profile`` — run one audited evaluation and print its flight-recorder
+  profile: per-stage and per-connection attribution, the critical path,
+  and the predicted-vs-actual cost-model audit table (a live Fig. 10);
+  ``--output`` saves the profile JSON for later ``report`` runs;
+* ``report`` — render a saved profile, or diff two of them
+  (``repro report base.json --against candidate.json``);
 * ``chaos`` — soak the hardened protocol under N seeded random fault
   schedules, check the invariant oracles, shrink any failing schedule
   to a minimal replayable JSON (``--replay``); ``--elastic-every N``
@@ -632,6 +638,91 @@ def cmd_elastic(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    """``profile``: audited + recorded evaluation, rendered profile."""
+    from repro.baselines import Workload, evaluate_scheme
+    from repro.obs import (
+        CostModelAuditor,
+        FlightRecorder,
+        MetricsRegistry,
+        RunProfile,
+        Tracer,
+        render_profile,
+        write_profile,
+    )
+
+    tracer, metrics = Tracer(), MetricsRegistry()
+    auditor = CostModelAuditor(threshold=args.threshold, metrics=metrics)
+    recorder = FlightRecorder()
+    topology = _topology(args.gpus, args.topology)
+    workload = Workload(args.dataset, args.model, topology)
+    result = evaluate_scheme(
+        workload, scheme=args.scheme, tracer=tracer, metrics=metrics,
+        auditor=auditor, recorder=recorder,
+    )
+    if not result.ok:
+        print(f"error: {args.scheme} on {args.dataset} is {result.status}",
+              file=sys.stderr)
+        return 1
+    profile = RunProfile.from_recorder(recorder, audit=auditor, meta={
+        "source": "cli",
+        "dataset": args.dataset,
+        "model": args.model,
+        "gpus": args.gpus,
+        "topology": args.topology,
+        "scheme": args.scheme,
+        "epoch_ms": result.ms(),
+    })
+    if args.json:
+        print(json.dumps(profile.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(render_profile(profile, top=args.top))
+    if args.output:
+        write_profile(profile, args.output)
+        print(f"wrote profile to {args.output}",
+              file=sys.stderr if args.json else sys.stdout)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """``report``: render one saved profile, or diff two of them."""
+    from repro.obs import (
+        diff_profiles,
+        load_profile,
+        render_diff,
+        render_profile,
+    )
+
+    try:
+        base = load_profile(args.profile)
+    except FileNotFoundError:
+        print(f"error: profile not found: {args.profile}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.against is None:
+        if args.json:
+            print(json.dumps(base, indent=2, sort_keys=True))
+        else:
+            print(render_profile(base, top=args.top))
+        return 0
+    try:
+        cand = load_profile(args.against)
+    except FileNotFoundError:
+        print(f"error: profile not found: {args.against}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_profiles(base, cand)
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, top=args.top))
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``trace``: one traced run, exported for Perfetto or as JSONL."""
     from repro.baselines import Workload, evaluate_scheme
@@ -817,6 +908,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable output on stdout")
 
+    p = sub.add_parser("profile",
+                       help="audited evaluation with a rendered profile")
+    common(p)
+    p.add_argument("--model", default="gcn")
+    p.add_argument("--scheme", default="dgcl",
+                   help="scheme to profile (default: dgcl)")
+    p.add_argument("--threshold", type=float, default=0.25,
+                   help="|relative error| above which a stage is flagged")
+    p.add_argument("--top", type=_positive_int, default=5,
+                   help="hottest connections to show")
+    p.add_argument("--json", action="store_true",
+                   help="print the profile document on stdout")
+    p.add_argument("--output", default=None, metavar="PATH",
+                   help="also save the profile JSON for `repro report`")
+
+    p = sub.add_parser("report",
+                       help="render a saved profile, or diff two")
+    p.add_argument("profile", help="profile JSON written by `repro profile`")
+    p.add_argument("--against", default=None, metavar="PATH",
+                   help="second profile: print base-vs-candidate diff")
+    p.add_argument("--top", type=_positive_int, default=10,
+                   help="rows to show per diff section")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="library log level (-v info, -vv debug)")
+
     p = sub.add_parser("trace",
                        help="run one traced evaluation and export it")
     common(p)
@@ -847,6 +965,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "evaluate": cmd_evaluate,
         "train": cmd_train,
         "trace": cmd_trace,
+        "profile": cmd_profile,
+        "report": cmd_report,
         "chaos": cmd_chaos,
         "elastic": cmd_elastic,
     }

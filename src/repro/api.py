@@ -35,7 +35,9 @@ from repro.faults.log import FaultLog
 from repro.faults.repair import repair_plan
 from repro.faults.spec import FaultPlan
 from repro.graph.csr import Graph
+from repro.obs.audit import CostModelAuditor
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import FlightRecorder, RunProfile
 from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
 from repro.runtime.bootstrap import simulate_bootstrap
@@ -58,6 +60,7 @@ __all__ = [
     "inject_faults",
     "fault_log",
     "arm_telemetry",
+    "profile",
     "shutdown",
 ]
 
@@ -187,6 +190,13 @@ class DGCLSession:
         #: Telemetry sinks: None until :meth:`arm_telemetry` is called.
         self.tracer: Optional[Tracer] = None
         self.metrics: Optional[MetricsRegistry] = None
+        #: Profiling sinks (also armed by :meth:`arm_telemetry`).
+        self.auditor: Optional[CostModelAuditor] = None
+        self.recorder: Optional[FlightRecorder] = None
+        #: Plan-cache key of the active plan (annotation target).
+        self._cache_key = None
+        #: Audit records already propagated to the plan cache.
+        self._audit_seen = 0
         #: Chaos layer: None until :meth:`inject_faults` attaches one.
         self.injector: Optional[FaultInjector] = None
         self._repaired_conns: set = set()
@@ -227,6 +237,8 @@ class DGCLSession:
         self.injector = None
         self.tracer = None
         self.metrics = None
+        self.auditor = None
+        self.recorder = None
         global _SESSION
         if _SESSION is self:
             _SESSION = None
@@ -240,23 +252,39 @@ class DGCLSession:
         self,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        auditor: Optional[CostModelAuditor] = None,
+        recorder: Optional[FlightRecorder] = None,
     ) -> "DGCLSession":
-        """Attach span/metric sinks to every subsequent collective.
+        """Attach span/metric/audit/profile sinks to every collective.
 
         Creates fresh sinks unless given existing ones, and rebuilds the
         session executor so per-flow spans land on the tracer's clock
         (kept in lockstep with :attr:`simulated_comm_seconds`).  The
-        priced timings themselves are unchanged — telemetry is strictly
-        post-hoc.  Returns the session for chaining.
+        auditor collects predicted-vs-actual records per collective and
+        the flight recorder keeps the reports :meth:`profile` digests.
+        The priced timings themselves are unchanged — telemetry is
+        strictly post-hoc.  Returns the session for chaining.
         """
         self.tracer = tracer if tracer is not None else Tracer()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.auditor = (
+            auditor if auditor is not None
+            else CostModelAuditor(metrics=self.metrics)
+        )
+        self.recorder = recorder if recorder is not None else FlightRecorder()
         if self.tracer.now < self.simulated_comm_seconds:
             self.tracer.advance(self.simulated_comm_seconds - self.tracer.now)
-        self.executor = PlanExecutor(
-            self.topology, tracer=self.tracer, metrics=self.metrics
-        )
+        self.executor = self._build_executor()
         return self
+
+    def _build_executor(self, capacity_of=None) -> PlanExecutor:
+        """An executor on the active topology with the armed sinks."""
+        return PlanExecutor(
+            self.topology, capacity_of=capacity_of,
+            tracer=self.tracer, metrics=self.metrics,
+            auditor=self.auditor, recorder=self.recorder,
+        )
+
     def inject_faults(self, fault_plan) -> FaultInjector:
         """Attach a :class:`~repro.faults.spec.FaultPlan` to the session.
 
@@ -289,8 +317,7 @@ class DGCLSession:
         capacity_fn = self.injector.capacity_fn_at(self.simulated_comm_seconds)
         if capacity_fn is None:
             return self.executor
-        return PlanExecutor(self.topology, capacity_of=capacity_fn,
-                            tracer=self.tracer, metrics=self.metrics)
+        return self._build_executor(capacity_of=capacity_fn)
 
     def _maybe_repair(self) -> None:
         """Re-route the plan around wires that died on the session clock."""
@@ -379,6 +406,7 @@ class DGCLSession:
         self.relation = CommRelation(graph, assignment, self.topology.num_devices)
 
         key = None
+        self._cache_key = None
         if self.plan_cache is not None:
             from repro.autotune.cache import PlanCacheError
             from repro.autotune.fingerprint import cache_key
@@ -389,6 +417,7 @@ class DGCLSession:
                 "seed": seed,
             }
             key = cache_key(graph, assignment, self.topology, config)
+            self._cache_key = key
             try:
                 plan = self.plan_cache.get(key, self.topology)
             except PlanCacheError:
@@ -513,6 +542,9 @@ class DGCLSession:
                 chunk_options=(chunks_per_class,),
                 plan_based_only=plan_based_only,
             )
+        if self.auditor is not None:
+            # An armed session audits the tuner's full-fidelity rung too.
+            kwargs.setdefault("auditor", self.auditor)
         tuner = AutoTuner(
             graph,
             self.topology,
@@ -577,6 +609,58 @@ class DGCLSession:
                                  t0 + report.total_time,
                                  bytes=report.bytes_moved())
             self.tracer.advance(report.total_time)
+        self._annotate_cache()
+
+    def _annotate_cache(self) -> None:
+        """Stamp the cached plan with its latest observed audit error.
+
+        With the auditor and a plan cache both armed, every executed
+        collective refreshes the cache entry's ``observed_error`` /
+        ``audited_runs`` metadata (an annotation, never a store — CI
+        counts stores).  Best effort: a missing or foreign entry is
+        simply skipped.
+        """
+        if (
+            self.auditor is None
+            or self.plan_cache is None
+            or self._cache_key is None
+            or len(self.auditor.records) <= self._audit_seen
+        ):
+            return
+        record = self.auditor.records[-1]
+        self._audit_seen = len(self.auditor.records)
+        error = record.signed_error
+        self.plan_cache.annotate(
+            self._cache_key,
+            observed_error=error if error != float("inf") else None,
+            audited_runs=self._audit_seen,
+        )
+
+    def profile(self, meta: Optional[Dict[str, object]] = None) -> RunProfile:
+        """Digest the session's recorded collectives into a profile.
+
+        Requires :meth:`arm_telemetry` first (that is what attaches the
+        flight recorder).  The returned
+        :class:`~repro.obs.profile.RunProfile` carries per-stage and
+        per-connection attribution, the critical path of the slowest
+        collective, and — when the auditor saw the same runs — the
+        embedded cost-model audit.
+        """
+        self._check_open()
+        if self.recorder is None:
+            raise RuntimeError(
+                "call arm_telemetry() before profile(): the flight "
+                "recorder is what captures the collectives"
+            )
+        info: Dict[str, object] = {
+            "source": "session",
+            "strategy": self.strategy,
+            "devices": len(self.active_devices),
+        }
+        info.update(meta or {})
+        return RunProfile.from_recorder(
+            self.recorder, audit=self.auditor, meta=info
+        )
 
     def local_graphs(self) -> List[LocalGraph]:
         """Re-indexed per-device training graphs (paper §4.1)."""
@@ -664,12 +748,7 @@ class DGCLSession:
             self.topology = self.base_topology
         else:
             self.topology = self.base_topology.restrict(after)
-        if self.tracer is not None:
-            self.executor = PlanExecutor(
-                self.topology, tracer=self.tracer, metrics=self.metrics
-            )
-        else:
-            self.executor = PlanExecutor(self.topology)
+        self.executor = self._build_executor()
 
         plan_source = "deferred"  # no plan yet: nothing to hand off
         replan_start = self.simulated_comm_seconds
@@ -843,9 +922,18 @@ def fault_log() -> FaultLog:
 def arm_telemetry(
     tracer: Optional[Tracer] = None,
     metrics: Optional[MetricsRegistry] = None,
+    auditor: Optional[CostModelAuditor] = None,
+    recorder: Optional[FlightRecorder] = None,
 ) -> DGCLSession:
-    """Arm span/metric recording on the global session."""
-    return _session().arm_telemetry(tracer=tracer, metrics=metrics)
+    """Arm span/metric/audit/profile recording on the global session."""
+    return _session().arm_telemetry(
+        tracer=tracer, metrics=metrics, auditor=auditor, recorder=recorder
+    )
+
+
+def profile(meta: Optional[Dict[str, object]] = None) -> RunProfile:
+    """Profile the global session's recorded collectives."""
+    return _session().profile(meta=meta)
 
 
 def shutdown() -> None:

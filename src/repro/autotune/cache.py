@@ -64,6 +64,7 @@ class CacheStats:
     invalidations: int = 0
     stores: int = 0
     patches: int = 0
+    annotations: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain mapping (for JSON reports)."""
@@ -73,6 +74,7 @@ class CacheStats:
             "invalidations": self.invalidations,
             "stores": self.stores,
             "patches": self.patches,
+            "annotations": self.annotations,
         }
 
 
@@ -184,6 +186,35 @@ class PlanCache:
             json.dump(doc, fh, separators=(",", ":"))
         os.replace(tmp, path)
         self._count("stores")
+        return path
+
+    def annotate(self, key: CacheKey, **meta) -> Optional[Path]:
+        """Merge observed-behavior metadata into an existing entry.
+
+        The auditor uses this to stamp cached plans with their last
+        observed prediction error (``observed_error`` /
+        ``audited_runs``), so a later session can tell how trustworthy
+        the stored cost was *before* re-using it.  The rewrite is atomic
+        (temp file + rename), does **not** count as a store — CI asserts
+        exactly one store per cold tune — and quietly returns ``None``
+        when the entry is missing or unreadable (annotation is best
+        effort; the loud path is :meth:`get`).
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            doc = self.load_document(path)
+        except PlanCacheError:
+            return None
+        entry_meta = dict(doc.get("meta") or {})
+        entry_meta.update(meta)
+        doc["meta"] = entry_meta
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w") as fh:
+            json.dump(doc, fh, separators=(",", ":"))
+        os.replace(tmp, path)
+        self._count("annotations")
         return path
 
     # ------------------------------------------------------------------

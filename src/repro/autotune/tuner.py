@@ -180,6 +180,14 @@ class AutoTuner:
         Explicit partition assignment.  When given, the partitioner
         dimension collapses (every candidate prices under this
         partition) — this is how a session with a user partition tunes.
+    auditor:
+        Optional :class:`~repro.obs.audit.CostModelAuditor`.  Armed, the
+        tuner's *full-fidelity* evaluations (the final rung — the
+        numbers the pick is made on) run through an audited executor, so
+        every tuning run contributes predicted-vs-actual records and the
+        ``autotune.audited`` counter; halving's cost-only short runs
+        stay memoised and unaudited.  The trial costs are unchanged
+        (asserted by the telemetry-neutrality tests).
     """
 
     def __init__(
@@ -193,6 +201,7 @@ class AutoTuner:
         space: Optional[SearchSpace] = None,
         driver: Optional[SearchDriver] = None,
         assignment: Optional[np.ndarray] = None,
+        auditor=None,
     ) -> None:
         self.graph = graph
         self.topology = topology
@@ -200,6 +209,7 @@ class AutoTuner:
         self.num_layers = num_layers
         self.seed = seed
         self.assignment = assignment
+        self.auditor = auditor
         if dataset is not None and dataset in DATASETS:
             self.dataset = dataset
             self.spec = DATASETS[dataset]
@@ -254,13 +264,18 @@ class AutoTuner:
         """
         workload = self._workload(candidate, fidelity)
         pricing = "cost" if fidelity < 1.0 else "event"
+        auditor = self.auditor if pricing == "event" else None
         result = evaluate_scheme(
             workload, scheme=candidate.strategy, method=candidate.method,
-            fidelity=pricing,
+            fidelity=pricing, auditor=auditor,
         )
         global_metrics().counter(
             "autotune.evaluations", strategy=candidate.strategy
         ).inc()
+        if auditor is not None:
+            global_metrics().counter(
+                "autotune.audited", strategy=candidate.strategy
+            ).inc()
         return Trial(candidate=candidate, result=result, fidelity=fidelity,
                      pricing=pricing)
 

@@ -321,7 +321,8 @@ def _planned_comm_time(
     forward = 0.0
     for li, bpu in enumerate(boundaries[first:], start=first):
         t0 = tracer.now if tracer is not None else 0.0
-        report = executor.execute(plan, bpu, fidelity=fidelity)
+        report = executor.execute(plan, bpu, fidelity=fidelity,
+                                  label=f"allgather L{li}")
         forward += report.total_time
         if tracer is not None:
             tracer.add_span(f"allgather L{li}", "phase", TRAINER_TRACK,
@@ -343,7 +344,8 @@ def _planned_comm_time(
         )
         t0 = tracer.now if tracer is not None else 0.0
         report = executor.execute_backward(
-            backward_tuples, bpu, atomic=not nonatomic, fidelity=fidelity
+            backward_tuples, bpu, atomic=not nonatomic, fidelity=fidelity,
+            label=f"scatter L{li}",
         )
         transfer = report.total_time
         if tracer is not None:
@@ -364,6 +366,8 @@ def _evaluate_partitioned(
     metrics: Optional[MetricsRegistry] = None,
     methods: Optional["MethodTable"] = None,
     fidelity: str = "event",
+    auditor=None,
+    recorder=None,
 ) -> SchemeResult:
     try:
         workload.check_partition_memory(cache_features=cache_features)
@@ -376,9 +380,11 @@ def _evaluate_partitioned(
             compute_time=compute,
         )
     executor = None
-    if tracer is not None or metrics is not None or methods is not None:
+    if (tracer is not None or metrics is not None or methods is not None
+            or auditor is not None or recorder is not None):
         executor = PlanExecutor(workload.topology, tracer=tracer,
-                                metrics=metrics, methods=methods)
+                                metrics=metrics, methods=methods,
+                                auditor=auditor, recorder=recorder)
     comm = _planned_comm_time(workload, plan, nonatomic=nonatomic,
                               cache_features=cache_features,
                               executor=executor, fidelity=fidelity)
@@ -500,12 +506,19 @@ def evaluate_scheme(
     metrics: Optional[MetricsRegistry] = None,
     method: Optional[object] = None,
     fidelity: str = "event",
+    auditor=None,
+    recorder=None,
 ) -> SchemeResult:
     """Run one scheme on one workload; never raises on OOM.
 
     Everything after the workload is keyword-only.  With a
     ``tracer``/``metrics`` sink the priced collectives also emit
     per-flow spans and counters; the returned numbers are unchanged.
+    ``auditor`` (a :class:`~repro.obs.audit.CostModelAuditor`) and
+    ``recorder`` (a :class:`~repro.obs.profile.FlightRecorder`) hang the
+    same way off the plan-based schemes' executor and collect
+    predicted-vs-actual audits and flight-recorder reports, again
+    without changing any returned number.
 
     ``method`` forces one §6.2 transfer mechanism (a
     :class:`~repro.comm.methods.CommMethod` or its string value) on
@@ -528,7 +541,8 @@ def evaluate_scheme(
         raise ValueError("fidelity must be 'event' or 'cost'")
     method_key = str(method) if method is not None else None
     memo_key = None
-    if tracer is None and metrics is None:
+    if (tracer is None and metrics is None and auditor is None
+            and recorder is None):
         memo_key = workload._cache_key() + (
             workload.model_name, workload.num_layers,
             workload.chunks_per_class, scheme, method_key, fidelity,
@@ -546,7 +560,7 @@ def evaluate_scheme(
         result = _evaluate_partitioned(
             workload, "dgcl", workload.spst_plan, nonatomic=True,
             tracer=tracer, metrics=metrics, methods=methods,
-            fidelity=fidelity,
+            fidelity=fidelity, auditor=auditor, recorder=recorder,
         )
     elif scheme == "dgcl-cache":
         # §3 option (1): cache remote layer-0 embeddings once, trade
@@ -555,12 +569,13 @@ def evaluate_scheme(
             workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
             cache_features=True, tracer=tracer, metrics=metrics,
             methods=methods, fidelity=fidelity,
+            auditor=auditor, recorder=recorder,
         )
     elif scheme == "peer-to-peer":
         result = _evaluate_partitioned(
             workload, "peer-to-peer", workload.p2p_plan, nonatomic=False,
             tracer=tracer, metrics=metrics, methods=methods,
-            fidelity=fidelity,
+            fidelity=fidelity, auditor=auditor, recorder=recorder,
         )
     elif scheme == "swap":
         result = _evaluate_swap(workload, tracer=tracer, metrics=metrics)

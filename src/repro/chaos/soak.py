@@ -160,6 +160,21 @@ class SoakReport:
     def failures(self) -> List[SeedResult]:
         return [r for r in self.results if not r.passed]
 
+    def time_quantiles(self) -> Dict[str, float]:
+        """p50/p90/p99 of per-seed simulated run time (seconds).
+
+        Fed through the deterministic
+        :class:`~repro.obs.quantile.QuantileDigest`, so the numbers are
+        reproducible for a given seed range.  Empty campaigns report
+        zeros.
+        """
+        from repro.obs.quantile import QuantileDigest
+
+        digest = QuantileDigest()
+        for r in self.results:
+            digest.observe(float(r.total_time))
+        return digest.quantiles()
+
     def as_dict(self) -> Dict[str, object]:
         """The exportable campaign summary (see ``repro.obs``)."""
         by_oracle: Dict[str, int] = {name: 0 for name in ORACLES}
@@ -173,6 +188,7 @@ class SoakReport:
             "passed": sum(1 for r in self.results if r.passed),
             "failed": len(self.failures),
             "outcomes": dict(sorted(outcomes.items())),
+            "total_time_quantiles": self.time_quantiles(),
             "violations_by_oracle": {
                 k: v for k, v in by_oracle.items() if v
             },
@@ -183,9 +199,12 @@ class SoakReport:
     def summary(self) -> str:
         """A terminal-friendly few-line verdict."""
         d = self.as_dict()
+        q = d["total_time_quantiles"]
         lines = [
             f"chaos soak: {d['passed']}/{d['seeds']} seeds passed "
             f"({d['outcomes']})",
+            f"  run time: p50={q['p50'] * 1e6:.3f} "
+            f"p90={q['p90'] * 1e6:.3f} p99={q['p99'] * 1e6:.3f} us",
         ]
         if d["violations_by_oracle"]:
             lines.append(f"  violations: {d['violations_by_oracle']}")

@@ -9,7 +9,14 @@ code they always did).
 * :class:`~repro.obs.tracer.Tracer` — span collection per device,
   per physical connection, per trainer phase;
 * :class:`~repro.obs.metrics.MetricsRegistry` — counters, gauges and
-  histograms with a deterministic :meth:`snapshot`;
+  histograms with deterministic snapshots and streaming p50/p90/p99
+  digests (:mod:`repro.obs.quantile`);
+* :mod:`repro.obs.profile` — the flight recorder and
+  :class:`~repro.obs.profile.RunProfile` attribution (per stage, per
+  connection, critical path);
+* :mod:`repro.obs.audit` — the live Fig. 10: staged cost-model
+  predictions audited against executed times, stage by stage;
+* :mod:`repro.obs.report` — profile documents (JSON, render, diff);
 * :mod:`repro.obs.export` — Chrome/Perfetto ``trace_event`` JSON,
   JSONL event logs interleaving the fault log, human stats tables;
 * :mod:`repro.obs.console` — the leveled stderr logger library modules
@@ -17,6 +24,12 @@ code they always did).
 """
 
 from repro.obs import console
+from repro.obs.audit import (
+    AuditRecord,
+    CostModelAuditor,
+    DEFAULT_AUDIT_THRESHOLD,
+    StageAudit,
+)
 from repro.obs.export import (
     chrome_trace_json,
     soak_summary_json,
@@ -33,6 +46,23 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     global_metrics,
+)
+from repro.obs.profile import (
+    ConnectionProfile,
+    CriticalHop,
+    FlightRecorder,
+    RunProfile,
+    StageProfile,
+    critical_path,
+)
+from repro.obs.quantile import QuantileDigest
+from repro.obs.report import (
+    diff_profiles,
+    load_profile,
+    profile_json,
+    render_diff,
+    render_profile,
+    write_profile,
 )
 from repro.obs.tracer import (
     Span,
@@ -54,6 +84,23 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "global_metrics",
+    "QuantileDigest",
+    "CostModelAuditor",
+    "AuditRecord",
+    "StageAudit",
+    "DEFAULT_AUDIT_THRESHOLD",
+    "FlightRecorder",
+    "RunProfile",
+    "ConnectionProfile",
+    "StageProfile",
+    "CriticalHop",
+    "critical_path",
+    "profile_json",
+    "write_profile",
+    "load_profile",
+    "render_profile",
+    "diff_profiles",
+    "render_diff",
     "to_chrome_trace",
     "chrome_trace_json",
     "write_chrome_trace",

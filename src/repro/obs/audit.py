@@ -1,0 +1,308 @@
+"""Cost-model auditor: staged predictions vs executed times, per stage.
+
+The planner picks strategies with the paper's staged cost model — per
+stage, the most loaded physical connection serialises the stage, and the
+plan costs the sum of stage bottlenecks (§5).  The event-fidelity
+executor then actually runs the flows with startup latency, max-min fair
+sharing and cross-stage overlap.  Fig. 10 of the paper shows how close
+those two are; this module makes that figure a live, continuously
+collected audit instead of an offline benchmark.
+
+:class:`CostModelAuditor` is a passive sink hung off
+:class:`~repro.simulator.executor.PlanExecutor`.  After every executed
+collective it recomputes the pure staged prediction from the very tuples
+that ran (``units x bytes_per_unit`` over nominal bandwidth — no alpha,
+no capacity overrides, exactly the quantity
+:meth:`repro.core.plan.CommPlan.estimated_cost` reports) and records it
+next to the executed per-stage times.  Stages whose signed relative
+error exceeds the threshold are flagged.  Recording is strictly post
+hoc from the finished :class:`~repro.simulator.executor.ExecutionReport`
+— arming an auditor never changes a single simulated timing (asserted
+in the test suite alongside the tracer-neutrality contract).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "StageAudit",
+    "AuditRecord",
+    "CostModelAuditor",
+    "DEFAULT_AUDIT_THRESHOLD",
+]
+
+#: Stages mispredicted by more than this (relative) are flagged.  The
+#: paper reports <10% model error on its testbed (Fig. 10); 25% leaves
+#: headroom for the method/packing derates before a flag fires.
+DEFAULT_AUDIT_THRESHOLD = 0.25
+
+
+def _signed_error(predicted: float, actual: float) -> float:
+    """Signed relative error ``(actual - predicted) / predicted``."""
+    if predicted > 0.0:
+        return (actual - predicted) / predicted
+    return 0.0 if actual == 0.0 else float("inf")
+
+
+@dataclass(frozen=True)
+class StageAudit:
+    """Predicted vs executed time for one stage of one collective."""
+
+    stage: int
+    predicted: float
+    actual: float
+    flagged: bool
+
+    @property
+    def signed_error(self) -> float:
+        """``(actual - predicted) / predicted``; +inf on surprise work."""
+        return _signed_error(self.predicted, self.actual)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe view of this stage audit."""
+        err = self.signed_error
+        return {
+            "stage": self.stage,
+            "predicted_seconds": self.predicted,
+            "actual_seconds": self.actual,
+            "signed_error": err if err != float("inf") else None,
+            "flagged": self.flagged,
+        }
+
+
+@dataclass(frozen=True)
+class AuditRecord:
+    """One executed collective: total and per-stage prediction audit."""
+
+    label: str
+    bytes_per_unit: float
+    fidelity: str
+    predicted_total: float
+    actual_total: float
+    stages: Tuple[StageAudit, ...]
+
+    @property
+    def signed_error(self) -> float:
+        """Signed relative error of the whole collective."""
+        return _signed_error(self.predicted_total, self.actual_total)
+
+    @property
+    def flagged_stages(self) -> Tuple[StageAudit, ...]:
+        """The stages whose misprediction exceeded the threshold."""
+        return tuple(s for s in self.stages if s.flagged)
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe view of the record (stable key order per stage)."""
+        err = self.signed_error
+        return {
+            "label": self.label,
+            "bytes_per_unit": self.bytes_per_unit,
+            "fidelity": self.fidelity,
+            "predicted_seconds": self.predicted_total,
+            "actual_seconds": self.actual_total,
+            "signed_error": err if err != float("inf") else None,
+            "stages": [s.as_dict() for s in self.stages],
+        }
+
+
+class CostModelAuditor:
+    """Collects prediction-vs-execution audits across a run.
+
+    Parameters
+    ----------
+    threshold:
+        Absolute signed relative error above which a stage is flagged.
+    metrics:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry`; when given,
+        the auditor feeds ``audit.records`` / ``audit.flagged_stages``
+        counters and an ``audit.stage_abs_error`` histogram so percentile
+        digests of the model error ride the normal metrics pipeline.
+    """
+
+    def __init__(self, threshold: float = DEFAULT_AUDIT_THRESHOLD,
+                 metrics=None) -> None:
+        """Create an empty auditor with the given flag threshold."""
+        if threshold <= 0.0:
+            raise ValueError("threshold must be positive")
+        self.threshold = float(threshold)
+        self.metrics = metrics
+        self.records: List[AuditRecord] = []
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record_tuples(
+        self,
+        tuples: Sequence,
+        report,
+        bytes_per_unit: float,
+        label: str = "collective",
+        fidelity: str = "event",
+    ) -> AuditRecord:
+        """Audit one executed collective, post hoc.
+
+        ``tuples`` are the :class:`~repro.core.plan.CommTuple` objects
+        that were executed and ``report`` the finished
+        :class:`~repro.simulator.executor.ExecutionReport`.  The
+        prediction is the staged model evaluated on exactly those tuples
+        at nominal link bandwidth; the actuals are the report's
+        ``stage_finish`` deltas (signed — under decentralized overlap a
+        stage's global finish can precede an earlier stage's, which is
+        itself a fact worth surfacing) and ``total_time``.
+        """
+        traffic: Dict[int, Dict[object, float]] = {}
+        for t in tuples:
+            size = t.units * bytes_per_unit
+            row = traffic.setdefault(t.stage, {})
+            for conn in t.link.connections:
+                row[conn] = row.get(conn, 0.0) + size
+        predicted: Dict[int, float] = {}
+        for stage, row in traffic.items():
+            predicted[stage] = max(
+                (size / conn.bytes_per_second for conn, size in row.items()),
+                default=0.0,
+            )
+        stages: List[StageAudit] = []
+        previous = 0.0
+        for stage in sorted(report.stage_finish):
+            actual = report.stage_finish[stage] - previous
+            previous = report.stage_finish[stage]
+            pred = predicted.get(stage, 0.0)
+            err = _signed_error(pred, actual)
+            flagged = err == float("inf") or abs(err) > self.threshold
+            stages.append(StageAudit(stage, pred, actual, flagged))
+        record = AuditRecord(
+            label=label,
+            bytes_per_unit=float(bytes_per_unit),
+            fidelity=fidelity,
+            predicted_total=sum(predicted.values()),
+            actual_total=report.total_time,
+            stages=tuple(stages),
+        )
+        self.records.append(record)
+        if self.metrics is not None:
+            self.metrics.counter("audit.records").inc()
+            self.metrics.counter("audit.flagged_stages").inc(
+                len(record.flagged_stages)
+            )
+            for stage_audit in stages:
+                err = stage_audit.signed_error
+                if err != float("inf"):
+                    self.metrics.histogram("audit.stage_abs_error").observe(
+                        abs(err)
+                    )
+        return record
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+    @property
+    def predicted_seconds(self) -> float:
+        """Sum of predicted collective times across all records."""
+        return sum(r.predicted_total for r in self.records)
+
+    @property
+    def actual_seconds(self) -> float:
+        """Sum of executed collective times across all records."""
+        return sum(r.actual_total for r in self.records)
+
+    def aggregate_error(self) -> float:
+        """Signed relative error of the run as a whole."""
+        return _signed_error(self.predicted_seconds, self.actual_seconds)
+
+    def mean_abs_stage_error(self) -> float:
+        """Mean absolute per-stage relative error (finite stages only)."""
+        errors = [
+            abs(s.signed_error)
+            for r in self.records
+            for s in r.stages
+            if s.signed_error != float("inf")
+        ]
+        return sum(errors) / len(errors) if errors else 0.0
+
+    def flagged(self) -> List[Tuple[AuditRecord, StageAudit]]:
+        """Every flagged stage with the record it belongs to."""
+        return [
+            (record, stage)
+            for record in self.records
+            for stage in record.flagged_stages
+        ]
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe summary: aggregate numbers plus every record."""
+        agg = self.aggregate_error()
+        return {
+            "threshold": self.threshold,
+            "records": [r.as_dict() for r in self.records],
+            "aggregate": {
+                "predicted_seconds": self.predicted_seconds,
+                "actual_seconds": self.actual_seconds,
+                "signed_error": agg if agg != float("inf") else None,
+                "mean_abs_stage_error": self.mean_abs_stage_error(),
+                "flagged_stages": sum(
+                    len(r.flagged_stages) for r in self.records
+                ),
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Human-readable audit table (the live Fig. 10)."""
+        if not self.records:
+            return "(no audited collectives)"
+        lines: List[str] = []
+        agg = self.aggregate_error()
+        agg_text = f"{agg:+.1%}" if agg != float("inf") else "inf"
+        lines.append(
+            f"cost-model audit: {len(self.records)} collective(s), "
+            f"aggregate error {agg_text}, "
+            f"mean |stage error| {self.mean_abs_stage_error():.1%}, "
+            f"threshold {self.threshold:.0%}"
+        )
+        header = (
+            f"{'collective':<22} {'stage':>5} {'predicted(us)':>14} "
+            f"{'actual(us)':>12} {'error':>8}  flag"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for record in self.records:
+            for stage_audit in record.stages:
+                err = stage_audit.signed_error
+                err_text = f"{err:+.1%}" if err != float("inf") else "inf"
+                lines.append(
+                    f"{record.label:<22} {stage_audit.stage:>5} "
+                    f"{stage_audit.predicted * 1e6:>14.3f} "
+                    f"{stage_audit.actual * 1e6:>12.3f} "
+                    f"{err_text:>8}  {'!' if stage_audit.flagged else ''}"
+                )
+            err = record.signed_error
+            err_text = f"{err:+.1%}" if err != float("inf") else "inf"
+            lines.append(
+                f"{record.label:<22} {'total':>5} "
+                f"{record.predicted_total * 1e6:>14.3f} "
+                f"{record.actual_total * 1e6:>12.3f} "
+                f"{err_text:>8}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    def clear(self) -> None:
+        """Drop all collected records (threshold and sinks stay)."""
+        self.records.clear()
+
+    def __len__(self) -> int:
+        """Number of audited collectives."""
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        """Debug summary with record count and aggregate error."""
+        agg = self.aggregate_error()
+        agg_text = f"{agg:+.3%}" if agg != float("inf") else "inf"
+        return (
+            f"CostModelAuditor(records={len(self.records)}, "
+            f"aggregate_error={agg_text})"
+        )

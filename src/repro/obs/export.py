@@ -12,6 +12,9 @@ byte-identical files (asserted in the test suite).
 The JSONL exporter writes one event per line and interleaves
 :class:`~repro.faults.log.FaultLog` records by simulated time, giving
 a single ordered stream of "what the run did and what went wrong".
+Elastic interventions (scale-out / scale-in) are typed separately from
+faults and carry the same ``!`` mark vocabulary the Gantt renderer
+uses, so log consumers can grep for capacity changes directly.
 """
 
 from __future__ import annotations
@@ -135,11 +138,20 @@ def write_chrome_trace(
         fh.write("\n")
 
 
-# ----------------------------------------------------------------------
+#: FaultLog actions that are planned elastic transitions, not faults.
+_ELASTIC_ACTIONS = ("scale-out", "scale-in")
+
+
 def to_jsonl_events(
     tracer: Tracer, fault_log=None
 ) -> List[Dict[str, object]]:
-    """One merged, time-ordered stream of spans and fault records."""
+    """One merged, time-ordered stream of spans, faults and transitions.
+
+    Elastic ``scale-out`` / ``scale-in`` records are emitted with
+    ``type: "elastic"`` and a ``mark`` field carrying the same
+    ``! action subject`` vocabulary :func:`repro.obs.timeline.render_gantt`
+    prints, instead of masquerading as faults.
+    """
     events: List[Dict[str, object]] = []
     for span in tracer.events():
         events.append({
@@ -153,11 +165,19 @@ def to_jsonl_events(
         })
     if fault_log is not None:
         for record in fault_log:
-            event = {"type": "fault", "time": record.time}
+            if record.action in _ELASTIC_ACTIONS:
+                event = {
+                    "type": "elastic",
+                    "time": record.time,
+                    "mark": f"! {record.action} {record.subject}",
+                }
+            else:
+                event = {"type": "fault", "time": record.time}
             event.update(record.as_dict())
             events.append(event)
-    # Stable interleave: faults sort after spans opening at the same
-    # instant, and within a type the tracer/log order is preserved.
+    # Stable interleave on (time, type): ties at one instant order
+    # elastic < fault < span lexically, and within a type the
+    # tracer/log order is preserved by sort stability.
     events.sort(key=lambda e: (e["time"], e["type"]))
     return events
 
@@ -209,12 +229,17 @@ def stats_table(metrics: MetricsRegistry) -> str:
     rows: List[tuple] = []
     for key, value in snap.items():
         if isinstance(value, dict):
-            rows.append((
-                key,
+            text = (
                 f"n={value['count']} total={value['total']:.6g} "
                 f"mean={value['mean']:.6g} min={value['min']:.6g} "
-                f"max={value['max']:.6g}",
-            ))
+                f"max={value['max']:.6g}"
+            )
+            if "p50" in value:
+                text += (
+                    f" p50={value['p50']:.6g} p90={value['p90']:.6g} "
+                    f"p99={value['p99']:.6g}"
+                )
+            rows.append((key, text))
         else:
             rows.append((key, f"{value:.6g}"))
     width = max(len(k) for k, _ in rows)

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.quantile import QuantileDigest
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
            "global_metrics"]
 
@@ -57,20 +59,24 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming distribution: count, sum, min, max, mean.
+    """Streaming distribution: count, sum, min, max, mean and percentiles.
 
     Deliberately bucket-free — the simulated workloads are small enough
-    that tests assert on exact moments, and the exporters print
-    count/total/mean/min/max, which is what the paper's tables report.
+    that tests assert on exact moments — but each histogram now carries a
+    deterministic :class:`~repro.obs.quantile.QuantileDigest`, so the
+    exporters report p50/p90/p99 alongside the moments.  The digest is a
+    pure function of the observation sequence: same seed, same
+    percentiles, byte for byte.
     """
 
-    __slots__ = ("count", "total", "min", "max")
+    __slots__ = ("count", "total", "min", "max", "digest")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.digest = QuantileDigest()
 
     def observe(self, value: float) -> None:
         """Fold one sample into the distribution."""
@@ -79,22 +85,31 @@ class Histogram:
         self.total += value
         self.min = min(self.min, value)
         self.max = max(self.max, value)
+        self.digest.observe(value)
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """The q-quantile (0 <= q <= 1) from the streaming digest."""
+        return self.digest.quantile(q)
+
     def as_dict(self) -> Dict[str, float]:
-        """Plain-dict digest (count/total/mean/min/max)."""
+        """Plain-dict digest (count/total/mean/min/max/p50/p90/p99)."""
         if not self.count:
             return {"count": 0, "total": 0.0, "mean": 0.0,
-                    "min": 0.0, "max": 0.0}
+                    "min": 0.0, "max": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0}
         return {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
+            "p50": self.digest.quantile(0.50),
+            "p90": self.digest.quantile(0.90),
+            "p99": self.digest.quantile(0.99),
         }
 
 

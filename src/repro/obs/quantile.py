@@ -1,0 +1,174 @@
+"""Deterministic streaming quantile digest for simulated-clock metrics.
+
+The digest keeps a bounded list of ``(value, weight)`` centroids sorted by
+value.  While the number of distinct observed values stays at or below the
+centroid cap the digest is *exact*: quantile queries reproduce
+``numpy.percentile(..., interpolation="linear")`` bit for bit.  Beyond the
+cap, the two adjacent centroids with the smallest value gap (leftmost on
+ties) are merged into their weighted mean, which keeps compression — and
+therefore every reported percentile — a pure function of the observation
+sequence.  No randomness, no wall-clock: two runs that observe the same
+values in the same order serialize to identical digests, which is what lets
+profile JSON files and soak summaries assert byte-identical output per seed.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = ["QuantileDigest", "DEFAULT_CENTROIDS", "DEFAULT_QUANTILES"]
+
+DEFAULT_CENTROIDS = 128
+DEFAULT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class QuantileDigest:
+    """Bounded, order-deterministic quantile sketch.
+
+    Parameters
+    ----------
+    max_centroids:
+        Maximum number of ``(value, weight)`` centroids retained.  Until the
+        number of *distinct* values exceeds this cap, queries are exact.
+    """
+
+    __slots__ = (
+        "max_centroids",
+        "_centroids",
+        "_count",
+        "_min",
+        "_max",
+        "_lossy",
+    )
+
+    def __init__(self, max_centroids: int = DEFAULT_CENTROIDS) -> None:
+        """Create an empty digest with the given centroid cap."""
+        if max_centroids < 2:
+            raise ValueError("max_centroids must be >= 2")
+        self.max_centroids = int(max_centroids)
+        self._centroids: List[List[float]] = []
+        self._count = 0
+        self._min = 0.0
+        self._max = 0.0
+        self._lossy = False
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def observe(self, value: float, weight: int = 1) -> None:
+        """Fold one observation (optionally weighted) into the digest."""
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        value = float(value)
+        if self._count == 0:
+            self._min = self._max = value
+        else:
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+        self._count += weight
+        idx = bisect_left(self._centroids, [value])
+        if idx < len(self._centroids) and self._centroids[idx][0] == value:
+            self._centroids[idx][1] += weight
+        else:
+            self._centroids.insert(idx, [value, float(weight)])
+            self._compress()
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Fold each value from an iterable into the digest, in order."""
+        for value in values:
+            self.observe(value)
+
+    def _compress(self) -> None:
+        """Merge the closest adjacent centroid pair while over the cap."""
+        while len(self._centroids) > self.max_centroids:
+            self._lossy = True
+            best = 0
+            best_gap = self._centroids[1][0] - self._centroids[0][0]
+            for i in range(1, len(self._centroids) - 1):
+                gap = self._centroids[i + 1][0] - self._centroids[i][0]
+                if gap < best_gap:
+                    best_gap = gap
+                    best = i
+            left, right = self._centroids[best], self._centroids[best + 1]
+            weight = left[1] + right[1]
+            value = (left[0] * left[1] + right[0] * right[1]) / weight
+            self._centroids[best] = [value, weight]
+            del self._centroids[best + 1]
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Total observation weight folded into the digest."""
+        return self._count
+
+    @property
+    def exact(self) -> bool:
+        """True while no lossy centroid merge has been necessary."""
+        return not self._lossy
+
+    def quantile(self, q: float) -> float:
+        """Return the q-quantile (0 <= q <= 1) by linear interpolation."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must lie in [0, 1]")
+        if self._count == 0:
+            return 0.0
+        if q <= 0.0:
+            return self._min
+        if q >= 1.0:
+            return self._max
+        rank = q * (self._count - 1)
+        cumulative = 0.0
+        prev_value = self._centroids[0][0]
+        prev_end = -1.0
+        for value, weight in self._centroids:
+            start = cumulative
+            end = cumulative + weight - 1.0
+            if rank < start:
+                span = start - prev_end
+                frac = (rank - prev_end) / span if span > 0 else 0.0
+                return prev_value + frac * (value - prev_value)
+            if rank <= end:
+                return value
+            prev_value = value
+            prev_end = end
+            cumulative += weight
+        return self._centroids[-1][0]
+
+    def quantiles(
+        self, qs: Sequence[float] = DEFAULT_QUANTILES
+    ) -> Dict[str, float]:
+        """Return ``{"p50": ..., "p90": ..., ...}`` for the given quantiles."""
+        out: Dict[str, float] = {}
+        for q in qs:
+            label = f"p{q * 100:g}".replace(".", "_")
+            out[label] = self.quantile(q)
+        return out
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot: count, min/max and default percentiles."""
+        payload: Dict[str, object] = {"count": self._count}
+        payload.update(self.quantiles())
+        if self._count:
+            payload["min"] = self._min
+            payload["max"] = self._max
+        return payload
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def centroids(self) -> Tuple[Tuple[float, float], ...]:
+        """Expose the (value, weight) centroid list, mainly for tests."""
+        return tuple((v, w) for v, w in self._centroids)
+
+    def __len__(self) -> int:
+        """Number of retained centroids (not the observation count)."""
+        return len(self._centroids)
+
+    def __repr__(self) -> str:
+        """Debug representation with count and default percentiles."""
+        qs = self.quantiles()
+        body = ", ".join(f"{k}={v:.6g}" for k, v in qs.items())
+        return f"QuantileDigest(count={self._count}, {body})"

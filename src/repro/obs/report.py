@@ -1,0 +1,280 @@
+"""Profile documents: serialise, render and diff ``RunProfile`` output.
+
+A profile document is the JSON form of
+:meth:`repro.obs.profile.RunProfile.as_dict` — ``kind: "dgcl-profile"``,
+``format: 1``.  Serialisation uses sorted keys and fixed separators, so
+two runs with the same seed write byte-identical files; that makes the
+documents directly diffable, and :func:`diff_profiles` builds on it to
+answer "what changed between these two runs" metric by metric (the CLI's
+``repro report A.json B.json``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+__all__ = [
+    "profile_json",
+    "write_profile",
+    "load_profile",
+    "render_profile",
+    "diff_profiles",
+    "render_diff",
+]
+
+PROFILE_KIND = "dgcl-profile"
+PROFILE_FORMAT = 1
+
+
+def _doc(profile) -> Dict[str, object]:
+    """Accept either a RunProfile or an already-built document dict."""
+    if hasattr(profile, "as_dict"):
+        return profile.as_dict()
+    return profile
+
+
+def profile_json(profile) -> str:
+    """Serialise a profile deterministically (sorted keys, no spaces)."""
+    return json.dumps(_doc(profile), sort_keys=True, separators=(",", ":"))
+
+
+def write_profile(profile, path) -> None:
+    """Write one profile document as a single-line JSON file."""
+    with open(path, "w") as fh:
+        fh.write(profile_json(profile))
+        fh.write("\n")
+
+
+def load_profile(path) -> Dict[str, object]:
+    """Load and validate a profile document written by ``write_profile``."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("kind") != PROFILE_KIND:
+        raise ValueError(f"{path}: not a {PROFILE_KIND} document")
+    if doc.get("format") != PROFILE_FORMAT:
+        raise ValueError(
+            f"{path}: unsupported profile format {doc.get('format')!r}"
+        )
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def _fmt_bytes(value: float) -> str:
+    """Human-readable byte count (KB/MB at 1024 steps)."""
+    if value >= 1 << 20:
+        return f"{value / (1 << 20):.1f} MB"
+    if value >= 1 << 10:
+        return f"{value / (1 << 10):.1f} KB"
+    return f"{value:.0f} B"
+
+
+def render_profile(doc: Dict[str, object], top: int = 5) -> str:
+    """Render one profile document as the CLI's text report."""
+    doc = _doc(doc)
+    lines: List[str] = []
+    meta = doc.get("meta") or {}
+    head = ", ".join(f"{k}={meta[k]}" for k in sorted(meta))
+    lines.append(
+        f"run profile: {len(doc['collectives'])} collective(s), "
+        f"{doc['total_seconds'] * 1e6:.3f} us simulated"
+        + (f"  [{head}]" if head else "")
+    )
+    if doc["stages"]:
+        lines.append("")
+        lines.append("stage attribution:")
+        header = (
+            f"  {'stage':>5} {'seconds(us)':>12} {'flows':>6} "
+            f"{'bytes':>10}  bottleneck"
+        )
+        lines.append(header)
+        for stage in doc["stages"]:
+            lines.append(
+                f"  {stage['stage']:>5} {stage['seconds'] * 1e6:>12.3f} "
+                f"{stage['flows']:>6} {_fmt_bytes(stage['payload_bytes']):>10}"
+                f"  {stage['bottleneck']}"
+            )
+    if doc["connections"]:
+        lines.append("")
+        lines.append(f"hottest connections (top {top}):")
+        lines.append(
+            f"  {'connection':<24} {'busy(us)':>10} {'util':>6} "
+            f"{'contention':>10} {'bytes':>10} {'flows':>6}"
+        )
+        ranked = sorted(
+            doc["connections"],
+            key=lambda c: (-c["busy_seconds"], c["name"]),
+        )[:top]
+        for conn in ranked:
+            lines.append(
+                f"  {conn['name']:<24} {conn['busy_seconds'] * 1e6:>10.3f} "
+                f"{conn['utilization']:>6.1%} {conn['contention']:>10.2f} "
+                f"{_fmt_bytes(conn['payload_bytes']):>10} {conn['flows']:>6}"
+            )
+    critical = doc.get("critical_path") or {}
+    hops = critical.get("hops") or []
+    if hops:
+        lines.append("")
+        lines.append(
+            f"critical path ({critical['label']}, {len(hops)} hop(s), "
+            f"{critical['seconds'] * 1e6:.3f} us):"
+        )
+        for hop in hops:
+            lines.append(
+                f"  s{hop['stage']} {hop['src']}->{hop['dst']} "
+                f"via {hop['connection']}  "
+                f"[{hop['start_seconds'] * 1e6:.3f} .. "
+                f"{hop['finish_seconds'] * 1e6:.3f} us]  "
+                f"{_fmt_bytes(hop['payload_bytes'])}"
+            )
+    audit = doc.get("audit")
+    if audit and audit.get("records"):
+        lines.append("")
+        lines.append(_render_audit(audit))
+    return "\n".join(lines)
+
+
+def _render_audit(audit: Dict[str, object]) -> str:
+    """Render the embedded audit dict as the predicted-vs-actual table."""
+    agg = audit["aggregate"]
+    err = agg["signed_error"]
+    err_text = f"{err:+.1%}" if err is not None else "inf"
+    lines = [
+        f"cost-model audit: {len(audit['records'])} collective(s), "
+        f"aggregate error {err_text}, "
+        f"mean |stage error| {agg['mean_abs_stage_error']:.1%}, "
+        f"threshold {audit['threshold']:.0%}"
+    ]
+    header = (
+        f"  {'collective':<22} {'stage':>5} {'predicted(us)':>14} "
+        f"{'actual(us)':>12} {'error':>8}  flag"
+    )
+    lines.append(header)
+    for record in audit["records"]:
+        for stage in record["stages"]:
+            err = stage["signed_error"]
+            err_text = f"{err:+.1%}" if err is not None else "inf"
+            lines.append(
+                f"  {record['label']:<22} {stage['stage']:>5} "
+                f"{stage['predicted_seconds'] * 1e6:>14.3f} "
+                f"{stage['actual_seconds'] * 1e6:>12.3f} "
+                f"{err_text:>8}  {'!' if stage['flagged'] else ''}"
+            )
+        err = record["signed_error"]
+        err_text = f"{err:+.1%}" if err is not None else "inf"
+        lines.append(
+            f"  {record['label']:<22} {'total':>5} "
+            f"{record['predicted_seconds'] * 1e6:>14.3f} "
+            f"{record['actual_seconds'] * 1e6:>12.3f} "
+            f"{err_text:>8}"
+        )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Diffing
+# ----------------------------------------------------------------------
+def _pct(base: float, cand: float) -> Optional[float]:
+    """Relative change, or None when the base is zero."""
+    if base == 0.0:
+        return None
+    return (cand - base) / base
+
+
+def diff_profiles(
+    base: Dict[str, object], cand: Dict[str, object]
+) -> Dict[str, object]:
+    """Metric-by-metric diff of two profile documents.
+
+    Covers the run total, every stage's seconds, every connection's busy
+    seconds, the critical-path length and the audit aggregate error.
+    Entries present on only one side are reported with ``None`` for the
+    missing value.
+    """
+    base, cand = _doc(base), _doc(cand)
+
+    def entry(b: Optional[float], c: Optional[float]) -> Dict[str, object]:
+        out: Dict[str, object] = {"base": b, "candidate": c}
+        if b is not None and c is not None:
+            out["delta"] = c - b
+            out["relative"] = _pct(b, c)
+        return out
+
+    stages: Dict[str, Dict[str, object]] = {}
+    base_stages = {s["stage"]: s["seconds"] for s in base["stages"]}
+    cand_stages = {s["stage"]: s["seconds"] for s in cand["stages"]}
+    for k in sorted(set(base_stages) | set(cand_stages)):
+        stages[str(k)] = entry(base_stages.get(k), cand_stages.get(k))
+
+    connections: Dict[str, Dict[str, object]] = {}
+    base_conns = {c["name"]: c["busy_seconds"] for c in base["connections"]}
+    cand_conns = {c["name"]: c["busy_seconds"] for c in cand["connections"]}
+    for name in sorted(set(base_conns) | set(cand_conns)):
+        connections[name] = entry(base_conns.get(name), cand_conns.get(name))
+
+    def audit_error(doc: Dict[str, object]) -> Optional[float]:
+        audit = doc.get("audit")
+        if not audit:
+            return None
+        return audit["aggregate"]["signed_error"]
+
+    def critical_seconds(doc: Dict[str, object]) -> Optional[float]:
+        critical = doc.get("critical_path") or {}
+        return critical.get("seconds")
+
+    return {
+        "total_seconds": entry(base["total_seconds"], cand["total_seconds"]),
+        "critical_seconds": entry(
+            critical_seconds(base), critical_seconds(cand)
+        ),
+        "audit_error": entry(audit_error(base), audit_error(cand)),
+        "stages": stages,
+        "connections": connections,
+    }
+
+
+def render_diff(diff: Dict[str, object], top: int = 10) -> str:
+    """Render a profile diff as a text table (largest movers first)."""
+    lines: List[str] = []
+
+    def fmt(entry: Dict[str, object], scale: float = 1e6,
+            unit: str = "us") -> str:
+        b, c = entry.get("base"), entry.get("candidate")
+        if b is None or c is None:
+            return f"{_opt(b, scale)} -> {_opt(c, scale)} {unit} (one-sided)"
+        rel = entry.get("relative")
+        rel_text = f"{rel:+.1%}" if rel is not None else "n/a"
+        return (
+            f"{b * scale:.3f} -> {c * scale:.3f} {unit} ({rel_text})"
+        )
+
+    def _opt(value: Optional[float], scale: float) -> str:
+        return "-" if value is None else f"{value * scale:.3f}"
+
+    lines.append(f"total:          {fmt(diff['total_seconds'])}")
+    lines.append(f"critical path:  {fmt(diff['critical_seconds'])}")
+    audit = diff["audit_error"]
+    if audit.get("base") is not None or audit.get("candidate") is not None:
+        b, c = audit.get("base"), audit.get("candidate")
+        b_text = f"{b:+.2%}" if b is not None else "-"
+        c_text = f"{c:+.2%}" if c is not None else "-"
+        lines.append(f"audit error:    {b_text} -> {c_text}")
+    movers = sorted(
+        diff["connections"].items(),
+        key=lambda kv: -abs(kv[1].get("delta") or 0.0),
+    )[:top]
+    if movers:
+        lines.append("connection busy-time movers:")
+        for name, entry in movers:
+            lines.append(f"  {name:<24} {fmt(entry)}")
+    stage_movers = sorted(
+        diff["stages"].items(),
+        key=lambda kv: -abs(kv[1].get("delta") or 0.0),
+    )[:top]
+    if stage_movers:
+        lines.append("stage movers:")
+        for stage, entry in stage_movers:
+            lines.append(f"  stage {stage:<18} {fmt(entry)}")
+    return "\n".join(lines)

@@ -165,6 +165,8 @@ class PlanExecutor:
         capacity_of=None,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        auditor=None,
+        recorder=None,
     ) -> None:
         if coordination not in ("decentralized", "centralized"):
             raise ValueError("coordination must be decentralized or centralized")
@@ -180,22 +182,33 @@ class PlanExecutor:
         self.packing_efficiency = packing_efficiency
         #: Per-pair transfer mechanisms (§6.2); None = ideal transfers.
         self.methods = methods
-        #: Telemetry sinks; both None means no recording at all.
+        #: Telemetry sinks; all None means no recording at all.  Like
+        #: the tracer, the auditor (:class:`~repro.obs.audit.
+        #: CostModelAuditor`) and recorder (:class:`~repro.obs.profile.
+        #: FlightRecorder`) observe finished reports only — arming them
+        #: never changes a simulated timing.
         self.tracer = tracer
         self.metrics = metrics
+        self.auditor = auditor
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
     def execute(self, plan: CommPlan, bytes_per_unit: float,
                 backward: bool = False,
-                fidelity: str = "event") -> ExecutionReport:
+                fidelity: str = "event",
+                label: Optional[str] = None) -> ExecutionReport:
         """Run one graphAllgather (forward) or gradient scatter (backward).
 
         ``fidelity="event"`` is the full flow-level simulation;
         ``fidelity="cost"`` prices the same tuples from the aggregate
         per-stage traffic only — O(stages x connections), no events.
+        ``label`` names the collective in audit/profile records.
         """
         tuples = plan.backward_tuples() if backward else plan.tuples()
-        return self.execute_tuples(tuples, bytes_per_unit, fidelity=fidelity)
+        if label is None:
+            label = "scatter" if backward else "allgather"
+        return self.execute_tuples(tuples, bytes_per_unit, fidelity=fidelity,
+                                   label=label)
 
     def execute_backward(
         self,
@@ -203,6 +216,7 @@ class PlanExecutor:
         bytes_per_unit: float,
         atomic: bool,
         fidelity: str = "event",
+        label: Optional[str] = None,
     ) -> ExecutionReport:
         """Gradient scatter with or without atomic accumulation (§6.2).
 
@@ -212,11 +226,13 @@ class PlanExecutor:
         """
         eff = ATOMIC_RECEIVE_EFFICIENCY if atomic else 1.0
         return self.execute_tuples(tuples, bytes_per_unit / eff,
-                                   fidelity=fidelity)
+                                   fidelity=fidelity,
+                                   label=label or "scatter")
 
     def execute_tuples(
         self, tuples: Sequence[CommTuple], bytes_per_unit: float,
         fidelity: str = "event",
+        label: Optional[str] = None,
     ) -> ExecutionReport:
         """Run an arbitrary tuple subset (used for per-link breakdowns)."""
         if fidelity not in ("event", "cost"):
@@ -232,6 +248,15 @@ class PlanExecutor:
         if self.tracer is not None or self.metrics is not None:
             base = self.tracer.now if self.tracer is not None else 0.0
             record_report(report, self.tracer, self.metrics, base=base)
+        if self.auditor is not None:
+            self.auditor.record_tuples(
+                tuples, report, bytes_per_unit,
+                label=label or "collective", fidelity=fidelity,
+            )
+        if self.recorder is not None:
+            base = (self.tracer.now if self.tracer is not None
+                    else self.recorder.clock)
+            self.recorder.add(label or "collective", base, report)
         return report
 
     def _flow_bytes(self, t: CommTuple, bytes_per_unit: float) -> float:

@@ -28,6 +28,7 @@ EXPECTED_ALL = [
     "init",
     "inject_faults",
     "local_graphs",
+    "profile",
     "scatter_gradients",
     "session",
     "shutdown",
@@ -38,7 +39,11 @@ EXPECTED_ALL = [
 EXPECTED_FUNCTIONS = {
     "arm_telemetry":
         "(tracer: 'Optional[Tracer]' = None, "
-        "metrics: 'Optional[MetricsRegistry]' = None) -> 'DGCLSession'",
+        "metrics: 'Optional[MetricsRegistry]' = None, "
+        "auditor: 'Optional[CostModelAuditor]' = None, "
+        "recorder: 'Optional[FlightRecorder]' = None) -> 'DGCLSession'",
+    "profile":
+        "(meta: 'Optional[Dict[str, object]]' = None) -> 'RunProfile'",
     "build_comm_info": "(graph: 'Graph', **kwargs) -> 'PlanReport'",
     "communication_plan": "() -> 'CommPlan'",
     "dispatch_features": "(features: 'np.ndarray') -> 'List[np.ndarray]'",

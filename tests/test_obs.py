@@ -124,6 +124,18 @@ class TestMetrics:
         for key in metrics.snapshot():
             assert key in table
 
+    def test_histogram_percentiles_in_snapshot_and_table(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat")
+        for v in range(1, 101):
+            h.observe(float(v))
+        snap = m.snapshot()["lat"]
+        assert snap["p50"] == pytest.approx(50.5)
+        assert snap["p90"] == pytest.approx(90.1)
+        assert snap["p99"] == pytest.approx(99.01)
+        table = stats_table(m)
+        assert "p50=" in table and "p90=" in table and "p99=" in table
+
 
 class TestChromeExport:
     def test_schema_and_tracks(self, planned):
@@ -183,6 +195,24 @@ class TestJsonlExport:
         }
         assert log.as_events() == [record.as_dict()]
 
+    def test_elastic_interventions_exported(self):
+        """Scale-out/scale-in marks reach the JSONL log, typed elastic."""
+        tracer = Tracer()
+        tracer.add_span("epoch", "phase", "trainer", 0.0, 4.0)
+        log = FaultLog()
+        log.append(1.0, "elastic", "scale-out", "devices 6,7", "grow")
+        log.append(2.0, "link", "detect", "wire-0", "stalled")
+        log.append(3.0, "elastic", "scale-in", "devices 6,7", "shrink")
+        events = to_jsonl_events(tracer, fault_log=log)
+        kinds = [(e["type"], e.get("action")) for e in events]
+        assert ("elastic", "scale-out") in kinds
+        assert ("elastic", "scale-in") in kinds
+        assert ("fault", "detect") in kinds
+        marks = [e["mark"] for e in events if e["type"] == "elastic"]
+        assert marks == ["! scale-out devices 6,7", "! scale-in devices 6,7"]
+        times = [e["time"] for e in events]
+        assert times == sorted(times)
+
 
 class TestUnarmedRegression:
     """Telemetry off must mean bit-identical behavior to before."""
@@ -238,6 +268,44 @@ class TestUnarmedRegression:
         tracer = Tracer()
         assert losses(None) == losses(tracer)
         assert tracer.by_cat("phase")
+
+    def test_elastic_transitions_identical_armed(self, planned):
+        """Arming a tracer across grow/shrink handoffs moves nothing."""
+        from repro.elastic import ElasticPolicy
+        from repro.elastic.controller import ElasticController
+
+        graph, _, _ = planned
+        features = synthetic_features(graph, 6)
+        labels = synthetic_labels(graph, 4)
+        schedule = [(1, "shrink", (6, 7)), (2, "grow", (6, 7))]
+
+        def run(tracer):
+            controller = ElasticController(
+                graph, dgx1(), build_model("gcn", 6, 8, 4, seed=7),
+                features, labels,
+                elastic=ElasticPolicy(min_devices=2), tracer=tracer,
+            )
+            report = controller.train_with_schedule(4, schedule)
+            return (list(report.losses), controller.clock,
+                    [t.downtime_seconds for t in controller.transitions])
+
+        tracer = Tracer()
+        assert run(None) == run(tracer)
+        assert tracer.events()
+
+    def test_autotuner_identical_with_auditor(self, planned):
+        """The audited full-fidelity rung changes no trial cost."""
+        from repro.autotune import AutoTuner
+        from repro.obs import CostModelAuditor
+
+        graph, _, _ = planned
+        plain = AutoTuner(graph, dgx1()).tune()
+        auditor = CostModelAuditor()
+        audited = AutoTuner(graph, dgx1(), auditor=auditor).tune()
+        assert [t.cost for t in plain.trials] == \
+            [t.cost for t in audited.trials]
+        assert plain.candidate == audited.candidate
+        assert len(auditor.records) > 0
 
 
 class TestResilientTelemetry:

@@ -41,6 +41,7 @@ def test_roundtrip_hit(tmp_path, planned):
         assert a.edges == b.edges  # links resolve to identical objects
     assert cache.stats.as_dict() == {
         "hits": 1, "misses": 0, "invalidations": 0, "stores": 1, "patches": 0,
+        "annotations": 0,
     }
 
 
