@@ -89,6 +89,16 @@ SPECS: Dict[str, Tuple[Tuple[str, ...], Tuple[Metric, ...]]] = {
             Metric("soak.seeds", "equal"),
         ),
     ),
+    "serve": (
+        ("gpus", "scenarios"),
+        (
+            Metric("cells.*.p99_latency_us", "lower", 0.05),
+            Metric("cells.*.goodput_rps", "higher", 0.05),
+            Metric("cells.*.shed_rate", "lower", 0.10),
+            Metric("cells.*.silent_drops", "equal"),
+            Metric("cells.*.deterministic", "equal"),
+        ),
+    ),
     "obs": (
         ("workload",),
         (

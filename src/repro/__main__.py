@@ -29,7 +29,12 @@ Commands:
 * ``elastic`` — run planned grow/shrink handoffs on a training job
   (``--action EPOCH:KIND:DEVICES``) and verify gradient parity, or
   compare the contention-aware scheduler against naive placement
-  (``--place N,N,...``).
+  (``--place N,N,...``);
+* ``serve`` — run one online-inference serving campaign of a named
+  scenario (``--scenario poisson|bursty|diurnal|hotspot|overload``):
+  SLO-aware admission, coalescing batching, graceful degradation and
+  per-tenant latency accounting, optionally under an injected
+  ``--fault-spec``.
 
 ``--json`` (on ``plan`` / ``evaluate``) switches stdout to a machine-
 readable document; ``--emit-trace PATH`` attaches a tracer and writes
@@ -439,6 +444,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         train_every=args.train_every,
         elastic_every=args.elastic_every,
         elastic_epochs=args.elastic_epochs,
+        serve_every=args.serve_every,
+        serve_scenario=args.serve_scenario,
     )
     runner = SoakRunner(config)
 
@@ -636,6 +643,39 @@ def cmd_elastic(args: argparse.Namespace) -> int:
     print(f"interventions: {trainer.log.interventions()}")
     print(f"matches single-device reference: {ok}")
     return 0 if ok else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``serve``: one online-inference campaign of a named scenario."""
+    from repro.serve import build_scenario
+
+    fault_plan = None
+    if args.fault_spec:
+        from repro.faults import FaultPlan, FaultSpecError
+
+        try:
+            fault_plan = FaultPlan.load(args.fault_spec)
+        except FileNotFoundError:
+            print(f"error: fault spec not found: {args.fault_spec}",
+                  file=sys.stderr)
+            return 2
+        except FaultSpecError as exc:
+            print(f"error: invalid fault spec {args.fault_spec}: {exc}",
+                  file=sys.stderr)
+            return 2
+    session = build_scenario(
+        args.scenario,
+        gpus=args.gpus,
+        topology=args.topology,
+        horizon_scale=args.horizon_scale,
+    )
+    report = session.run(seed=args.seed, fault_plan=fault_plan)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.summary())
+    # Silent drops are the one unforgivable outcome.
+    return 0 if report.unaccounted == 0 else 1
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -872,6 +912,14 @@ def build_parser() -> argparse.ArgumentParser:
                         "grow/shrink schedule with the faults")
     p.add_argument("--elastic-epochs", type=_positive_int, default=4,
                    help="training epochs per elastic seed")
+    p.add_argument("--serve-every", type=int, default=0, metavar="N",
+                   help="every Nth seed also runs a scaled-down serving "
+                        "campaign under the same fault plan and checks "
+                        "the serving oracles")
+    p.add_argument("--serve-scenario", default="bursty",
+                   choices=["poisson", "bursty", "diurnal", "hotspot",
+                            "overload"],
+                   help="serving scenario used with --serve-every")
     p.add_argument("--summary", default=None, metavar="PATH",
                    help="write the soak summary JSON artifact")
     p.add_argument("--artifacts-dir", default="chaos-failures",
@@ -907,6 +955,26 @@ def build_parser() -> argparse.ArgumentParser:
                         "placement")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output on stdout")
+
+    p = sub.add_parser("serve",
+                       help="online inference serving campaign with "
+                            "SLO-aware admission and degradation")
+    p.add_argument("--scenario", default="poisson",
+                   choices=["poisson", "bursty", "diurnal", "hotspot",
+                            "overload"],
+                   help="named workload (see docs/serving.md)")
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--topology", default="dgx", choices=["dgx", "pcie"])
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (arrivals and seed-vertex draws)")
+    p.add_argument("--horizon-scale", type=float, default=1.0,
+                   help="stretch or shrink the campaign horizon")
+    p.add_argument("--fault-spec", default=None, metavar="FILE",
+                   help="JSON FaultPlan to inject during serving")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable report on stdout")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="library log level (-v info, -vv debug)")
 
     p = sub.add_parser("profile",
                        help="audited evaluation with a rendered profile")
@@ -969,6 +1037,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report": cmd_report,
         "chaos": cmd_chaos,
         "elastic": cmd_elastic,
+        "serve": cmd_serve,
     }
     return handlers[args.command](args)
 

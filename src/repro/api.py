@@ -61,6 +61,7 @@ __all__ = [
     "fault_log",
     "arm_telemetry",
     "profile",
+    "serve",
     "shutdown",
 ]
 
@@ -934,6 +935,48 @@ def arm_telemetry(
 def profile(meta: Optional[Dict[str, object]] = None) -> RunProfile:
     """Profile the global session's recorded collectives."""
     return _session().profile(meta=meta)
+
+
+def serve(
+    scenario: str = "poisson",
+    *,
+    gpus: int = 8,
+    topology: str = "dgx",
+    seed: int = 0,
+    horizon_scale: float = 1.0,
+    fault_plan: Optional[FaultPlan] = None,
+    plan_cache=None,
+) -> ServeReport:
+    """Run one online-inference serving campaign (ROADMAP item 2).
+
+    Builds the named :mod:`repro.serve` scenario (``poisson``,
+    ``bursty``, ``diurnal``, ``hotspot`` or ``overload``), runs it to
+    its horizon on the simulated clock and returns the deterministic
+    :class:`~repro.serve.ServeReport` — per-tenant latency digests,
+    typed outcome counts, degradation-ladder transitions and the fault
+    log.  ``fault_plan`` injects faults during serving; ``plan_cache``
+    (a :class:`~repro.autotune.cache.PlanCache` or directory path)
+    lets repeated campaigns reuse the planned forward communication.
+
+    A standalone helper rather than a session method: serving owns its
+    deployment lifecycle (including autoscaling), so it would fight a
+    session's single active plan.
+    """
+    from repro.serve import build_scenario
+
+    if plan_cache is not None:
+        from repro.autotune.cache import PlanCache
+
+        if not isinstance(plan_cache, PlanCache):
+            plan_cache = PlanCache(plan_cache)
+    campaign = build_scenario(
+        scenario,
+        gpus=gpus,
+        topology=topology,
+        horizon_scale=horizon_scale,
+        plan_cache=plan_cache,
+    )
+    return campaign.run(seed=seed, fault_plan=fault_plan)
 
 
 def shutdown() -> None:

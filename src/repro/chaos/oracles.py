@@ -23,6 +23,16 @@ The oracle list (ISSUE 3):
   yields identical gathered bytes, reports, fault-log signatures and
   trace signatures.
 
+Two serving-level oracles (ISSUE 8) judge :class:`repro.serve`
+campaign reports instead of protocol observations:
+
+* **serve-accounting** — every submitted request reached exactly one
+  typed terminal outcome (no silent drops), per-tenant counts sum to
+  the submitted totals, and rejected requests never entered service;
+* **serve-deadline** — terminal timestamps respect causality: expiry
+  happens at-or-after the hard deadline, completions finish after
+  their arrival with a consistent recorded latency.
+
 Gradient parity with the single-device reference lives in
 :meth:`repro.chaos.soak.SoakRunner.check_training` — it needs the
 training stack, not a protocol observation.
@@ -45,11 +55,13 @@ __all__ = [
     "check_timeline",
     "check_liveness",
     "check_determinism",
+    "check_serve_accounting",
+    "check_serve_deadline",
 ]
 
 #: Oracle names, in the order the soak report lists them.
 ORACLES = ("liveness", "delivery", "bytes", "timeline", "determinism",
-           "gradient-parity")
+           "gradient-parity", "serve-accounting", "serve-deadline")
 
 
 @dataclass(frozen=True)
@@ -210,6 +222,98 @@ def check_liveness(obs: RunObservation, crashes_scheduled: bool) -> List[Violati
         "liveness",
         f"{obs.error}: {obs.error_detail}",
     )]
+
+
+def check_serve_accounting(report) -> List[Violation]:
+    """No silent drops: every serving request has one typed outcome.
+
+    ``report`` is a :class:`repro.serve.ServeReport` (typed loosely to
+    keep this module free of a serving import).  The invariants:
+    every record carries an outcome from ``repro.serve.OUTCOMES``;
+    per-tenant outcome counts sum exactly to that tenant's submitted
+    count; the report-level ``unaccounted`` gauge is zero; and a
+    rejected request never acquired a finish time (it must not have
+    consumed service).
+    """
+    from repro.serve import OUTCOMES
+
+    out: List[Violation] = []
+    if report.unaccounted:
+        out.append(Violation(
+            "serve-accounting",
+            f"{report.unaccounted} request(s) left without a terminal "
+            f"outcome",
+        ))
+    per_tenant: Dict[str, int] = {}
+    for rec in report.records:
+        if rec.outcome not in OUTCOMES:
+            out.append(Violation(
+                "serve-accounting",
+                f"request {rec.rid} ({rec.tenant}) ended with "
+                f"untyped outcome {rec.outcome!r}",
+            ))
+            continue
+        per_tenant[rec.tenant] = per_tenant.get(rec.tenant, 0) + 1
+        if rec.outcome.startswith("rejected") and \
+                rec.finish is not None:
+            out.append(Violation(
+                "serve-accounting",
+                f"request {rec.rid} ({rec.tenant}) was "
+                f"{rec.outcome} yet recorded a finish time",
+            ))
+    for tenant, stats in sorted(report.tenants.items()):
+        counted = sum(stats["outcomes"].values())
+        if counted != stats["submitted"]:
+            out.append(Violation(
+                "serve-accounting",
+                f"tenant {tenant}: {counted} outcome(s) for "
+                f"{stats['submitted']} submitted request(s)",
+            ))
+        if per_tenant.get(tenant, 0) != stats["submitted"]:
+            out.append(Violation(
+                "serve-accounting",
+                f"tenant {tenant}: {per_tenant.get(tenant, 0)} "
+                f"record(s) for {stats['submitted']} submitted "
+                f"request(s)",
+            ))
+    return out
+
+
+def check_serve_deadline(report) -> List[Violation]:
+    """Terminal serving timestamps respect causality.
+
+    Expired requests must expire at-or-after their hard deadline;
+    completed requests must finish at-or-after their arrival with a
+    recorded latency equal to ``finish - arrival``.
+    """
+    out: List[Violation] = []
+    eps = 1e-12
+    for rec in report.records:
+        if rec.outcome == "expired":
+            if rec.finish is None or rec.finish + eps < rec.deadline:
+                out.append(Violation(
+                    "serve-deadline",
+                    f"request {rec.rid} ({rec.tenant}) expired at "
+                    f"{rec.finish}, before its deadline "
+                    f"{rec.deadline}",
+                ))
+        elif rec.outcome == "completed":
+            if rec.finish is None or rec.latency is None:
+                out.append(Violation(
+                    "serve-deadline",
+                    f"request {rec.rid} ({rec.tenant}) completed "
+                    f"without timestamps",
+                ))
+            elif rec.finish + eps < rec.arrival or \
+                    abs((rec.finish - rec.arrival) - rec.latency) \
+                    > eps:
+                out.append(Violation(
+                    "serve-deadline",
+                    f"request {rec.rid} ({rec.tenant}) finished at "
+                    f"{rec.finish} with inconsistent latency "
+                    f"{rec.latency} (arrived {rec.arrival})",
+                ))
+    return out
 
 
 def check_determinism(a: RunObservation, b: RunObservation) -> List[Violation]:

@@ -39,6 +39,8 @@ from repro.chaos.oracles import (
     check_delivery,
     check_determinism,
     check_liveness,
+    check_serve_accounting,
+    check_serve_deadline,
     check_timeline,
 )
 from repro.comm.allgather import CompiledAllgather
@@ -92,6 +94,13 @@ class SoakConfig:
     elastic_epochs: int = 4
     elastic_min_devices: int = 2
     elastic_density: float = 2.0
+    #: Every Nth seed additionally runs a scaled-down serving campaign
+    #: (:func:`repro.serve.build_scenario`) under the same fault plan
+    #: and holds it to the serve-accounting, serve-deadline and
+    #: determinism oracles (0 = no serving runs).
+    serve_every: int = 0
+    serve_scenario: str = "bursty"
+    serve_horizon_scale: float = 0.25
     # Workload shape (matches the protocol test suite's fixture).
     num_vertices: int = 250
     num_edges: int = 1800
@@ -115,6 +124,8 @@ class SoakConfig:
             "train_every": self.train_every,
             "elastic_every": self.elastic_every,
             "elastic_epochs": self.elastic_epochs,
+            "serve_every": self.serve_every,
+            "serve_scenario": self.serve_scenario,
             "broken_policy": self.policy_factory is not None,
             "dedupe_flags": self.dedupe_flags,
         }
@@ -271,6 +282,7 @@ class SoakRunner:
         self._ref_losses: Dict[int, List[float]] = {}
         self._train_task = None
         self._elastic_generator = None
+        self._serve_session = None
 
     # ------------------------------------------------------------------
     def _policy(self):
@@ -577,8 +589,50 @@ class SoakRunner:
         return violations
 
     # ------------------------------------------------------------------
+    # Serving soak (online-inference oracles under the same fault plan)
+    def _serving_session(self):
+        """The shared serving workload (scenario built once, reused)."""
+        if self._serve_session is None:
+            from repro.serve import build_scenario
+
+            cfg = self.config
+            self._serve_session = build_scenario(
+                cfg.serve_scenario,
+                gpus=cfg.gpus,
+                topology=cfg.topology,
+                horizon_scale=cfg.serve_horizon_scale,
+            )
+        return self._serve_session
+
+    def check_serve(self, plan: FaultPlan, seed: int) -> List[Violation]:
+        """Serving oracles over one campaign run under ``plan``.
+
+        The scaled-down scenario campaign runs twice with the same seed
+        and fault plan: the pair must produce bit-identical report
+        signatures (determinism), and the first report must satisfy the
+        serve-accounting and serve-deadline invariants — typed outcomes
+        only, even while the injector is killing wires and devices.
+        """
+        session = self._serving_session()
+        first = session.run(seed=seed, fault_plan=plan)
+        second = session.run(seed=seed, fault_plan=plan)
+        violations: List[Violation] = []
+        if first.signature() != second.signature():
+            violations.append(Violation(
+                "determinism",
+                "serving campaign reports diverged across identical runs",
+            ))
+        violations += check_serve_accounting(first)
+        violations += check_serve_deadline(first)
+        return violations
+
+    # ------------------------------------------------------------------
     def run_seed(
-        self, seed: int, train: bool = False, elastic: bool = False
+        self,
+        seed: int,
+        train: bool = False,
+        elastic: bool = False,
+        serve: bool = False,
     ) -> SeedResult:
         """Generate, execute and score one seed."""
         plan = self.generator.sample(seed)
@@ -587,6 +641,8 @@ class SoakRunner:
             violations += self.check_training(plan)
         if elastic:
             violations += self.check_elastic(plan, seed)
+        if serve:
+            violations += self.check_serve(plan, seed)
         if violations:
             outcome = "violation"
         elif obs.error == "DeviceLostError":
@@ -609,7 +665,10 @@ class SoakRunner:
         for i in range(seeds):
             train = cfg.train_every > 0 and i % cfg.train_every == 0
             elastic = cfg.elastic_every > 0 and i % cfg.elastic_every == 0
+            serve = cfg.serve_every > 0 and i % cfg.serve_every == 0
             results.append(
-                self.run_seed(start_seed + i, train=train, elastic=elastic)
+                self.run_seed(
+                    start_seed + i, train=train, elastic=elastic, serve=serve
+                )
             )
         return SoakReport(results=results, config=cfg.knobs())

@@ -30,6 +30,11 @@ __all__ = [
     "SimulatedOOMError",
     "PlanCacheError",
     "OracleViolation",
+    "ServeError",
+    "ServeSpecError",
+    "AdmissionRejected",
+    "DeadlineExpired",
+    "ForwardOnlyPlanError",
 ]
 
 
@@ -106,6 +111,68 @@ class SimulatedOOMError(ReproError, RuntimeError):
 class PlanCacheError(ReproError, ValueError):
     """A cache entry exists but must not be used (corrupt / wrong version
     / key mismatch).  The caller treats it as a miss and replans."""
+
+
+class ServeError(ReproError):
+    """Base class of the online-serving control plane's typed errors.
+
+    Every way the serving layer refuses or abandons a request derives
+    from this class, so "no admitted request is silently dropped"
+    reduces to: each request either completes or surfaces exactly one
+    :class:`ServeError` subclass as its terminal outcome.
+    """
+
+
+class ServeSpecError(ServeError, ValueError):
+    """A serving spec (tenant, scenario or config knob) failed validation.
+
+    Raised before any simulated time elapses, so a mistyped SLO or a
+    duplicate tenant name costs nothing on the clock.
+    """
+
+
+class AdmissionRejected(ServeError, RuntimeError):
+    """A request was shed at the front door, with a typed reason.
+
+    ``reason`` is one of ``"rate-limit"`` (token bucket empty),
+    ``"queue-full"`` (bounded queue backpressure) or ``"tenant-shed"``
+    (the degradation ladder is rejecting this tenant's traffic).
+    """
+
+    REASONS = ("rate-limit", "queue-full", "tenant-shed")
+
+    def __init__(self, tenant: str, reason: str, time: float) -> None:
+        if reason not in self.REASONS:
+            raise ValueError(f"unknown admission-rejection reason {reason!r}")
+        self.tenant = tenant
+        self.reason = reason
+        self.time = time
+        super().__init__(
+            f"request from tenant {tenant!r} rejected ({reason}) "
+            f"at t={time * 1e6:.3f} us"
+        )
+
+
+class DeadlineExpired(ServeError, TimeoutError):
+    """An admitted request timed out in queue before it could be served."""
+
+    def __init__(self, tenant: str, deadline: float, time: float) -> None:
+        self.tenant = tenant
+        self.deadline = deadline
+        self.time = time
+        super().__init__(
+            f"request from tenant {tenant!r} expired at "
+            f"t={time * 1e6:.3f} us (deadline {deadline * 1e6:.3f} us)"
+        )
+
+
+class ForwardOnlyPlanError(ServeError, RuntimeError):
+    """A backward pass was requested on an inference-only plan.
+
+    Forward-only plans strip the gradient scatter entirely; asking one
+    for backward tuples is a programming error, not a recoverable
+    condition, so it raises instead of returning an empty schedule.
+    """
 
 
 class OracleViolation(ReproError, AssertionError):

@@ -79,6 +79,48 @@ class QuantileDigest:
         for value in values:
             self.observe(value)
 
+    def merge(self, other: "QuantileDigest") -> "QuantileDigest":
+        """Fold ``other`` into this digest in place and return ``self``.
+
+        The merge is deterministic: centroids are folded in value order
+        and compression runs once at the end, so two runs that merge
+        the same digests produce identical centroid lists.  Edge cases
+        the serving layer hits every window close:
+
+        * ``other`` is **empty** — a no-op; this digest's count, min
+          and max are untouched (an empty window must not drag a
+          tenant's running minimum to 0.0);
+        * ``self`` is **empty** — becomes an exact copy of ``other``'s
+          contents, including its min/max and lossy flag;
+        * **singleton** digests merge exactly: while the union of
+          distinct values stays within the centroid cap, quantile
+          queries over the merged digest match a digest that observed
+          the concatenated value sequences.
+
+        Merging a digest with itself doubles every weight (a snapshot
+        of the centroids is taken first, so self-merge is safe).
+        """
+        if not isinstance(other, QuantileDigest):
+            raise TypeError("can only merge another QuantileDigest")
+        incoming = [list(c) for c in other._centroids]
+        if other._count == 0:
+            return self
+        if self._count == 0:
+            self._min, self._max = other._min, other._max
+        else:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+        self._count += other._count
+        self._lossy = self._lossy or other._lossy
+        for value, weight in incoming:
+            idx = bisect_left(self._centroids, [value])
+            if idx < len(self._centroids) and self._centroids[idx][0] == value:
+                self._centroids[idx][1] += weight
+            else:
+                self._centroids.insert(idx, [value, weight])
+        self._compress()
+        return self
+
     def _compress(self) -> None:
         """Merge the closest adjacent centroid pair while over the cap."""
         while len(self._centroids) > self.max_centroids:

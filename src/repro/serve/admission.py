@@ -1,0 +1,144 @@
+"""Admission control primitives: token bucket, bounded queue, WFQ.
+
+These are the serving layer's front door and scheduler.  All three are
+pure state machines over the simulated clock — no wall time, no
+randomness — so admission decisions are bit-identical across reruns of
+the same request stream, which the chaos determinism oracle checks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.serve.arrivals import InferenceRequest
+
+__all__ = ["TokenBucket", "BoundedQueue", "FairPicker"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/sec, ``burst`` capacity.
+
+    ``try_take`` refills lazily from the elapsed simulated time, so the
+    bucket needs no timer events of its own.  A request costs one
+    token; an empty bucket is the ``"rate-limit"`` shed reason.
+    """
+
+    def __init__(self, rate: float, burst: float) -> None:
+        """Start full: the first ``burst`` requests always pass."""
+        if rate <= 0 or burst < 1:
+            raise ValueError("token bucket needs rate > 0 and burst >= 1")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = 0.0
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(
+                self.burst, self.tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+
+    def available(self, now: float) -> float:
+        """Tokens on hand at simulated time ``now``."""
+        self._refill(now)
+        return self.tokens
+
+    def try_take(self, now: float) -> bool:
+        """Spend one token if available; False means shed the request."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class BoundedQueue:
+    """FIFO of admitted requests with a hard capacity (backpressure).
+
+    A full queue is the ``"queue-full"`` shed reason — the bounded
+    buffer is what turns sustained overload into typed rejections
+    instead of unbounded queueing delay.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        """Create an empty queue holding at most ``capacity`` requests."""
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = int(capacity)
+        self._items: Deque[InferenceRequest] = deque()
+
+    def __len__(self) -> int:
+        """Requests currently queued."""
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        """True when the next push would be refused."""
+        return len(self._items) >= self.capacity
+
+    def push(self, request: InferenceRequest) -> bool:
+        """Enqueue unless full; False means shed with ``queue-full``."""
+        if self.full:
+            return False
+        self._items.append(request)
+        return True
+
+    def peek(self) -> Optional[InferenceRequest]:
+        """The request at the head, or None when empty."""
+        return self._items[0] if self._items else None
+
+    def pop(self) -> InferenceRequest:
+        """Dequeue the head request."""
+        return self._items.popleft()
+
+    def expire(self, now: float) -> List[InferenceRequest]:
+        """Remove and return every queued request past its deadline."""
+        expired = [r for r in self._items if r.deadline < now]
+        if expired:
+            gone = {r.rid for r in expired}
+            self._items = deque(r for r in self._items if r.rid not in gone)
+        return expired
+
+
+class FairPicker:
+    """Weighted-fair queuing across tenants via virtual finish times.
+
+    Each tenant accumulates virtual time proportional to the work it
+    was served divided by its weight; the next batch goes to the
+    non-empty tenant with the smallest virtual time (name-ordered on
+    exact ties, so scheduling is deterministic).  A tenant that idles
+    is not punished: its virtual time is floored to the minimum of the
+    active tenants when it becomes backlogged again.
+    """
+
+    def __init__(self, weights: Dict[str, float]) -> None:
+        """Register every tenant with its WFQ weight (> 0)."""
+        if any(w <= 0 for w in weights.values()):
+            raise ValueError("WFQ weights must be positive")
+        self.weights = dict(weights)
+        self.vtime: Dict[str, float] = {name: 0.0 for name in weights}
+        self._active: Dict[str, bool] = {name: False for name in weights}
+
+    def backlog(self, tenant: str) -> None:
+        """Mark a tenant backlogged, re-syncing its virtual time."""
+        if not self._active[tenant]:
+            running = [
+                self.vtime[t] for t, on in sorted(self._active.items()) if on
+            ]
+            if running:
+                self.vtime[tenant] = max(self.vtime[tenant], min(running))
+            self._active[tenant] = True
+
+    def drain(self, tenant: str) -> None:
+        """Mark a tenant's queue empty."""
+        self._active[tenant] = False
+
+    def pick(self, eligible: List[str]) -> str:
+        """Choose the next tenant to serve among ``eligible``."""
+        return min(eligible, key=lambda t: (self.vtime[t], t))
+
+    def charge(self, tenant: str, work: float) -> None:
+        """Account ``work`` (e.g. batch size) against a tenant's share."""
+        self.vtime[tenant] += work / self.weights[tenant]

@@ -1,0 +1,195 @@
+"""Open-loop request arrivals on the simulated clock.
+
+Serving is evaluated *open loop*: arrival times are drawn up front from
+a seeded process and do not slow down when the server falls behind —
+that is precisely what makes overload and backpressure observable.
+Three processes cover the canonical shapes:
+
+* ``poisson`` — homogeneous Poisson at a fixed mean rate;
+* ``bursty`` — a two-state MMPP: exponentially-dwelling ON/OFF phases
+  where the ON rate is ``burst_factor`` times the mean (the 2x
+  overload scenario is this process with ``burst_factor=2`` pinned ON);
+* ``diurnal`` — a nonhomogeneous Poisson whose rate follows a sinusoid
+  over ``cycle`` seconds, drawn by thinning.
+
+Seed-vertex sets come from :class:`SeedSampler`: uniform by default, or
+Zipf-skewed toward a small "hot" prefix of a seeded vertex permutation
+(``hot_fraction`` of requests draw from the hot set), which is what
+gives the batch-plan cache realistic hit rates.
+
+Everything is a pure function of ``numpy.random.default_rng(seed)``:
+the same spec and seed reproduce the same request stream bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import ServeSpecError
+
+__all__ = ["ArrivalSpec", "SeedSampler", "InferenceRequest", "arrival_times"]
+
+#: Arrival process vocabulary.
+ARRIVAL_KINDS = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class ArrivalSpec:
+    """One tenant's arrival process (all times in simulated seconds)."""
+
+    #: Process shape; one of :data:`ARRIVAL_KINDS`.
+    kind: str = "poisson"
+    #: Mean arrival rate over the horizon, requests per second.
+    rate: float = 1.0
+    #: ON-state rate multiplier for ``bursty`` (>= 1).
+    burst_factor: float = 4.0
+    #: Fraction of time spent in the ON state for ``bursty``.
+    on_fraction: float = 0.3
+    #: Mean ON/OFF dwell time as a fraction of the horizon (``bursty``).
+    dwell_fraction: float = 0.1
+    #: Sinusoid period for ``diurnal`` (0 = one cycle per horizon).
+    cycle: float = 0.0
+    #: Peak-to-mean swing for ``diurnal`` (0 <= amplitude < 1).
+    amplitude: float = 0.6
+
+    def __post_init__(self) -> None:
+        """Validate the process knobs before any time is simulated."""
+        if self.kind not in ARRIVAL_KINDS:
+            raise ServeSpecError(
+                f"unknown arrival kind {self.kind!r}; "
+                f"expected one of {ARRIVAL_KINDS}"
+            )
+        if self.rate <= 0:
+            raise ServeSpecError("arrival rate must be positive")
+        if self.burst_factor < 1.0:
+            raise ServeSpecError("burst_factor must be >= 1")
+        if not 0.0 < self.on_fraction <= 1.0:
+            raise ServeSpecError("on_fraction must lie in (0, 1]")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ServeSpecError("amplitude must lie in [0, 1)")
+
+
+def _poisson_times(rate: float, horizon: float, rng) -> List[float]:
+    """Homogeneous Poisson arrivals in ``[0, horizon)``."""
+    times: List[float] = []
+    t = float(rng.exponential(1.0 / rate))
+    while t < horizon:
+        times.append(t)
+        t += float(rng.exponential(1.0 / rate))
+    return times
+
+
+def arrival_times(spec: ArrivalSpec, horizon: float, rng) -> List[float]:
+    """Draw one request stream's arrival times, sorted ascending.
+
+    ``rng`` is a ``numpy`` generator owned by the caller; consuming it
+    here is what keeps multi-tenant streams independent yet jointly
+    reproducible (each tenant gets its own seeded stream).
+    """
+    if horizon <= 0:
+        return []
+    if spec.kind == "poisson":
+        return _poisson_times(spec.rate, horizon, rng)
+    if spec.kind == "bursty":
+        # Two-state MMPP.  The OFF rate balances the time-averaged rate
+        # back to ``rate`` where possible (clamped at zero when the ON
+        # phases alone already exceed the budget).
+        on_rate = spec.rate * spec.burst_factor
+        off_weight = 1.0 - spec.on_fraction
+        off_rate = 0.0
+        if off_weight > 0:
+            off_rate = max(
+                0.0,
+                (spec.rate - on_rate * spec.on_fraction) / off_weight,
+            )
+        dwell = max(spec.dwell_fraction * horizon, 1e-12)
+        times: List[float] = []
+        t, on = 0.0, True  # start in the burst: overload hits at t=0
+        while t < horizon:
+            phase_rate = on_rate if on else off_rate
+            phase_len = float(rng.exponential(dwell))
+            end = min(t + phase_len, horizon)
+            if phase_rate > 0:
+                step = float(rng.exponential(1.0 / phase_rate))
+                while t + step < end:
+                    t += step
+                    times.append(t)
+                    step = float(rng.exponential(1.0 / phase_rate))
+            t = end
+            on = not on
+        return times
+    # diurnal: thinning against the peak rate.
+    cycle = spec.cycle if spec.cycle > 0 else horizon
+    peak = spec.rate * (1.0 + spec.amplitude)
+    times = []
+    t = float(rng.exponential(1.0 / peak))
+    while t < horizon:
+        instant = spec.rate * (
+            1.0 + spec.amplitude * np.sin(2.0 * np.pi * t / cycle)
+        )
+        if float(rng.random()) * peak < instant:
+            times.append(t)
+        t += float(rng.exponential(1.0 / peak))
+    return times
+
+
+@dataclass(frozen=True)
+class InferenceRequest:
+    """One tenant request: a seed-vertex set wanting fresh embeddings.
+
+    ``vertices`` are the request's seed vertices; the server derives
+    the cross-partition vertices whose features must actually move
+    (seeds' in-neighbors owned by other devices) against the *active*
+    deployment at dispatch time.  ``deadline`` is the hard expiry
+    (queue timeout), distinct from the tenant's soft latency SLO.
+    """
+
+    rid: int
+    tenant: str
+    arrival: float
+    deadline: float
+    vertices: np.ndarray
+
+
+class SeedSampler:
+    """Seeded sampler of per-request seed-vertex sets.
+
+    With ``hot_fraction > 0`` a request draws its seeds from a small
+    "hot" prefix (``hot_vertices`` wide) of a fixed seeded permutation
+    with that probability — the skew that makes request coalescing and
+    the batch-plan cache earn their keep.
+    """
+
+    def __init__(
+        self,
+        num_vertices: int,
+        seeds_per_request: int = 4,
+        hot_fraction: float = 0.0,
+        hot_vertices: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        """Fix the hot set and the sampling distribution."""
+        if seeds_per_request < 1:
+            raise ServeSpecError("seeds_per_request must be >= 1")
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ServeSpecError("hot_fraction must lie in [0, 1]")
+        self.num_vertices = int(num_vertices)
+        self.seeds_per_request = int(seeds_per_request)
+        self.hot_fraction = float(hot_fraction)
+        width = hot_vertices or max(1, num_vertices // 20)
+        perm = np.random.default_rng(seed).permutation(num_vertices)
+        self.hot = np.sort(perm[: min(width, num_vertices)])
+
+    def sample(self, rng) -> np.ndarray:
+        """Draw one request's sorted, duplicate-free seed set."""
+        k = min(self.seeds_per_request, self.num_vertices)
+        if self.hot_fraction > 0 and float(rng.random()) < self.hot_fraction:
+            pool = self.hot
+            k = min(k, pool.size)
+            picks = rng.choice(pool, size=k, replace=False)
+        else:
+            picks = rng.choice(self.num_vertices, size=k, replace=False)
+        return np.sort(picks.astype(np.int64))

@@ -1,0 +1,82 @@
+"""The coalescing batcher: merge compatible requests under SLO headroom.
+
+Per-request plans would waste the planned trees on tiny payloads; the
+batcher instead serves one tenant's queue head together with every
+compatible queued request, and — when the head still has latency
+headroom — tells the server how long it may keep the door open for
+more arrivals before the batch must close.
+
+"Compatible" here means *same tenant* (one SLO, one accounting bucket)
+and within ``max_batch``.  The close time is conservative: the batch
+must dispatch early enough that the estimated service still lands
+inside the head request's soft SLO target; the degradation ladder
+scales the open window down to zero under sustained violation, which
+is the "shrink batch SLO" rung.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.serve.admission import BoundedQueue
+from repro.serve.arrivals import InferenceRequest
+
+__all__ = ["Batch", "CoalescingBatcher"]
+
+
+@dataclass
+class Batch:
+    """One dispatchable unit: a tenant's coalesced requests."""
+
+    tenant: str
+    requests: List[InferenceRequest]
+
+    @property
+    def size(self) -> int:
+        """Number of coalesced requests."""
+        return len(self.requests)
+
+
+class CoalescingBatcher:
+    """Forms batches from one tenant's bounded queue."""
+
+    def __init__(self, max_batch: int, window: float) -> None:
+        """``max_batch`` requests per dispatch, ``window`` seconds of
+        maximum artificial delay while coalescing (scaled live by the
+        degradation ladder)."""
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if window < 0:
+            raise ValueError("window must be non-negative")
+        self.max_batch = int(max_batch)
+        self.window = float(window)
+
+    def close_time(
+        self,
+        queue: BoundedQueue,
+        now: float,
+        est_service: float,
+        slo: float,
+        scale: float,
+    ) -> float:
+        """Latest simulated time this batch may wait for more arrivals.
+
+        Zero headroom (or a full batch, or ``scale == 0`` after the
+        ladder shrank the window) closes the batch immediately.
+        """
+        head = queue.peek()
+        if head is None or len(queue) >= self.max_batch or scale <= 0:
+            return now
+        # Dispatch early enough that service still fits the head's SLO.
+        headroom = (head.arrival + slo) - est_service - now
+        return now + max(0.0, min(self.window * scale, headroom))
+
+    def form(self, queue: BoundedQueue, now: float) -> Batch:
+        """Pop up to ``max_batch`` queued requests into one batch."""
+        head = queue.peek()
+        assert head is not None, "form() needs a non-empty queue"
+        requests = []
+        while len(queue) and len(requests) < self.max_batch:
+            requests.append(queue.pop())
+        return Batch(tenant=head.tenant, requests=requests)

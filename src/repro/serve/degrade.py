@@ -1,0 +1,182 @@
+"""Graceful degradation: the serving ladder and the stale-replica store.
+
+When a tenant's windowed p99 exceeds its SLO target, the server climbs
+a ladder of progressively uglier — but bounded — service levels
+instead of letting queues grow without bound:
+
+=====  ==============  ====================================================
+level  name            effect
+=====  ==============  ====================================================
+0      ``normal``      full batching window, fresh features only
+1      ``shrink``      coalescing window scaled to zero (latency over
+                       batching efficiency)
+2      ``stale``       remote features previously fetched are served from
+                       the local replica store instead of re-fetched
+3      ``shed``        the lowest-priority tenant's new arrivals are
+                       rejected with ``AdmissionRejected("tenant-shed")``
+=====  ==============  ====================================================
+
+Transitions have hysteresis: ``engage_after`` consecutive violating
+windows climb one rung, ``recover_after`` consecutive healthy windows
+descend one.  Everything is driven by the deterministic
+:class:`~repro.obs.quantile.QuantileDigest` p99 of each closed window,
+so the ladder walks the same path on every rerun of a seeded scenario.
+
+:class:`ReplicaStore` backs rung 2: it remembers which remote vertices
+this deployment has already pulled (and when), so "serve stale" means
+"skip the wire for anything seen within ``ttl``" — the paper's planned
+trees still move only the never-seen remainder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["LadderTransition", "DegradationLadder", "ReplicaStore", "LEVELS"]
+
+#: Ladder rung names, index == level.
+LEVELS = ("normal", "shrink", "stale", "shed")
+
+
+@dataclass(frozen=True)
+class LadderTransition:
+    """One recorded ladder move (for reports and oracles)."""
+
+    time: float
+    window: int
+    level: int
+    direction: str  # "engage" | "recover"
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-ready form."""
+        return {
+            "time": self.time,
+            "window": self.window,
+            "level": self.level,
+            "name": LEVELS[self.level],
+            "direction": self.direction,
+        }
+
+
+class DegradationLadder:
+    """Hysteretic p99-vs-SLO feedback controller over the rungs."""
+
+    def __init__(
+        self, engage_after: int = 2, recover_after: int = 3
+    ) -> None:
+        """Climb after ``engage_after`` bad windows, descend after
+        ``recover_after`` good ones (both >= 1)."""
+        if engage_after < 1 or recover_after < 1:
+            raise ValueError("hysteresis windows must be >= 1")
+        self.engage_after = int(engage_after)
+        self.recover_after = int(recover_after)
+        self.level = 0
+        self._bad = 0
+        self._good = 0
+        self.transitions: List[LadderTransition] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def window_scale(self) -> float:
+        """Coalescing-window multiplier (rung 1+ closes the window)."""
+        return 1.0 if self.level < 1 else 0.0
+
+    @property
+    def stale_serve(self) -> bool:
+        """True when rung 2+ allows serving from the replica store."""
+        return self.level >= 2
+
+    @property
+    def shed_tenant(self) -> bool:
+        """True when rung 3 rejects the lowest-priority tenant."""
+        return self.level >= 3
+
+    # ------------------------------------------------------------------
+    def feedback(
+        self, violating: bool, time: float, window: int
+    ) -> Optional[LadderTransition]:
+        """Fold one closed window's verdict; returns any transition.
+
+        ``violating`` is "some tenant's window p99 exceeded its SLO
+        target" (empty windows count as healthy — no evidence of
+        trouble is not trouble).
+        """
+        if violating:
+            self._good = 0
+            self._bad += 1
+            if self._bad >= self.engage_after and self.level < len(LEVELS) - 1:
+                self._bad = 0
+                self.level += 1
+                t = LadderTransition(time, window, self.level, "engage")
+                self.transitions.append(t)
+                return t
+            return None
+        self._bad = 0
+        self._good += 1
+        if self._good >= self.recover_after and self.level > 0:
+            self._good = 0
+            self.level -= 1
+            t = LadderTransition(time, window, self.level, "recover")
+            self.transitions.append(t)
+            return t
+        return None
+
+
+class ReplicaStore:
+    """Which remote vertices this deployment already holds, and since when.
+
+    ``record`` is called after every successful fresh fetch; ``split``
+    partitions a needed set into (must-fetch, can-serve-stale) given
+    the store's TTL.  ``ttl=inf`` (the default) means any previously
+    fetched vertex may be served stale while the ladder is at rung 2 —
+    real feature stores bound staleness, so the TTL knob exists, but
+    degraded mode prefers stale over shed.
+    """
+
+    def __init__(self, ttl: float = float("inf")) -> None:
+        """Create an empty store with the given staleness bound."""
+        if ttl <= 0:
+            raise ValueError("ttl must be positive")
+        self.ttl = float(ttl)
+        self._seen: Dict[int, float] = {}
+        self.stale_rows_served = 0
+
+    def __len__(self) -> int:
+        """Distinct remote vertices ever fetched."""
+        return len(self._seen)
+
+    def record(self, vertices: np.ndarray, now: float) -> None:
+        """Remember that ``vertices`` were fetched fresh at ``now``."""
+        for v in vertices.tolist():
+            self._seen[int(v)] = now
+
+    def split(
+        self, vertices: np.ndarray, now: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Partition ``vertices`` into (fresh-needed, stale-servable)."""
+        if not self._seen or vertices.size == 0:
+            return vertices, np.empty(0, dtype=np.int64)
+        fresh_needed: List[int] = []
+        stale: List[int] = []
+        for v in vertices.tolist():
+            at = self._seen.get(int(v))
+            if at is not None and now - at <= self.ttl:
+                stale.append(int(v))
+            else:
+                fresh_needed.append(int(v))
+        return (
+            np.asarray(fresh_needed, dtype=np.int64),
+            np.asarray(stale, dtype=np.int64),
+        )
+
+    def covers(self, vertices: np.ndarray, now: float) -> bool:
+        """True when every vertex can be served stale right now."""
+        need, _ = self.split(vertices, now)
+        return need.size == 0
+
+    def clear(self) -> None:
+        """Drop everything (ownership changed, e.g. after a scale-out)."""
+        self._seen.clear()

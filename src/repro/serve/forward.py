@@ -1,0 +1,122 @@
+"""Forward-only inference plans: training plans minus the backward half.
+
+Training traffic is a round trip — the graphAllgather pushes embeddings
+forward along each multicast tree, then the gradient scatter replays
+the same tuples in reverse (``CommPlan.backward_tuples``), including
+the non-atomic gradient sub-stages of §6.2.  Online inference only ever
+runs the forward half, so a serving plan derived here:
+
+* keeps the forward routes (and therefore the forward byte volume)
+  verbatim — :func:`forward_only` pins ``total_units`` to the source
+  plan's, which is exactly half the round-trip unit count;
+* refuses the backward pass outright — ``backward_tuples`` raises
+  :class:`~repro.errors.ForwardOnlyPlanError` instead of silently
+  scheduling gradient traffic a frontend must never generate.
+
+:func:`restrict_forward` additionally narrows a plan to the vertices
+one coalesced batch actually needs, which is what makes per-request
+plans cheap enough to price on every dispatch, and
+:func:`batch_fingerprint` names such a restriction for the batch-plan
+cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+import numpy as np
+
+from repro.autotune.fingerprint import _digest
+from repro.core.plan import CommPlan, CommTuple, VertexClassRoute
+from repro.errors import ForwardOnlyPlanError
+
+__all__ = [
+    "ForwardOnlyPlan",
+    "forward_only",
+    "restrict_forward",
+    "batch_fingerprint",
+    "plan_connections",
+]
+
+
+class ForwardOnlyPlan(CommPlan):
+    """A ``CommPlan`` whose backward half has been stripped.
+
+    Forward compilation (``tuples``, ``traffic_matrix``, cost model) is
+    inherited unchanged; every backward entry point raises
+    :class:`~repro.errors.ForwardOnlyPlanError`.
+    """
+
+    def backward_tuples(self) -> List[CommTuple]:
+        """Always raises: an inference plan has no gradient scatter."""
+        raise ForwardOnlyPlanError(
+            f"plan {self.name!r} is forward-only: inference serving "
+            "never runs the gradient scatter"
+        )
+
+
+def forward_only(plan: CommPlan, name: str = "") -> ForwardOnlyPlan:
+    """Derive the inference (forward-only) version of a training plan.
+
+    The routes — and therefore the forward tuples, stages and byte
+    counts — are shared with the source plan; only the backward half is
+    removed.  ``name`` defaults to ``"<plan.name>+forward"``.
+    """
+    return ForwardOnlyPlan(
+        plan.topology, plan.routes, name=name or f"{plan.name}+forward"
+    )
+
+
+def restrict_forward(
+    plan: CommPlan, vertices: np.ndarray, name: str = ""
+) -> ForwardOnlyPlan:
+    """Forward-only sub-plan carrying only ``vertices``.
+
+    Each route keeps its tree shape (links and stages untouched, so the
+    repaired/degraded paths chosen by the fault layer stay valid) but
+    drops every vertex the batch does not need; routes left empty are
+    dropped entirely.  ``vertices`` may be unsorted; the result's tuple
+    vertex sets are the sorted intersection, so the same batch always
+    compiles to the same plan.
+    """
+    needed = np.unique(np.asarray(vertices, dtype=np.int64))
+    routes: List[VertexClassRoute] = []
+    for route in plan.routes:
+        kept = route.vertices[np.isin(route.vertices, needed)]
+        if kept.size:
+            routes.append(
+                VertexClassRoute(
+                    source=route.source,
+                    destinations=route.destinations,
+                    vertices=kept,
+                    edges=route.edges,
+                )
+            )
+    return ForwardOnlyPlan(
+        plan.topology, routes, name=name or f"{plan.name}+batch"
+    )
+
+
+def batch_fingerprint(plan_name: str, vertices: np.ndarray) -> str:
+    """Content hash naming one batch restriction of one plan.
+
+    Two batches that need the same vertex set (however their requests
+    were coalesced) hash identically, which is what gives the batch
+    plan cache its hits under hot-vertex skew.
+    """
+    needed = np.unique(np.asarray(vertices, dtype=np.int64))
+    return _digest(plan_name.encode(), needed.tobytes())
+
+
+def plan_connections(plan: CommPlan) -> Set[str]:
+    """Names of every physical connection the plan's tuples traverse.
+
+    The serving dispatch loop intersects this set with the injector's
+    dead list to decide whether a batch can run as planned or must walk
+    the retry → repair → degrade ladder first.
+    """
+    names: Set[str] = set()
+    for t in plan.tuples():
+        for conn in t.link.connections:
+            names.add(conn.name)
+    return names

@@ -1,0 +1,174 @@
+"""Named serving scenarios: canonical workloads for CLI, bench and chaos.
+
+A scenario fixes everything except the run seed: the graph, the tenant
+mix, the arrival shapes and the SLO targets.  Targets are expressed
+relative to the workload's own fault-free full-batch service time, so
+the scenarios keep their intended load factor if the cost model or the
+planner changes — ``overload`` stays a 2x overload.
+
+========== ==========================================================
+name       shape
+========== ==========================================================
+poisson    smooth open-loop load at ~0.5x capacity, three tenants
+bursty     the same mean load but MMPP bursts at 4x inside ON phases
+diurnal    sinusoidal rate swing (one cycle over the horizon)
+hotspot    Poisson at moderate load, 80% of requests Zipf-hot seeds
+overload   a pinned-ON 2x-capacity burst with autoscale armed — the
+           acceptance scenario for shedding + degradation + faults
+========== ==========================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.relation import CommRelation
+from repro.core.spst import SPSTPlanner
+from repro.errors import ServeSpecError
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.serve.arrivals import ArrivalSpec
+from repro.serve.forward import forward_only
+from repro.serve.server import (
+    AutoscaleSpec,
+    ServeConfig,
+    ServeSession,
+    TenantSpec,
+)
+from repro.topology import pcie_only, topology_for_gpu_count
+
+__all__ = ["SCENARIO_NAMES", "build_scenario"]
+
+#: The scenario vocabulary (CLI ``--scenario`` choices).
+SCENARIO_NAMES = ("poisson", "bursty", "diurnal", "hotspot", "overload")
+
+#: Scenario workload shape (matches the chaos soak's scale).
+NUM_VERTICES = 300
+NUM_EDGES = 2200
+GRAPH_SEED = 3
+BYTES_PER_UNIT = 16.0
+#: Batches' worth of simulated time in one campaign horizon.
+HORIZON_BATCHES = 160.0
+
+
+def _resolve_topology(name: str, gpus: int):
+    """CLI topology presets: ``dgx`` (default) or ``pcie``."""
+    if name == "pcie":
+        return pcie_only(gpus)
+    return topology_for_gpu_count(gpus)
+
+
+def _probe_service(graph, topology, config: ServeConfig) -> float:
+    """Fault-free full-batch service estimate the targets scale from.
+
+    A separate probe plan (same seeds the session will use) keeps the
+    scenario's SLO/rate arithmetic independent of session internals.
+    """
+    part = partition(graph, topology.num_devices, seed=config.partition_seed)
+    relation = CommRelation(graph, part.assignment, topology.num_devices)
+    plan = SPSTPlanner(topology, seed=config.partition_seed).plan(relation)
+    base = forward_only(plan).estimated_cost(BYTES_PER_UNIT)
+    return config.batch_overhead + config.max_batch * config.compute_seconds \
+        + 0.35 * base
+
+
+def build_scenario(
+    name: str,
+    gpus: int = 8,
+    topology: str = "dgx",
+    horizon_scale: float = 1.0,
+    plan_cache=None,
+) -> ServeSession:
+    """Construct the named scenario's :class:`ServeSession`.
+
+    ``horizon_scale`` shrinks or stretches the campaign (the chaos soak
+    runs scaled-down campaigns to keep 25-seed runs fast); admission
+    rates scale with it automatically because they are per-second.
+    """
+    if name not in SCENARIO_NAMES:
+        raise ServeSpecError(
+            f"unknown scenario {name!r}; expected one of {SCENARIO_NAMES}"
+        )
+    if horizon_scale <= 0:
+        raise ServeSpecError("horizon_scale must be positive")
+    topo = _resolve_topology(topology, gpus)
+    graph = rmat(NUM_VERTICES, NUM_EDGES, seed=GRAPH_SEED)
+    probe_cfg = ServeConfig()
+    service = _probe_service(graph, topo, probe_cfg)
+    horizon = HORIZON_BATCHES * horizon_scale * service
+    #: Requests/sec one deployment can sustain at full batching.
+    capacity = probe_cfg.max_batch / service
+
+    def tenants(
+        load: float,
+        kind: str = "poisson",
+        burst_factor: float = 4.0,
+        on_fraction: float = 0.25,
+        hot_fraction: float = 0.0,
+        amplitude: float = 0.0,
+        bucket_scale: float = 1.1,
+        queue_capacity: int = 32,
+    ) -> list:
+        """Three-tier tenant mix splitting ``load`` 50/30/20.
+
+        WFQ weights are proportional to the traffic shares, so under
+        healthy load every tier sees a similar tail; the tiers differ
+        in how tight their SLO target is and who is shed first
+        (``bronze``, the lowest priority) when the ladder tops out.
+        """
+        shares = {"gold": 0.5, "silver": 0.3, "bronze": 0.2}
+        slos = {"gold": 30.0, "silver": 35.0, "bronze": 40.0}
+        priorities = {"gold": 2, "silver": 1, "bronze": 0}
+        weights = {"gold": 5.0, "silver": 3.0, "bronze": 2.0}
+        out = []
+        for t in ("gold", "silver", "bronze"):
+            rate = load * capacity * shares[t]
+            out.append(TenantSpec(
+                name=t,
+                slo=slos[t] * service,
+                arrival=ArrivalSpec(
+                    kind=kind,
+                    rate=rate,
+                    burst_factor=burst_factor,
+                    on_fraction=on_fraction,
+                    amplitude=amplitude,
+                ),
+                weight=weights[t],
+                priority=priorities[t],
+                hot_fraction=hot_fraction,
+                queue_capacity=queue_capacity,
+                bucket_rate=bucket_scale * capacity * shares[t],
+                bucket_burst=12.0,
+            ))
+        return out
+
+    config_kwargs: Dict[str, object] = {
+        "horizon": horizon,
+        "bytes_per_unit": BYTES_PER_UNIT,
+        "coalesce_window": service,
+    }
+    if name == "poisson":
+        mix = tenants(0.5)
+    elif name == "bursty":
+        mix = tenants(0.5, kind="bursty", burst_factor=4.0, on_fraction=0.25)
+    elif name == "diurnal":
+        mix = tenants(0.55, kind="diurnal", amplitude=0.6)
+    elif name == "hotspot":
+        mix = tenants(0.55, hot_fraction=0.8)
+    else:  # overload: pinned-ON 2x burst, autoscale armed.  The
+        # generous buckets admit well past capacity on purpose: the
+        # pain must reach the queues so the p99 feedback loop (ladder,
+        # autoscale) — not just the front door — is what restores SLO.
+        mix = tenants(2.0, kind="bursty", burst_factor=1.0, on_fraction=1.0,
+                      bucket_scale=2.5, queue_capacity=96)
+        config_kwargs["horizon"] = 1.5 * horizon
+        config_kwargs["windows"] = 12
+        if gpus >= 4:
+            config_kwargs["autoscale"] = AutoscaleSpec(
+                initial_devices=max(2, gpus // 2), violation_windows=3,
+            )
+    config = ServeConfig(**config_kwargs)
+    return ServeSession(
+        graph, topo, mix, config=config, plan_cache=plan_cache,
+        scenario=name,
+    )

@@ -30,6 +30,7 @@ EXPECTED_ALL = [
     "local_graphs",
     "profile",
     "scatter_gradients",
+    "serve",
     "session",
     "shutdown",
     "tune",
@@ -60,6 +61,12 @@ EXPECTED_FUNCTIONS = {
     "local_graphs": "() -> 'List[LocalGraph]'",
     "scatter_gradients":
         "(full_grads: 'List[np.ndarray]') -> 'List[np.ndarray]'",
+    "serve":
+        "(scenario: 'str' = 'poisson', *, gpus: 'int' = 8, "
+        "topology: 'str' = 'dgx', seed: 'int' = 0, "
+        "horizon_scale: 'float' = 1.0, "
+        "fault_plan: 'Optional[FaultPlan]' = None, plan_cache=None) "
+        "-> 'ServeReport'",
     "session":
         "(topology: 'Topology', *, fault_plan: 'Optional[FaultPlan]' = None, "
         "strategy: 'str' = 'spst', plan_cache=None, "

@@ -1,0 +1,123 @@
+"""Property tests for :meth:`QuantileDigest.merge` (satellite).
+
+The serving control plane folds per-window digests into per-tenant
+lifetime digests, so ``merge`` must behave exactly like observing the
+concatenated stream while the digest is under its centroid cap, and
+must stay deterministic (order-independent inputs aside) once lossy.
+Edge cases pinned here: empty⊕empty, empty⊕x, x⊕empty, singleton
+merges, and self-merge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.quantile import QuantileDigest
+
+finite_floats = st.floats(
+    min_value=-1e9, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite_floats, max_size=60)
+
+
+def _observing(values, max_centroids=128):
+    d = QuantileDigest(max_centroids)
+    for v in values:
+        d.observe(v)
+    return d
+
+
+class TestMergeProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(a=samples, b=samples)
+    def test_merge_equals_observing_concatenation(self, a, b):
+        left = _observing(a)
+        left.merge(_observing(b))
+        both = _observing(a + b)
+        assert left.count == both.count == len(a) + len(b)
+        if a or b:
+            assert left.quantile(0.0) == both.quantile(0.0)
+            assert left.quantile(1.0) == both.quantile(1.0)
+            for q in (0.25, 0.5, 0.9, 0.99):
+                assert left.quantile(q) == pytest.approx(
+                    both.quantile(q), rel=1e-9, abs=1e-9
+                )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=samples)
+    def test_exact_against_numpy_while_under_cap(self, a):
+        d = _observing(a)
+        if not a:
+            return
+        arr = np.asarray(a, dtype=float)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert d.quantile(q) == pytest.approx(
+                float(np.percentile(arr, 100 * q)), rel=1e-9, abs=1e-9
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=samples)
+    def test_empty_merge_is_identity_both_ways(self, a):
+        d = _observing(a)
+        before = d.centroids()
+        d.merge(QuantileDigest())
+        assert d.centroids() == before and d.count == len(a)
+
+        empty = QuantileDigest()
+        empty.merge(_observing(a))
+        assert empty.count == len(a)
+        assert empty.centroids() == _observing(a).centroids()
+        if a:
+            assert empty.quantile(0.0) == min(a)
+            assert empty.quantile(1.0) == max(a)
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.lists(finite_floats, min_size=1, max_size=40))
+    def test_self_merge_doubles_weights(self, a):
+        d = _observing(a)
+        d.merge(d)
+        assert d.count == 2 * len(a)
+        # Doubling every weight never moves a quantile.
+        ref = _observing(a)
+        for q in (0.0, 0.5, 1.0):
+            assert d.quantile(q) == pytest.approx(ref.quantile(q))
+
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.lists(finite_floats, min_size=20, max_size=60),
+           b=st.lists(finite_floats, min_size=20, max_size=60))
+    def test_lossy_merge_stays_deterministic(self, a, b):
+        first = _observing(a, max_centroids=8)
+        first.merge(_observing(b, max_centroids=8))
+        second = _observing(a, max_centroids=8)
+        second.merge(_observing(b, max_centroids=8))
+        assert first.centroids() == second.centroids()
+        assert len(first.centroids()) <= 8
+        assert first.count == len(a) + len(b)
+
+
+class TestMergeEdgeCases:
+    def test_empty_with_empty(self):
+        d = QuantileDigest()
+        d.merge(QuantileDigest())
+        assert d.count == 0 and d.centroids() == ()
+        assert d.quantile(0.5) == 0.0  # empty digest convention
+
+    def test_singleton_into_empty_copies_extrema(self):
+        d = QuantileDigest()
+        d.merge(_observing([4.25]))
+        assert d.count == 1
+        assert d.quantile(0.0) == d.quantile(1.0) == 4.25
+
+    def test_exact_value_match_sums_weights(self):
+        a = _observing([1.0, 1.0, 2.0])
+        a.merge(_observing([1.0, 2.0, 2.0]))
+        assert a.count == 6
+        weights = {v: w for v, w in a.centroids()}
+        assert weights[1.0] == 3.0 and weights[2.0] == 3.0
+
+    def test_rejects_non_digest(self):
+        with pytest.raises(TypeError):
+            QuantileDigest().merge(object())

@@ -1,0 +1,43 @@
+"""Chaos soak over the serving control plane (satellite).
+
+The soak runner draws a random fault plan per seed and, with
+``serve_every`` armed, replays a serving campaign under it twice —
+checking signature determinism plus the serving accounting and
+deadline oracles alongside the training-side oracles.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos.oracles import ORACLES
+from repro.chaos.soak import SoakConfig, SoakRunner
+
+
+class TestServeOracleRegistry:
+    def test_serving_oracles_are_registered(self):
+        assert ORACLES[-2:] == ("serve-accounting", "serve-deadline")
+
+
+class TestServeSoak:
+    @pytest.mark.slow
+    def test_twenty_five_seeds_survive_faulted_serving(self):
+        config = SoakConfig(
+            gpus=4, serve_every=1, serve_scenario="bursty",
+            serve_horizon_scale=0.15,
+        )
+        report = SoakRunner(config).run(seeds=25)
+        failed = [r for r in report.results if r.violations]
+        assert not failed, "\n".join(
+            f"seed {r.seed}: {[str(v) for v in r.violations]}"
+            for r in failed
+        )
+        assert report.passed and len(report.results) == 25
+
+    def test_soak_smoke_three_seeds(self):
+        config = SoakConfig(
+            gpus=4, serve_every=1, serve_scenario="poisson",
+            serve_horizon_scale=0.15,
+        )
+        report = SoakRunner(config).run(seeds=3)
+        assert report.passed and len(report.results) == 3

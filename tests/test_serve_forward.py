@@ -1,0 +1,110 @@
+"""Forward-only plan derivation (satellite of the serving PR).
+
+Inference never runs the backward half of a training plan.  These
+tests pin the contract of :mod:`repro.serve.forward`: the forward
+byte count is exactly half the round trip, the backward accessor is a
+typed error, batch restriction keeps tree shapes while dropping
+unneeded vertices, and the batch fingerprint is a pure function of
+(plan name, unique vertex set).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import CommRelation, SPSTPlanner
+from repro.errors import ForwardOnlyPlanError
+from repro.graph.generators import rmat
+from repro.partition import partition
+from repro.serve.forward import (
+    ForwardOnlyPlan,
+    batch_fingerprint,
+    forward_only,
+    plan_connections,
+    restrict_forward,
+)
+from repro.topology import topology_for_gpu_count
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = rmat(120, 700, seed=1)
+    topo = topology_for_gpu_count(4)
+    assignment = partition(graph, topo.num_devices, seed=0).assignment
+    rel = CommRelation(graph, assignment, topo.num_devices)
+    plan = SPSTPlanner(topo, seed=0).plan(rel)
+    return graph, topo, plan
+
+
+def _units(tuples) -> int:
+    return int(sum(t.units for t in tuples))
+
+
+class TestForwardOnly:
+    def test_forward_units_are_half_the_round_trip(self, workload):
+        _, _, plan = workload
+        fwd = forward_only(plan)
+        round_trip = _units(plan.tuples()) + _units(plan.backward_tuples())
+        assert _units(fwd.tuples()) > 0
+        assert 2 * _units(fwd.tuples()) == round_trip
+
+    def test_backward_half_is_a_typed_error(self, workload):
+        _, _, plan = workload
+        fwd = forward_only(plan)
+        with pytest.raises(ForwardOnlyPlanError):
+            fwd.backward_tuples()
+
+    def test_name_and_route_sharing(self, workload):
+        _, _, plan = workload
+        fwd = forward_only(plan)
+        assert isinstance(fwd, ForwardOnlyPlan)
+        assert fwd.name == f"{plan.name}+forward"
+        assert fwd.routes is plan.routes  # zero-copy derivation
+
+    def test_plan_connections_nonempty(self, workload):
+        _, _, plan = workload
+        names = plan_connections(forward_only(plan))
+        assert names and all(isinstance(n, str) for n in names)
+
+
+class TestRestrictForward:
+    def test_subset_of_vertices_and_units(self, workload):
+        graph, _, plan = workload
+        keep = np.arange(0, graph.num_vertices, 3, dtype=np.int64)
+        sub = restrict_forward(plan, keep)
+        assert _units(sub.tuples()) <= _units(forward_only(plan).tuples())
+        # every remaining route carries only requested rows
+        for route in sub.routes:
+            assert np.isin(route.vertices, keep).all()
+
+    def test_empty_restriction_has_no_routes(self, workload):
+        _, _, plan = workload
+        sub = restrict_forward(plan, np.empty(0, dtype=np.int64))
+        assert len(sub.routes) == 0
+        assert _units(sub.tuples()) == 0
+        assert sub.name == f"{plan.name}+batch"
+
+    def test_unsorted_input_is_normalised(self, workload):
+        graph, _, plan = workload
+        keep = np.array([5, 1, 9, 1, 5], dtype=np.int64)
+        a = restrict_forward(plan, keep)
+        b = restrict_forward(plan, np.array([1, 5, 9], dtype=np.int64))
+        assert _units(a.tuples()) == _units(b.tuples())
+
+
+class TestBatchFingerprint:
+    def test_invariant_under_shuffle_and_duplication(self):
+        base = np.array([4, 1, 7], dtype=np.int64)
+        fp = batch_fingerprint("spst+forward", base)
+        assert fp == batch_fingerprint(
+            "spst+forward", np.array([7, 4, 1, 4, 4], dtype=np.int64)
+        )
+
+    def test_sensitive_to_name_and_vertices(self):
+        base = np.array([4, 1, 7], dtype=np.int64)
+        fp = batch_fingerprint("spst+forward", base)
+        assert fp != batch_fingerprint("mst+forward", base)
+        assert fp != batch_fingerprint(
+            "spst+forward", np.array([4, 1, 8], dtype=np.int64)
+        )
