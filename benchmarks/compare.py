@@ -99,6 +99,18 @@ SPECS: Dict[str, Tuple[Tuple[str, ...], Tuple[Metric, ...]]] = {
             Metric("cells.*.deterministic", "equal"),
         ),
     ),
+    "sampling": (
+        ("graph", "gpus", "batch_size", "fanouts"),
+        (
+            Metric("modes.*.plans_per_second", "higher", 0.40, wall=True),
+            Metric("speedup.incremental_vs_cold", "higher", 0.30, wall=True),
+            Metric("speedup.warm_vs_cold", "higher", 0.30, wall=True),
+            Metric("modes.*.p99_batch_ms", "lower", 0.50, wall=True),
+            Metric("modes.*.batches", "equal"),
+            Metric("warm_cache_hits", "equal"),
+            Metric("gradient_parity", "equal"),
+        ),
+    ),
     "obs": (
         ("workload",),
         (

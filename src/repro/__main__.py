@@ -13,7 +13,11 @@ Commands:
   schemes on a workload (the Figure-7 cell view); ``--scheme auto``
   evaluates whatever the auto-tuner picks;
 * ``train`` — run real distributed epochs and confirm they match the
-  single-device reference;
+  single-device reference; ``--minibatch`` switches to sampled
+  mini-batch training with per-batch communication plans;
+* ``sample`` — stream sampled mini-batches (uniform ``--fanouts`` or
+  full ``--khop``) through the per-batch planning ladder and report
+  plan sources and sustained plans/sec;
 * ``trace`` — run one traced evaluation (or training run) and write a
   Chrome/Perfetto or JSONL trace of the simulated timeline;
 * ``profile`` — run one audited evaluation and print its flight-recorder
@@ -296,6 +300,121 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_fanouts(text: str):
+    """``--fanouts 10,5`` -> tuple of per-layer ints."""
+    try:
+        fanouts = tuple(int(f) for f in text.split(",") if f.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"fanouts look like N,N,..., got {text!r}"
+        )
+    if not fanouts:
+        raise argparse.ArgumentTypeError("need at least one fanout")
+    return fanouts
+
+
+def cmd_sample(args: argparse.Namespace) -> int:
+    """``sample``: stream sampled batches through per-batch planning."""
+    from repro.api import DGCLSession
+    from repro.graph.datasets import load_dataset
+
+    topology = _topology(args.gpus, args.topology)
+    graph = load_dataset(args.dataset, seed=0)
+    session = DGCLSession(topology, plan_cache=args.plan_cache)
+    kwargs = {"batch_size": args.batch_size, "seed": args.seed}
+    if args.khop:
+        kwargs["hops"] = args.khop
+    else:
+        kwargs["fanouts"] = args.fanouts
+    loader, sampler, planner = session.sample_loader(graph, **kwargs)
+    start = time.perf_counter()
+    batch_rows = []
+    for epoch in range(args.epochs):
+        base = epoch * loader.num_batches
+        for i, seeds in enumerate(loader.batches(epoch)):
+            batch = sampler.sample(seeds, batch_index=base + i)
+            planned = planner.plan_batch(batch)
+            batch_rows.append(planned)
+    wall = time.perf_counter() - start
+    stats = planner.stats.as_dict()
+    cache_stats = (
+        session.plan_cache.stats.as_dict()
+        if session.plan_cache is not None else None
+    )
+    if args.json:
+        print(json.dumps({
+            "dataset": args.dataset,
+            "gpus": args.gpus,
+            "topology": args.topology,
+            "batch_size": args.batch_size,
+            "fanouts": None if args.khop else list(args.fanouts),
+            "khop": args.khop,
+            "epochs": args.epochs,
+            "planner": stats,
+            "plan_cache": cache_stats,
+            "wall_seconds": wall,
+        }, indent=2, sort_keys=True))
+        return 0
+    mode = (f"k-hop k={args.khop}" if args.khop
+            else f"fanouts={','.join(map(str, args.fanouts))}")
+    print(f"sampled {stats['batches']} batch(es) of {args.batch_size} "
+          f"seeds on {args.dataset} ({mode}, {args.epochs} epoch(s)):")
+    for planned in batch_rows[: args.show]:
+        print(f"  {planned.subgraph}  plan={planned.plan_source} "
+              f"({planned.wall_seconds * 1e3:.2f} ms)")
+    if len(batch_rows) > args.show:
+        print(f"  ... {len(batch_rows) - args.show} more")
+    print(f"plan sources: {stats['by_source']}")
+    print(f"sustained planning: {stats['plans_per_second']:.1f} plans/s "
+          f"({stats['wall_seconds']:.2f}s planning of {wall:.2f}s total)")
+    if cache_stats is not None:
+        print(f"plan cache: {cache_stats}")
+    return 0
+
+
+def _train_minibatch(args, workload, spec, features, labels) -> int:
+    """``train --minibatch``: sampled training with per-batch plans."""
+    import numpy as np
+
+    from repro.api import DGCLSession
+    from repro.gnn import MiniBatchOracle, MiniBatchTrainer, build_model
+
+    session = DGCLSession(workload.topology, plan_cache=args.plan_cache)
+    loader, sampler, planner = session.sample_loader(
+        workload.graph, batch_size=args.batch_size, fanouts=args.fanouts,
+    )
+    model = build_model(args.model, spec.feature_size, spec.hidden_size,
+                        spec.num_classes, seed=0)
+    trainer = MiniBatchTrainer(
+        model, features, labels, sampler, loader, planner, lr=args.lr,
+    )
+    print(f"mini-batch training {args.model} on {args.dataset} across "
+          f"{args.gpus} simulated GPUs "
+          f"(batch={args.batch_size}, "
+          f"fanouts={','.join(map(str, args.fanouts))}):")
+    for epoch in range(args.epochs):
+        results = trainer.train_epoch(epoch)
+        mean = float(np.mean([r.loss for r in results]))
+        print(f"  epoch {epoch}: mean batch loss = {mean:.4f} "
+              f"({len(results)} batches)")
+    stats = planner.stats.as_dict()
+    print(f"plan sources: {stats['by_source']} "
+          f"({stats['plans_per_second']:.1f} plans/s)")
+    # Parity: replay the identical batch stream on one device.
+    oracle = MiniBatchOracle(
+        build_model(args.model, spec.feature_size, spec.hidden_size,
+                    spec.num_classes, seed=0),
+        features, labels, lr=args.lr,
+    )
+    for epoch in range(args.epochs):
+        base = epoch * loader.num_batches
+        for i, seeds in enumerate(loader.batches(epoch)):
+            oracle.run_batch(sampler.sample(seeds, batch_index=base + i))
+    ok = np.allclose(oracle.loss_history, trainer.loss_history, rtol=1e-4)
+    print(f"matches single-device oracle: {ok}")
+    return 0 if ok else 1
+
+
 def cmd_train(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -311,6 +430,8 @@ def cmd_train(args: argparse.Namespace) -> int:
     labels = synthetic_labels(workload.graph, spec.num_classes)
     if args.fault_spec:
         return _train_with_faults(args, workload, spec, features, labels)
+    if args.minibatch:
+        return _train_minibatch(args, workload, spec, features, labels)
     relation, plan = workload.relation, None
     if args.strategy != "spst" or args.plan_cache:
         from repro.api import DGCLSession
@@ -442,6 +563,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         correlated=args.correlated,
         mix=args.mix,
         train_every=args.train_every,
+        sample_every=args.sample_every,
         elastic_every=args.elastic_every,
         elastic_epochs=args.elastic_epochs,
         serve_every=args.serve_every,
@@ -881,12 +1003,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="persistent plan-cache directory")
     p.add_argument("--epochs", type=int, default=3)
     p.add_argument("--lr", type=float, default=0.05)
+    p.add_argument("--minibatch", action="store_true",
+                   help="sampled mini-batch training with per-batch "
+                        "communication plans (checks oracle parity)")
+    p.add_argument("--batch-size", type=_positive_int, default=64,
+                   help="seeds per mini-batch with --minibatch")
+    p.add_argument("--fanouts", type=_parse_fanouts, default=(10, 10),
+                   metavar="N,N,...",
+                   help="per-layer neighbor fanouts with --minibatch")
     p.add_argument("--fault-spec", default=None, metavar="FILE",
                    help="JSON FaultPlan to inject (chaos training)")
     p.add_argument("--checkpoint-every", type=_positive_int, default=2,
                    help="epochs between recovery checkpoints")
     p.add_argument("--emit-trace", default=None, metavar="PATH",
                    help="write a Chrome trace of the training run")
+
+    p = sub.add_parser("sample",
+                       help="stream sampled mini-batches through "
+                            "per-batch communication planning")
+    common(p)
+    p.add_argument("--batch-size", type=_positive_int, default=64,
+                   help="seed vertices per batch")
+    p.add_argument("--fanouts", type=_parse_fanouts, default=(10, 10),
+                   metavar="N,N,...",
+                   help="per-layer neighbor fanouts (default 10,10)")
+    p.add_argument("--khop", type=_positive_int, default=None, metavar="K",
+                   help="full k-hop expansion instead of fanout sampling")
+    p.add_argument("--epochs", type=_positive_int, default=1,
+                   help="epochs (shuffled batch streams) to plan")
+    p.add_argument("--seed", type=int, default=0,
+                   help="loader/sampler/planner seed")
+    p.add_argument("--plan-cache", default=None, metavar="DIR",
+                   help="persistent plan-cache directory (batches "
+                        "fingerprint into it; repeats are free)")
+    p.add_argument("--show", type=_positive_int, default=8,
+                   help="batches to print individually")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output on stdout")
 
     p = sub.add_parser("chaos",
                        help="randomized fault soak with invariant oracles")
@@ -907,6 +1060,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "'link-loss=2,flag-duplicate=0'")
     p.add_argument("--train-every", type=int, default=0, metavar="N",
                    help="every Nth seed also checks gradient parity")
+    p.add_argument("--sample-every", type=int, default=0, metavar="N",
+                   help="every Nth seed also runs sampled mini-batch "
+                        "training under the faults and checks the "
+                        "minibatch-parity oracle")
     p.add_argument("--elastic-every", type=int, default=0, metavar="N",
                    help="every Nth seed interleaves a seeded random "
                         "grow/shrink schedule with the faults")
@@ -1032,6 +1189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "tune": cmd_tune,
         "evaluate": cmd_evaluate,
         "train": cmd_train,
+        "sample": cmd_sample,
         "trace": cmd_trace,
         "profile": cmd_profile,
         "report": cmd_report,

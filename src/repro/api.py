@@ -556,6 +556,79 @@ class DGCLSession:
         )
         return tuner.tune()
 
+    def sample_loader(
+        self,
+        graph: Graph,
+        *,
+        batch_size: int,
+        fanouts: Optional[Tuple[int, ...]] = None,
+        hops: Optional[int] = None,
+        train_vertices: Optional[np.ndarray] = None,
+        assignment: Optional[np.ndarray] = None,
+        seed: int = 0,
+        chunks_per_class: int = 4,
+        drop_last: bool = True,
+        incremental: bool = True,
+    ):
+        """Build the mini-batch sampling pipeline for ``graph``.
+
+        Everything after the graph is keyword-only.  Returns the triple
+        ``(loader, sampler, planner)``: a
+        :class:`~repro.sampling.loader.SeedLoader` over
+        ``train_vertices`` (default: every vertex), a sampler — uniform
+        :class:`~repro.sampling.samplers.NeighborSampler` when
+        ``fanouts`` is given, full
+        :class:`~repro.sampling.samplers.KHopSampler` when ``hops`` is
+        (exactly one must be) — and a
+        :class:`~repro.sampling.planner.BatchPlanner` bound to this
+        session's topology, plan cache and metrics sink.  The triple
+        feeds :class:`~repro.gnn.minibatch.MiniBatchTrainer` directly.
+
+        ``assignment`` overrides the parent partition (default: the
+        same hierarchical partition ``build_comm_info`` would derive);
+        ``incremental=False`` disarms the patch-from-previous-batch
+        rung so every cache miss plans cold.
+        """
+        self._check_open()
+        from repro.sampling import (
+            BatchPlanner,
+            KHopSampler,
+            NeighborSampler,
+            SeedLoader,
+        )
+
+        if (fanouts is None) == (hops is None):
+            raise ValueError(
+                "pass exactly one of fanouts= (neighbor sampling) "
+                "or hops= (full k-hop expansion)"
+            )
+        if fanouts is not None:
+            sampler = NeighborSampler(graph, fanouts, seed=seed)
+        else:
+            sampler = KHopSampler(graph, hops)
+        loader = SeedLoader(
+            graph,
+            batch_size,
+            train_vertices=train_vertices,
+            seed=seed,
+            drop_last=drop_last,
+        )
+        if assignment is None:
+            assignment = hierarchical_partition(
+                graph, self.topology, seed=seed
+            ).assignment
+        planner = BatchPlanner(
+            graph,
+            assignment,
+            self.topology,
+            plan_cache=self.plan_cache,
+            chunks_per_class=chunks_per_class,
+            seed=seed,
+            incremental=incremental,
+            metrics=self.metrics,
+        )
+        return loader, sampler, planner
+
     def _require_plan(self) -> CompiledAllgather:
         if self._allgather is None:
             raise RuntimeError("call build_comm_info() before communicating")

@@ -32,6 +32,7 @@ from repro.autotune.fingerprint import (
     config_fingerprint,
     graph_fingerprint,
     partition_fingerprint,
+    subgraph_fingerprint,
     topology_fingerprint,
 )
 from repro.autotune.replan import ReplanResult, incremental_replan, plan_cost
@@ -67,6 +68,7 @@ __all__ = [
     "partition_fingerprint",
     "plan_cost",
     "select_driver",
+    "subgraph_fingerprint",
     "topology_fingerprint",
     "tune_graph",
     "workload_spec",

@@ -38,6 +38,7 @@ from repro.topology.topology import Topology
 __all__ = [
     "CacheKey",
     "graph_fingerprint",
+    "subgraph_fingerprint",
     "partition_fingerprint",
     "topology_fingerprint",
     "topology_document",
@@ -59,11 +60,51 @@ def _digest(*chunks: bytes) -> str:
 
 
 def graph_fingerprint(graph: Graph) -> str:
-    """Order-independent content hash of a graph's edge set."""
+    """Order-independent content hash of a graph's edge set.
+
+    Memoised on the (immutable) :class:`~repro.graph.csr.Graph`
+    instance: per-batch fingerprinting in the sampling pipeline asks
+    for the parent graph's digest thousands of times per epoch, and the
+    full sorted-edge-code recompute would dominate the cheap subgraph
+    digest.  The digest is identical with or without the memo.
+    """
+    cached = getattr(graph, "_fingerprint", None)
+    if cached is not None:
+        return cached
     src, dst = graph.edges
     n = np.int64(graph.num_vertices)
     codes = np.sort(src.astype(np.int64) * n + dst.astype(np.int64))
-    return _digest(str(graph.num_vertices).encode(), codes.tobytes())
+    digest = _digest(str(graph.num_vertices).encode(), codes.tobytes())
+    try:
+        graph._fingerprint = digest
+    except AttributeError:  # pragma: no cover - foreign Graph-alikes
+        pass
+    return digest
+
+
+def subgraph_fingerprint(
+    parent: Graph, vertices: np.ndarray, subgraph: Graph
+) -> str:
+    """Cheap content hash of a sampled subgraph of ``parent``.
+
+    Identity is the triple (parent edge set, sampled vertex set, local
+    edge set): the parent contributes its *memoised* digest, so a batch
+    fingerprint costs O(|sampled edges|) instead of O(|parent edges|).
+    ``vertices`` is the sorted global-id array naming the sampled
+    vertex set; ``subgraph`` is the local-id graph over those rows.
+    Two batches sampling the same vertices with the same edges
+    fingerprint identically regardless of how they were drawn.
+    """
+    vertices = np.ascontiguousarray(vertices, dtype=np.int64)
+    src, dst = subgraph.edges
+    n = np.int64(max(subgraph.num_vertices, 1))
+    codes = np.sort(src.astype(np.int64) * n + dst.astype(np.int64))
+    return _digest(
+        graph_fingerprint(parent).encode(),
+        str(subgraph.num_vertices).encode(),
+        vertices.tobytes(),
+        codes.tobytes(),
+    )
 
 
 def partition_fingerprint(assignment: np.ndarray) -> str:

@@ -86,6 +86,13 @@ class SoakConfig:
     #: parity (0 = protocol-level oracles only).
     train_every: int = 0
     train_epochs: int = 3
+    #: Every Nth seed additionally runs one epoch of sampled mini-batch
+    #: training (seeded sampler/loader from the chaos seed) twice and
+    #: holds it to the determinism and minibatch-parity oracles
+    #: (0 = no sampled runs).
+    sample_every: int = 0
+    sample_batch_size: int = 32
+    sample_fanouts: Tuple[int, ...] = (4, 4)
     #: Every Nth seed additionally interleaves a seeded random
     #: grow/shrink schedule with the fault plan and holds the elastic
     #: run to the determinism, gradient-parity and delivery oracles
@@ -122,6 +129,7 @@ class SoakConfig:
             "correlated": self.correlated,
             "mix": dict(self.mix) if self.mix else None,
             "train_every": self.train_every,
+            "sample_every": self.sample_every,
             "elastic_every": self.elastic_every,
             "elastic_epochs": self.elastic_epochs,
             "serve_every": self.serve_every,
@@ -452,6 +460,90 @@ class SoakRunner:
         return violations
 
     # ------------------------------------------------------------------
+    # Sampled mini-batch soak (per-batch planning + parity oracle)
+    def _run_minibatch(self, seed: int):
+        """One epoch of sampled training; returns (losses, sources)."""
+        from repro.gnn import MiniBatchTrainer
+        from repro.sampling import BatchPlanner, NeighborSampler, SeedLoader
+
+        cfg = self.config
+        g, features, labels = self._training_task()
+        part = partition(g, cfg.gpus, seed=cfg.partition_seed)
+        loader = SeedLoader(g, cfg.sample_batch_size, seed=seed)
+        sampler = NeighborSampler(g, cfg.sample_fanouts, seed=seed)
+        planner = BatchPlanner(g, part.assignment, self.topology)
+        trainer = MiniBatchTrainer(
+            self._model(), features, labels, sampler, loader, planner
+        )
+        trainer.train_epoch(0)
+        return list(trainer.loss_history), [
+            r.plan_source for r in trainer.results
+        ]
+
+    def check_minibatch(self, plan: FaultPlan, seed: int) -> List[Violation]:
+        """Oracles over one epoch of sampled mini-batch training.
+
+        The sampled stream is seeded from the chaos seed and run twice:
+
+        * **determinism** — both runs must produce bit-identical
+          per-batch losses and identical plan-source ladders (cold /
+          patched / replanned per batch);
+        * **minibatch-parity** — the distributed trainer's per-batch
+          losses must match a single-device
+          :class:`~repro.gnn.minibatch.MiniBatchOracle` replaying the
+          same batch stream, which end-to-end checks that every
+          patched or replanned batch plan still delivers the right
+          rows.
+
+        Crash plans are skipped like the other training oracles:
+        losing a partition legitimately changes the trajectory.
+        """
+        if plan.crashed_devices:
+            return []
+        from repro.gnn import MiniBatchOracle
+
+        losses1, sources1 = self._run_minibatch(seed)
+        losses2, sources2 = self._run_minibatch(seed)
+        violations: List[Violation] = []
+        if losses1 != losses2:
+            violations.append(Violation(
+                "determinism",
+                "sampled runs diverged in per-batch losses",
+            ))
+        if sources1 != sources2:
+            violations.append(Violation(
+                "determinism",
+                f"sampled runs diverged in plan sources "
+                f"({sources1} vs {sources2})",
+            ))
+
+        cfg = self.config
+        g, features, labels = self._training_task()
+        oracle = MiniBatchOracle(self._model(), features, labels)
+        from repro.sampling import NeighborSampler, SeedLoader
+
+        loader = SeedLoader(g, cfg.sample_batch_size, seed=seed)
+        sampler = NeighborSampler(g, cfg.sample_fanouts, seed=seed)
+        for i, seeds in enumerate(loader.batches(0)):
+            oracle.run_batch(sampler.sample(seeds, batch_index=i))
+        if len(oracle.loss_history) != len(losses1):
+            violations.append(Violation(
+                "minibatch-parity",
+                f"{len(losses1)} batch(es) trained, oracle ran "
+                f"{len(oracle.loss_history)}",
+            ))
+        elif not np.allclose(losses1, oracle.loss_history,
+                             rtol=1e-4, atol=1e-6):
+            gaps = [abs(a - b)
+                    for a, b in zip(losses1, oracle.loss_history)]
+            violations.append(Violation(
+                "minibatch-parity",
+                f"sampled losses diverged from the single-device "
+                f"oracle (max gap {max(gaps):.3e})",
+            ))
+        return violations
+
+    # ------------------------------------------------------------------
     # Mixed elastic soak (faults + randomized grow/shrink)
     def _elastic_schedule(self, seed: int):
         if self._elastic_generator is None:
@@ -633,12 +725,15 @@ class SoakRunner:
         train: bool = False,
         elastic: bool = False,
         serve: bool = False,
+        sample: bool = False,
     ) -> SeedResult:
         """Generate, execute and score one seed."""
         plan = self.generator.sample(seed)
         violations, obs = self.check_plan(plan)
         if train:
             violations += self.check_training(plan)
+        if sample:
+            violations += self.check_minibatch(plan, seed)
         if elastic:
             violations += self.check_elastic(plan, seed)
         if serve:
@@ -664,11 +759,13 @@ class SoakRunner:
         results = []
         for i in range(seeds):
             train = cfg.train_every > 0 and i % cfg.train_every == 0
+            sample = cfg.sample_every > 0 and i % cfg.sample_every == 0
             elastic = cfg.elastic_every > 0 and i % cfg.elastic_every == 0
             serve = cfg.serve_every > 0 and i % cfg.serve_every == 0
             results.append(
                 self.run_seed(
-                    start_seed + i, train=train, elastic=elastic, serve=serve
+                    start_seed + i, train=train, elastic=elastic,
+                    serve=serve, sample=sample,
                 )
             )
         return SoakReport(results=results, config=cfg.knobs())

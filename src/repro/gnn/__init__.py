@@ -39,6 +39,7 @@ from repro.gnn.models import (
 )
 from repro.gnn.optim import Adam
 from repro.gnn.checkpoint import Checkpoint, restore, snapshot
+from repro.gnn.minibatch import MiniBatchOracle, MiniBatchResult, MiniBatchTrainer
 from repro.gnn.resilient import FaultRecoveryReport, ResilientTrainer
 from repro.gnn.training import SingleDeviceTrainer
 
@@ -64,6 +65,9 @@ __all__ = [
     "build_gat",
     "build_model",
     "SingleDeviceTrainer",
+    "MiniBatchTrainer",
+    "MiniBatchOracle",
+    "MiniBatchResult",
     "Checkpoint",
     "snapshot",
     "restore",

@@ -1,0 +1,279 @@
+"""Mini-batch distributed training over per-batch communication plans.
+
+The sampled-training counterpart of
+:class:`~repro.gnn.distributed.DistributedTrainer`: every step draws a
+seed batch from a :class:`~repro.sampling.loader.SeedLoader`, samples
+its subgraph, plans the batch's communication through the
+:class:`~repro.sampling.planner.BatchPlanner` ladder (cache → patch →
+cold SPST) and runs a data-parallel forward/backward on the batch's
+own :class:`~repro.core.relation.CommRelation`.  The loss is taken on
+the *seed* rows only — the layer-sampled halo rows exist purely to
+feed aggregation, exactly as in DistDGL.
+
+:class:`MiniBatchOracle` is the correctness reference: a single-device
+trainer consuming the *same* batch stream (samplers and loaders are
+stateless, so two consumers replay identical streams) with a full
+local-id forward.  The parity suite pins the distributed trainer's
+per-batch loss and weight gradients to the oracle's to float
+precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+import numpy as np
+
+from repro.comm.allgather import CompiledAllgather
+from repro.gnn.functional import softmax_cross_entropy
+from repro.gnn.layers import GraphContext
+from repro.gnn.models import GNNModel, SGD
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports.
+    # Imported lazily: repro.sampling pulls in repro.autotune, whose
+    # package init reaches back into repro.gnn through the baselines.
+    from repro.sampling.loader import SeedLoader
+    from repro.sampling.planner import BatchPlanner, PlannedBatch
+    from repro.sampling.samplers import SampledSubgraph
+
+__all__ = ["MiniBatchResult", "MiniBatchOracle", "MiniBatchTrainer"]
+
+WeightGrads = List[Dict[str, np.ndarray]]
+
+
+@dataclass(frozen=True)
+class MiniBatchResult:
+    """Outcome of one mini-batch step."""
+
+    loss: float
+    num_seeds: int
+    num_vertices: int
+    plan_source: str
+    plan_wall_seconds: float
+
+
+def _check_io(model: GNNModel, features: np.ndarray, labels: np.ndarray,
+              num_vertices: int) -> None:
+    """Shared input validation of both trainer variants."""
+    if features.shape[0] != num_vertices:
+        raise ValueError("features must cover every parent vertex")
+    if labels.shape[0] != num_vertices:
+        raise ValueError("labels must cover every parent vertex")
+    if features.shape[1] != model.layer_dims[0]:
+        raise ValueError(
+            f"feature width {features.shape[1]} does not match the "
+            f"model input {model.layer_dims[0]}"
+        )
+
+
+class MiniBatchOracle:
+    """Single-device reference for sampled training.
+
+    Runs each :class:`~repro.sampling.samplers.SampledSubgraph` as one
+    dense local-id forward/backward with the loss restricted to the
+    seed rows.  Feed it the same batch stream as a
+    :class:`MiniBatchTrainer` holding an identically-initialised model
+    and the two must agree to float precision — the acceptance bar of
+    the sampling pipeline.
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        lr: float = 0.01,
+        optimizer=None,
+    ) -> None:
+        _check_io(model, features, labels, features.shape[0])
+        self.model = model
+        self.features = features.astype(np.float32, copy=True)
+        self.labels = labels
+        self.optimizer = optimizer or SGD(model, lr=lr)
+        self.loss_history: List[float] = []
+
+    def batch_gradients(
+        self, batch: SampledSubgraph
+    ) -> Tuple[float, WeightGrads]:
+        """Loss and per-layer weight gradients of one batch (no update)."""
+        ctx = GraphContext.from_graph(batch.graph)
+        h = self.features[batch.vertices]
+        logits, caches = self.model.forward(ctx, h)
+        rows = batch.seed_rows
+        loss, g_seed = softmax_cross_entropy(
+            logits[rows], self.labels[batch.seeds]
+        )
+        grad = np.zeros_like(logits)
+        grad[rows] = g_seed
+        _, weight_grads = self.model.backward(ctx, caches, grad)
+        return loss, weight_grads
+
+    def run_batch(
+        self, batch: SampledSubgraph, update: bool = True
+    ) -> MiniBatchResult:
+        """One oracle step (optionally applying the optimizer)."""
+        loss, grads = self.batch_gradients(batch)
+        if update:
+            self.optimizer.step(grads)
+        self.loss_history.append(loss)
+        return MiniBatchResult(
+            loss=loss,
+            num_seeds=batch.num_seeds,
+            num_vertices=batch.num_vertices,
+            plan_source="oracle",
+            plan_wall_seconds=0.0,
+        )
+
+
+class MiniBatchTrainer:
+    """Data-parallel sampled training with per-batch planning.
+
+    Each step re-derives the batch's device layout from the *parent*
+    partition held by ``planner`` (a vertex lands on the same device
+    whether it arrives full-graph or sampled), compiles the batch plan
+    into a :class:`~repro.comm.allgather.CompiledAllgather` and runs
+    the standard layer loop: allgather → layer forward per device,
+    then backward with gradient scatter between layers and summed
+    (data-parallel) weight gradients.
+    """
+
+    def __init__(
+        self,
+        model: GNNModel,
+        features: np.ndarray,
+        labels: np.ndarray,
+        sampler,
+        loader: SeedLoader,
+        planner: BatchPlanner,
+        lr: float = 0.01,
+        optimizer=None,
+    ) -> None:
+        _check_io(model, features, labels, planner.graph.num_vertices)
+        self.model = model
+        self.features = features.astype(np.float32, copy=True)
+        self.labels = labels
+        self.sampler = sampler
+        self.loader = loader
+        self.planner = planner
+        self.optimizer = optimizer or SGD(model, lr=lr)
+        self.loss_history: List[float] = []
+        self.results: List[MiniBatchResult] = []
+
+    # ------------------------------------------------------------------
+    def batch_gradients(
+        self, planned: PlannedBatch
+    ) -> Tuple[float, WeightGrads]:
+        """Distributed loss + summed weight gradients of one batch.
+
+        No optimizer update — this is the surface the parity suite
+        compares against :meth:`MiniBatchOracle.batch_gradients`.
+        """
+        batch, relation, plan = planned.subgraph, planned.relation, planned.plan
+        num_devices = relation.num_devices
+        allgather = CompiledAllgather(relation, plan)
+
+        contexts: List[GraphContext] = []
+        h_local: List[np.ndarray] = []
+        seed_pos: List[np.ndarray] = []
+        seed_labels: List[np.ndarray] = []
+        seed_rows = batch.seed_rows
+        for d in range(num_devices):
+            lg = relation.local_graph(d)
+            contexts.append(
+                GraphContext.from_graph(lg.graph, num_dst=lg.num_local)
+            )
+            local_ids = relation.local_vertices[d]  # batch-local vertex ids
+            h_local.append(self.features[batch.vertices[local_ids]].copy())
+            pos = np.flatnonzero(np.isin(local_ids, seed_rows))
+            seed_pos.append(pos)
+            seed_labels.append(self.labels[batch.vertices[local_ids[pos]]])
+
+        caches: List[List] = [[] for _ in range(num_devices)]
+        for layer in self.model.layers:
+            h_full = allgather.forward(h_local)
+            for d in range(num_devices):
+                out, cache = layer.forward(contexts[d], h_full[d])
+                caches[d].append(cache)
+                h_local[d] = out
+
+        # Loss on the seed rows only, globally mean-normalised: each
+        # device's mean over its local seeds is rescaled by
+        # n_local_seeds / num_seeds so the sum matches the oracle.
+        total_seeds = batch.num_seeds
+        loss = 0.0
+        grad: List[np.ndarray] = []
+        for d in range(num_devices):
+            g = np.zeros_like(h_local[d])
+            pos = seed_pos[d]
+            if pos.size:
+                l_d, g_d = softmax_cross_entropy(
+                    h_local[d][pos], seed_labels[d]
+                )
+                weight = pos.size / total_seeds
+                loss += l_d * weight
+                g[pos] = g_d * weight
+            grad.append(g)
+
+        weight_grads: WeightGrads = [None] * self.model.num_layers
+        for li in reversed(range(self.model.num_layers)):
+            layer = self.model.layers[li]
+            full_grads = []
+            for d in range(num_devices):
+                g_full, g_params = layer.backward(
+                    contexts[d], caches[d][li], grad[d]
+                )
+                full_grads.append(g_full)
+                if weight_grads[li] is None:
+                    weight_grads[li] = {
+                        k: v.copy() for k, v in g_params.items()
+                    }
+                else:
+                    for k, v in g_params.items():
+                        weight_grads[li][k] += v
+            if li == 0:
+                break  # input features carry no gradient
+            grad = allgather.backward(full_grads)
+        return loss, weight_grads
+
+    def run_batch(
+        self, planned: PlannedBatch, update: bool = True
+    ) -> MiniBatchResult:
+        """One distributed mini-batch step."""
+        loss, grads = self.batch_gradients(planned)
+        if update:
+            self.optimizer.step(grads)
+        result = MiniBatchResult(
+            loss=loss,
+            num_seeds=planned.num_seeds,
+            num_vertices=planned.subgraph.num_vertices,
+            plan_source=planned.plan_source,
+            plan_wall_seconds=planned.wall_seconds,
+        )
+        self.loss_history.append(loss)
+        self.results.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def batch_stream(self, epoch: int = 0):
+        """The epoch's sampled batches, planned and ready to run.
+
+        Batch indices are globalised (``epoch * num_batches + i``) so
+        neighbor draws decorrelate across epochs while every batch
+        stays a pure function of ``(loader seed, sampler seed,
+        epoch, position)`` — two consumers replay identical streams.
+        """
+        base = epoch * self.loader.num_batches
+        for i, seeds in enumerate(self.loader.batches(epoch)):
+            batch = self.sampler.sample(seeds, batch_index=base + i)
+            yield self.planner.plan_batch(batch)
+
+    def train_epoch(self, epoch: int = 0) -> List[MiniBatchResult]:
+        """Run every batch of one epoch; returns the per-batch results."""
+        return [self.run_batch(planned) for planned in self.batch_stream(epoch)]
+
+    def train(self, epochs: int) -> List[float]:
+        """Run ``epochs`` epochs; returns the per-batch loss history."""
+        for epoch in range(epochs):
+            self.train_epoch(epoch)
+        return list(self.loss_history)

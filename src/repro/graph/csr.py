@@ -64,6 +64,7 @@ class Graph:
         "_out_indices",
         "_in_indptr",
         "_in_indices",
+        "_fingerprint",
     )
 
     def __init__(
@@ -107,6 +108,9 @@ class Graph:
         self._dst = dst
         self._out_indptr, self._out_indices = _build_csr(src, dst, num_vertices)
         self._in_indptr, self._in_indices = _build_csr(dst, src, num_vertices)
+        # Lazily filled by repro.autotune.fingerprint.graph_fingerprint.
+        # Safe to memoise on the instance because graphs are immutable.
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic accessors

@@ -1,0 +1,36 @@
+"""Mini-batch sampled training: seeded samplers + per-batch planning.
+
+DGCL's full-graph pipeline plans communication once; the sampling
+subsystem brings the mini-batch regime (DistDGL-style) to the same
+machinery:
+
+* :mod:`repro.sampling.samplers` — deterministic
+  :class:`NeighborSampler` (uniform fanout per layer) and
+  :class:`KHopSampler` (full receptive field) emitting
+  :class:`SampledSubgraph` batches over the in-CSR;
+* :mod:`repro.sampling.loader` — the stateless :class:`SeedLoader`
+  that shuffles training vertices into fixed-size seed batches, a pure
+  function of ``(seed, epoch)``;
+* :mod:`repro.sampling.planner` — the :class:`BatchPlanner` that plans
+  communication *per batch* through a cache → patch → cold-SPST
+  ladder, restricting the full-graph partition to each sampled vertex
+  set and fingerprinting batches into the shared plan cache.
+
+The trainer that consumes all three lives in
+:mod:`repro.gnn.minibatch`; ``DGCLSession.sample_loader`` is the
+porcelain entry point.
+"""
+
+from repro.sampling.loader import SeedLoader
+from repro.sampling.planner import BatchPlanner, BatchPlanStats, PlannedBatch
+from repro.sampling.samplers import KHopSampler, NeighborSampler, SampledSubgraph
+
+__all__ = [
+    "BatchPlanner",
+    "BatchPlanStats",
+    "KHopSampler",
+    "NeighborSampler",
+    "PlannedBatch",
+    "SampledSubgraph",
+    "SeedLoader",
+]

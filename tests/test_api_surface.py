@@ -93,6 +93,14 @@ EXPECTED_METHODS = {
         "(self, graph: 'Graph', *, seed: 'int' = 0, "
         "chunks_per_class: 'int' = 4, plan_based_only: 'bool' = False, "
         "assignment: 'Optional[np.ndarray]' = None, **kwargs)",
+    "DGCLSession.sample_loader":
+        "(self, graph: 'Graph', *, batch_size: 'int', "
+        "fanouts: 'Optional[Tuple[int, ...]]' = None, "
+        "hops: 'Optional[int]' = None, "
+        "train_vertices: 'Optional[np.ndarray]' = None, "
+        "assignment: 'Optional[np.ndarray]' = None, seed: 'int' = 0, "
+        "chunks_per_class: 'int' = 4, drop_last: 'bool' = True, "
+        "incremental: 'bool' = True)",
 }
 
 #: PlanReport's dataclass fields, in declaration order.
