@@ -1,0 +1,201 @@
+"""Scheme-registry benchmark: the widened space earns its candidates.
+
+The registry grew two communication-avoiding families (CAGNET 1.5D/2D)
+and one pipelined family (DistGNN delayed aggregation).  New schemes
+only pay their way if the tuner actually *picks* them somewhere, so
+this benchmark tunes a grid of synthetic workload cells chosen so that
+each new family is genuinely cheapest on at least one — recorded in
+``BENCH_schemes.json`` and gated by ``compare.py``:
+
+* **cagnet-1.5d** — dense Erdős–Rényi on the PCIe-only box with a deep
+  model: every SPST tree shares the same few PCIe switches, while the
+  systolic ring gives perfect per-stage link balance;
+* **cagnet-2d** — hub-heavy RMAT on a 2x4 torus with a tiny feature
+  width: the latency/stage-bound regime where the grid's semi-perimeter
+  depth beats both the ring walk and SPST's contended trees;
+* **distgnn-delayed** — comm-bound RMAT on a ring, full default space:
+  amortising the exchange over the refresh period wins whenever the
+  cell is communication-dominated and staleness is allowed.
+
+The CAGNET cells pin ``staleness_options=(0,)`` — exact-aggregation
+cells, the same restriction a training session applies when it cannot
+tolerate stale neighbours; the DistGNN cell sweeps the full space.
+Alongside the picks, the artifact records how many scheme families the
+tuner priced (>= 6) and a staleness sweep showing the monotone
+comm-time amortisation the ``staleness`` knob buys.
+"""
+
+from repro.autotune import AutoTuner, SearchSpace, workload_spec
+from repro.baselines import evaluate_scheme
+from repro.baselines.strategies import Workload
+from repro.graph.generators import erdos_renyi, rmat
+from repro.topology.presets import pcie_only, ring, torus
+
+from benchmarks.conftest import write_table
+from benchmarks.emit_json import emit_json
+
+#: One row per expected winner: the new scheme and a synthetic cell
+#: where it is genuinely cheapest under the staged cost model.
+CELLS = (
+    {
+        "name": "pcie8-er-deep",
+        "want": "cagnet-1.5d",
+        "graph": ("erdos_renyi", 200, 16000, 2),
+        "topology": ("pcie_only", 8),
+        "layers": 4,
+        "feature_size": 128,
+        "exact": True,
+    },
+    {
+        "name": "torus2x4-rmat-thin",
+        "want": "cagnet-2d",
+        "graph": ("rmat", 400, 16000, 11),
+        "topology": ("torus", 2, 4),
+        "layers": 6,
+        "feature_size": 4,
+        "exact": True,
+    },
+    {
+        "name": "ring8-rmat",
+        "want": "distgnn-delayed",
+        "graph": ("rmat", 400, 8000, 1),
+        "topology": ("ring", 8),
+        "layers": 2,
+        "feature_size": 128,
+        "exact": False,
+    },
+)
+
+GRAPHS = {"erdos_renyi": erdos_renyi, "rmat": rmat}
+TOPOLOGIES = {"pcie_only": pcie_only, "ring": ring, "torus": torus}
+
+STALENESS_SWEEP = (0, 1, 2, 4)
+
+
+def build_cell(cell):
+    """Materialise one cell's graph / topology / spec / search space."""
+    gkind, v, e, seed = cell["graph"]
+    graph = GRAPHS[gkind](v, e, seed=seed)
+    tkind, *targs = cell["topology"]
+    topology = TOPOLOGIES[tkind](*targs)
+    fs = cell["feature_size"]
+    spec = workload_spec(graph, f"schemes-{cell['name']}",
+                         feature_size=fs, hidden_size=fs)
+    space = (SearchSpace(topology, staleness_options=(0,))
+             if cell["exact"] else None)
+    return graph, topology, spec, space
+
+
+def tune_cell(cell):
+    """Tune one cell; returns (report, per-strategy best fixed costs)."""
+    graph, topology, spec, space = build_cell(cell)
+    tuner = AutoTuner(graph, topology, model_name="gcn",
+                      num_layers=cell["layers"], spec=spec, space=space)
+    report = tuner.tune()
+    # Per-strategy floor over the full-fidelity trials: what each fixed
+    # scheme family would have cost had it been hard-coded.
+    fixed = {}
+    for t in report.trials:
+        if t.fidelity < 1.0 or not t.result.ok:
+            continue
+        s = t.candidate.strategy
+        fixed[s] = min(fixed.get(s, float("inf")), t.cost)
+    return report, fixed
+
+
+def staleness_sweep(cell):
+    """Epoch/comm time of distgnn-delayed across the staleness ladder."""
+    graph, topology, spec, _ = build_cell(cell)
+    w = Workload(spec.name, "gcn", topology, num_layers=cell["layers"],
+                 graph=graph, spec=spec)
+    points = []
+    for s in STALENESS_SWEEP:
+        r = evaluate_scheme(w, scheme="distgnn-delayed", staleness=s)
+        assert r.ok, f"distgnn-delayed infeasible at staleness={s}"
+        points.append({
+            "staleness": s,
+            "epoch_seconds": r.epoch_time,
+            "comm_seconds": r.comm_time,
+        })
+    return points
+
+
+def test_schemes_benchmark():
+    results = [(cell, *tune_cell(cell)) for cell in CELLS]
+    sweep = staleness_sweep(CELLS[2])
+
+    families = set()
+    rows = []
+    payload_cells = {}
+    for cell, report, fixed in results:
+        families.update(fixed)
+        picked = report.candidate.strategy
+        pick_cost = report.best.cost
+        others = {s: c for s, c in fixed.items() if s != picked}
+        runner_up = min(others, key=others.get)
+        rows.append([
+            cell["name"], cell["want"], report.candidate.label(),
+            f"{pick_cost * 1e3:.4f}",
+            f"{runner_up} ({others[runner_up] * 1e3:.4f})",
+            f"{report.space_size}/{report.evaluations}",
+        ])
+        payload_cells[cell["name"]] = {
+            "graph": list(cell["graph"]),
+            "topology": list(cell["topology"]),
+            "layers": cell["layers"],
+            "feature_size": cell["feature_size"],
+            "exact_aggregation": cell["exact"],
+            "want": cell["want"],
+            "picked": report.candidate.config(),
+            "pick_is_expected": picked == cell["want"],
+            "picked_epoch_seconds": pick_cost,
+            "runner_up": runner_up,
+            "runner_up_epoch_seconds": others[runner_up],
+            "space_size": report.space_size,
+            "evaluations": report.evaluations,
+            "driver": report.driver,
+            "fixed": fixed,
+        }
+
+    comm0 = sweep[0]["comm_seconds"]
+    comm4 = sweep[-1]["comm_seconds"]
+    write_table(
+        "schemes",
+        "Widened tuner space: each new scheme family wins its cell",
+        ["cell", "expected", "picked", "pick(ms)", "runner-up(ms)",
+         "space/evals"],
+        rows,
+        notes=(
+            f"{len(families)} scheme families priced: "
+            f"{', '.join(sorted(families))}. distgnn staleness sweep on "
+            f"{CELLS[2]['name']}: comm {comm0 * 1e3:.3f}ms (s=0) -> "
+            f"{comm4 * 1e3:.3f}ms (s=4, {comm0 / comm4:.2f}x amortised)."
+        ),
+    )
+    emit_json("schemes", {
+        "model": "gcn",
+        "families_priced": sorted(families),
+        "families_priced_count": len(families),
+        "cells": payload_cells,
+        "staleness_sweep": {
+            "cell": CELLS[2]["name"],
+            "scheme": "distgnn-delayed",
+            "points": sweep,
+            "amortisation_s4": comm0 / comm4,
+        },
+    })
+
+    # Acceptance: the widened space prices >= 6 scheme families...
+    assert len(families) >= 6, f"only priced {sorted(families)}"
+    # ...each new scheme is picked where it is genuinely cheapest...
+    for cell, report, fixed in results:
+        picked = report.candidate.strategy
+        assert picked == cell["want"], (
+            f"{cell['name']}: expected {cell['want']}, picked {picked}"
+        )
+        # ...and the tuned pick never loses to any fixed scheme.
+        assert report.best.cost <= min(fixed.values()) + 1e-12, cell["name"]
+    # Staleness ladder: comm time amortises monotonically, ~1/(s+1).
+    comms = [p["comm_seconds"] for p in sweep]
+    assert all(a >= b for a, b in zip(comms, comms[1:])), comms
+    assert comm0 / comm4 > 3.0, f"amortisation only {comm0 / comm4:.2f}x"

@@ -81,6 +81,17 @@ SPECS: Dict[str, Tuple[Tuple[str, ...], Tuple[Metric, ...]]] = {
             Metric("plan_cache.speedup", "higher", 0.50, wall=True),
         ),
     ),
+    "schemes": (
+        ("model", "cells.*.graph", "cells.*.topology", "cells.*.layers",
+         "cells.*.feature_size"),
+        (
+            Metric("cells.*.pick_is_expected", "equal"),
+            Metric("cells.*.picked_epoch_seconds", "lower", 0.01),
+            Metric("cells.*.evaluations", "equal"),
+            Metric("families_priced_count", "higher", 0.0),
+            Metric("staleness_sweep.amortisation_s4", "higher", 0.05),
+        ),
+    ),
     "elastic": (
         ("epochs",),
         (

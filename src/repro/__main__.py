@@ -3,9 +3,11 @@
 Commands:
 
 * ``info`` — list the dataset twins, topology presets and GNN models;
-* ``plan`` — partition a dataset, plan (``--strategy spst|p2p|auto``,
-  optionally through a persistent ``--plan-cache DIR``), print plan
-  statistics and optionally save the plan to a ``.npz``;
+* ``plan`` — partition a dataset, plan (``--strategy`` takes any
+  plan-based scheme in the registry — ``spst``/``p2p`` aliases,
+  ``cagnet-1.5d``, ``distgnn-delayed``, ... — or ``auto``, optionally
+  through a persistent ``--plan-cache DIR``), print plan statistics
+  and optionally save the plan to a ``.npz``;
 * ``tune`` — run the cost-guided auto-tuner: price every candidate
   scheme with the staged cost model, print the ranking and the pick;
   with ``--plan-cache DIR`` the winning plan persists across runs;
@@ -65,6 +67,21 @@ def _topology(num_gpus: int, kind: str):
     return topology_for_gpu_count(num_gpus)
 
 
+def _strategy_choices() -> List[str]:
+    """Valid ``--strategy`` spellings: the scheme registry's session
+    vocabulary (plan-based schemes + aliases + ``auto``)."""
+    from repro.schemes import session_strategy_names
+
+    return list(session_strategy_names())
+
+
+def _scheme_choices() -> List[str]:
+    """Valid ``--scheme`` spellings: every registered scheme + ``auto``."""
+    from repro.schemes import scheme_names
+
+    return list(scheme_names()) + ["auto"]
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     from repro.gnn.models import MODEL_BUILDERS
 
@@ -77,8 +94,14 @@ def cmd_info(args: argparse.Namespace) -> int:
     print("\ntopologies: dgx1 (1-8 GPUs), dual-dgx1 (16 GPUs over IB), "
           "pcie (no NVLink)")
     print(f"models: {', '.join(sorted(MODEL_BUILDERS))}")
-    print("schemes: dgcl, dgcl-cache, peer-to-peer, swap, replication "
-          "(+ dgcl-r on 16 GPUs)")
+    from repro.schemes import global_registry
+
+    names = []
+    for spec in global_registry().specs():
+        suffix = "" if spec.plan_based else "*"
+        names.append(spec.name + suffix)
+    print(f"schemes: {', '.join(names)}  (* = evaluation-only; "
+          "register more with dgcl.register_scheme)")
     return 0
 
 
@@ -249,7 +272,8 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
                             chunks_per_class=picked.chunks_per_class)
         results = [
             evaluate_scheme(workload, scheme=picked.strategy, tracer=tracer,
-                            metrics=metrics, method=picked.method)
+                            metrics=metrics, method=picked.method,
+                            staleness=picked.staleness)
         ]
     else:
         schemes = [args.scheme] if args.scheme else list(SCHEMES)
@@ -961,7 +985,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("plan", help="partition + plan statistics")
     common(p)
     p.add_argument("--strategy", default="spst",
-                   choices=["spst", "p2p", "auto"],
+                   choices=_strategy_choices(),
                    help="planning strategy (auto = cost-guided tuner)")
     p.add_argument("--plan-cache", default=None, metavar="DIR",
                    help="persistent plan-cache directory")
@@ -986,8 +1010,9 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--model", default="gcn")
     p.add_argument("--scheme", default=None,
+                   choices=_scheme_choices(),
                    help="one scheme only, or 'auto' to evaluate the "
-                        "tuner's pick (default: all)")
+                        "tuner's pick (default: the paper's four)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output on stdout")
     p.add_argument("--emit-trace", default=None, metavar="PATH",
@@ -997,7 +1022,7 @@ def build_parser() -> argparse.ArgumentParser:
     common(p)
     p.add_argument("--model", default="gcn")
     p.add_argument("--strategy", default="spst",
-                   choices=["spst", "p2p", "auto"],
+                   choices=_strategy_choices(),
                    help="planning strategy for the training plan")
     p.add_argument("--plan-cache", default=None, metavar="DIR",
                    help="persistent plan-cache directory")

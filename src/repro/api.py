@@ -41,6 +41,7 @@ from repro.obs.profile import FlightRecorder, RunProfile
 from repro.obs.tracer import TRAINER_TRACK, Tracer
 from repro.partition.hierarchical import hierarchical_partition
 from repro.runtime.bootstrap import simulate_bootstrap
+from repro.schemes import register_scheme, resolve_strategy
 from repro.runtime.protocol import DEFAULT_CONTROL_LATENCY
 from repro.simulator.executor import PlanExecutor
 from repro.topology.topology import Topology
@@ -62,10 +63,15 @@ __all__ = [
     "arm_telemetry",
     "profile",
     "serve",
+    "register_scheme",
     "shutdown",
 ]
 
-#: Planning strategies a session accepts.
+#: The historical session vocabulary, kept for compatibility.  The live
+#: set — every plan-based scheme in the :mod:`repro.schemes` registry,
+#: custom registrations included — is
+#: :func:`repro.schemes.session_strategy_names`; a session's
+#: ``strategy=`` is validated against the registry, not this tuple.
 SESSION_STRATEGIES = ("spst", "p2p", "auto")
 
 #: SPST planner engines a session accepts.
@@ -116,8 +122,11 @@ class DGCLSession:
 
     ``strategy`` picks how :meth:`build_comm_info` plans: ``"spst"``
     (the paper's planner, default), ``"p2p"`` (direct peer-to-peer
-    routing) or ``"auto"`` (cost-guided selection over the plan-based
-    candidates — :mod:`repro.autotune`).  ``plan_cache`` — a
+    routing), ``"auto"`` (cost-guided selection over the plan-based
+    candidates — :mod:`repro.autotune`), or any plan-based scheme in
+    the :mod:`repro.schemes` registry (``cagnet-1.5d``, ``cagnet-2d``,
+    ``distgnn-delayed``, custom :func:`~repro.schemes.register_scheme`
+    entries).  ``plan_cache`` — a
     :class:`~repro.autotune.cache.PlanCache` or a directory path —
     makes planning persistent: repeated runs on identical inputs load
     the stored plan, and drifted inputs are patched incrementally.
@@ -137,11 +146,7 @@ class DGCLSession:
         fidelity: str = "event",
         elastic: Optional[ElasticPolicy] = None,
     ) -> None:
-        if strategy not in SESSION_STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; "
-                f"available: {SESSION_STRATEGIES}"
-            )
+        resolve_strategy(strategy)  # raises UnknownSchemeError if invalid
         if engine not in SESSION_ENGINES:
             raise ValueError(
                 f"unknown engine {engine!r}; available: {SESSION_ENGINES}"
@@ -378,11 +383,7 @@ class DGCLSession:
         """
         self._check_open()
         strategy = strategy or self.strategy
-        if strategy not in SESSION_STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {strategy!r}; "
-                f"available: {SESSION_STRATEGIES}"
-            )
+        spec = resolve_strategy(strategy)  # None for "auto"
         engine = engine or self.engine
         if engine not in SESSION_ENGINES:
             raise ValueError(
@@ -412,8 +413,12 @@ class DGCLSession:
             from repro.autotune.cache import PlanCacheError
             from repro.autotune.fingerprint import cache_key
 
+            # Key on the *canonical* scheme name and its registered
+            # version: alias spellings share a cache entry, and bumping
+            # a scheme implementation invalidates its cached plans.
             config = {
-                "strategy": strategy,
+                "strategy": spec.name if spec is not None else "auto",
+                "scheme_version": spec.version if spec is not None else "0",
                 "chunks_per_class": chunks_per_class,
                 "seed": seed,
             }
@@ -472,15 +477,23 @@ class DGCLSession:
             )
             self.tune_report = report
             return report.build_plan()
-        if strategy == "p2p":
+        spec = resolve_strategy(strategy)
+        if spec.name == "peer-to-peer":
             from repro.core.baseline_planners import peer_to_peer_plan
 
             return peer_to_peer_plan(self.relation, self.topology)
-        planner = SPSTPlanner(
-            self.topology, chunks_per_class=chunks_per_class, seed=seed,
-            engine=engine,
+        if spec.name in ("dgcl", "dgcl-cache"):
+            planner = SPSTPlanner(
+                self.topology, chunks_per_class=chunks_per_class, seed=seed,
+                engine=engine,
+            )
+            return planner.plan(self.relation)
+        # Any other plan-based registry scheme (CAGNET trees, delayed
+        # aggregation, custom registrations) compiles via its builder.
+        return spec.build_plan(
+            self.relation, self.topology,
+            chunks_per_class=chunks_per_class, seed=seed, engine=engine,
         )
-        return planner.plan(self.relation)
 
     def _store_plan(self, key, plan: CommPlan, strategy: str) -> None:
         """Record a freshly built plan in the session's cache."""
@@ -542,6 +555,11 @@ class DGCLSession:
                 partitioners=partitioners,
                 chunk_options=(chunks_per_class,),
                 plan_based_only=plan_based_only,
+                # A session executes its plan every epoch, so a
+                # plan-bound tune must price exact (staleness 0)
+                # aggregation; amortised stale pricing would pick a
+                # schedule the session runtime cannot honour.
+                staleness_options=(0,) if plan_based_only else None,
             )
         if self.auditor is not None:
             # An armed session audits the tuner's full-fidelity rung too.

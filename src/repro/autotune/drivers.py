@@ -32,8 +32,12 @@ __all__ = ["Trial", "SearchDriver", "ExhaustiveSearch",
 #: An evaluation callback: (candidate, fidelity in (0, 1]) -> Trial.
 EvaluateFn = Callable[[CandidateScheme, float], "Trial"]
 
-#: Spaces up to this size are searched exhaustively by default.
-EXHAUSTIVE_THRESHOLD = 12
+#: Spaces up to this size are searched exhaustively by default.  Wide
+#: enough to cover the default registry space (every built-in scheme x
+#: two partitioners x the distgnn staleness sweep), so the stock tuner
+#: keeps its exact "auto <= every fixed scheme" guarantee; halving
+#: kicks in for genuinely combinatorial spaces (method x chunk sweeps).
+EXHAUSTIVE_THRESHOLD = 24
 
 
 @dataclass

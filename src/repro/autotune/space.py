@@ -4,10 +4,15 @@ DGCL's own evaluation (Table 5 and §7) shows no single strategy wins
 everywhere, so a candidate is a *point* in the cross-product the paper's
 experiments sweep by hand:
 
-* **strategy** — SPST planning (``dgcl``), SPST with cached remote
-  features (``dgcl-cache`` — §3's replication-factor-1 option),
+* **strategy** — any scheme in the :mod:`repro.schemes` registry: SPST
+  planning (``dgcl``), SPST with cached remote features
+  (``dgcl-cache`` — §3's replication-factor-1 option),
   ``peer-to-peer``, NeuGraph-style ``swap``, full K-hop
-  ``replication``, and the cross-machine ``dgcl-r`` hybrid;
+  ``replication``, the cross-machine ``dgcl-r`` hybrid, the
+  communication-avoiding ``cagnet-1.5d`` / ``cagnet-2d`` dense
+  partitioned aggregation, ``distgnn-delayed`` bounded-staleness
+  aggregation, and anything registered with
+  :func:`repro.schemes.register_scheme`;
 * **replication factor** — implied by the strategy: 0 for the pure
   communication schemes, 1 boundary for ``dgcl-cache``, the full K-hop
   closure for ``replication``, machine-level closures for ``dgcl-r``;
@@ -15,13 +20,19 @@ experiments sweep by hand:
   every pair instead of DGCL's automatic per-pair pick (None = auto);
 * **partitioner** — topology-aware ``hierarchical`` partitioning or
   flat ``metis``;
-* **chunks per class** — SPST routing granularity.
+* **chunks per class** — SPST routing granularity;
+* **staleness** — bounded delayed aggregation: remote aggregates
+  refresh every ``staleness + 1`` epochs (0 = exact, every epoch).
+  Only schemes whose registry spec declares staleness options sweep
+  it; everything else pins 0.
 
 :class:`SearchSpace` enumerates only the *feasible* candidates for a
-topology: Swap is a single-machine design, DGCL-R needs at least two
-machines, and knobs that cannot influence a scheme (method overrides or
-chunking for communication-free Replication) are pinned to their
-canonical value so the space holds no duplicate evaluations.
+topology (each spec's ``feasible`` predicate: Swap is a single-machine
+design, DGCL-R needs at least two machines), and knobs that cannot
+influence a scheme (method overrides or chunking for
+communication-free Replication, any knob of the oblivious CAGNET
+trees) are pinned to their canonical value so the space holds no
+duplicate evaluations.
 """
 
 from __future__ import annotations
@@ -29,38 +40,52 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.schemes import SchemeSpec, get_scheme, global_registry
 from repro.topology.topology import Topology
 
 __all__ = ["CandidateScheme", "SearchSpace", "ALL_STRATEGIES",
            "PLAN_STRATEGIES"]
 
-#: Every strategy the tuner knows how to evaluate.
+#: The built-in strategies (registry snapshot at import).  Kept as
+#: module constants for compatibility; the live vocabulary — custom
+#: registrations included — is :func:`repro.schemes.scheme_names`.
 ALL_STRATEGIES: Tuple[str, ...] = (
     "dgcl", "dgcl-cache", "peer-to-peer", "swap", "replication", "dgcl-r",
+    "cagnet-1.5d", "cagnet-2d", "distgnn-delayed",
 )
 
-#: Strategies that produce a :class:`~repro.core.plan.CommPlan` a
-#: session can execute real collectives with.
-PLAN_STRATEGIES: Tuple[str, ...] = ("dgcl", "dgcl-cache", "peer-to-peer")
+#: Built-in strategies that produce a :class:`~repro.core.plan.CommPlan`
+#: a session can execute real collectives with.
+PLAN_STRATEGIES: Tuple[str, ...] = (
+    "dgcl", "dgcl-cache", "peer-to-peer", "cagnet-1.5d", "cagnet-2d",
+    "distgnn-delayed",
+)
 
 _PARTITIONERS = ("hierarchical", "metis")
 
 
 @dataclass(frozen=True)
 class CandidateScheme:
-    """One point of the search space (hashable, JSON-able)."""
+    """One point of the search space (hashable, JSON-able).
+
+    ``strategy`` must name a registered scheme (alias-aware: ``spst``
+    and ``p2p`` resolve to their canonical names); unknown names raise
+    :class:`~repro.errors.UnknownSchemeError` listing the registry.
+    """
 
     strategy: str
     partitioner: str = "hierarchical"
     method: Optional[str] = None  # CommMethod value, or None for auto
     chunks_per_class: int = 4
+    staleness: int = 0
 
     def __post_init__(self) -> None:
-        if self.strategy not in ALL_STRATEGIES:
-            raise ValueError(
-                f"unknown strategy {self.strategy!r}; "
-                f"available: {ALL_STRATEGIES}"
-            )
+        # Canonicalise aliases so spst/p2p candidates hash/compare equal
+        # to their registered spellings; raises UnknownSchemeError (a
+        # ValueError) with the full registry listing when unknown.
+        canonical = global_registry().canonical(self.strategy)
+        if canonical != self.strategy:
+            object.__setattr__(self, "strategy", canonical)
         if self.partitioner not in _PARTITIONERS:
             raise ValueError(
                 f"unknown partitioner {self.partitioner!r}; "
@@ -68,12 +93,19 @@ class CandidateScheme:
             )
         if self.chunks_per_class < 1:
             raise ValueError("chunks_per_class must be positive")
+        if self.staleness < 0:
+            raise ValueError("staleness must be >= 0")
 
     # ------------------------------------------------------------------
     @property
+    def spec(self) -> SchemeSpec:
+        """The candidate's registered scheme spec."""
+        return get_scheme(self.strategy)
+
+    @property
     def plan_based(self) -> bool:
         """True when the candidate yields an executable CommPlan."""
-        return self.strategy in PLAN_STRATEGIES
+        return self.spec.plan_based
 
     def replication_factor(self, num_layers: int) -> Union[int, str]:
         """Boundaries replicated instead of communicated (K = layers)."""
@@ -86,12 +118,18 @@ class CandidateScheme:
         return 0
 
     def config(self) -> dict:
-        """Canonical JSON-able description (feeds the cache key)."""
+        """Canonical JSON-able description (feeds the cache key).
+
+        Includes the registered scheme's version so bumping a scheme
+        implementation invalidates every cached plan priced under it.
+        """
         return {
             "strategy": self.strategy,
+            "scheme_version": self.spec.version,
             "partitioner": self.partitioner,
             "method": self.method,
             "chunks_per_class": self.chunks_per_class,
+            "staleness": self.staleness,
         }
 
     def label(self) -> str:
@@ -103,11 +141,21 @@ class CandidateScheme:
             parts.append(f"m={self.method}")
         if self.chunks_per_class != 4:
             parts.append(f"c={self.chunks_per_class}")
+        if self.staleness:
+            parts.append(f"s={self.staleness}")
         return "/".join(parts)
 
 
 class SearchSpace:
-    """Feasible candidate enumeration for one topology."""
+    """Feasible candidate enumeration for one topology.
+
+    ``staleness_options`` overrides the per-spec staleness sweep:
+    ``None`` (default) sweeps each scheme's registered options; an
+    explicit sequence restricts every scheme to the intersection of
+    that sequence with its registered options (so ``(0,)`` pins the
+    whole space to exact aggregation — what a session's ``auto``
+    strategy uses, since the session runtime refreshes every epoch).
+    """
 
     def __init__(
         self,
@@ -117,24 +165,39 @@ class SearchSpace:
         methods: Sequence[Optional[str]] = (None,),
         chunk_options: Sequence[int] = (4,),
         plan_based_only: bool = False,
+        staleness_options: Optional[Sequence[int]] = None,
     ) -> None:
         self.topology = topology
-        requested = tuple(strategies) if strategies is not None else ALL_STRATEGIES
+        registry = global_registry()
+        if strategies is not None:
+            requested = tuple(registry.canonical(s) for s in strategies)
+        else:
+            requested = registry.names()
         if plan_based_only:
-            requested = tuple(s for s in requested if s in PLAN_STRATEGIES)
+            requested = tuple(
+                s for s in requested if registry.get(s).plan_based
+            )
         self.strategies = requested
         self.partitioners = tuple(partitioners)
         self.methods = tuple(methods)
         self.chunk_options = tuple(chunk_options)
+        self.staleness_options = (
+            tuple(staleness_options) if staleness_options is not None
+            else None
+        )
 
     # ------------------------------------------------------------------
     def _feasible(self, strategy: str) -> bool:
-        machines = self.topology.num_machines()
-        if strategy == "swap":
-            return machines == 1
-        if strategy == "dgcl-r":
-            return machines > 1
-        return True
+        return bool(get_scheme(strategy).feasible(self.topology))
+
+    def _staleness_sweep(self, spec: SchemeSpec) -> Tuple[int, ...]:
+        """The staleness values enumerated for one scheme."""
+        options = spec.staleness_options
+        if self.staleness_options is not None:
+            options = tuple(
+                s for s in options if s in self.staleness_options
+            ) or (0,)
+        return options
 
     def candidates(self) -> List[CandidateScheme]:
         """Every feasible, deduplicated candidate of this space."""
@@ -143,37 +206,42 @@ class SearchSpace:
         for strategy in self.strategies:
             if not self._feasible(strategy):
                 continue
+            spec = get_scheme(strategy)
             for partitioner in self.partitioners:
                 for method in self.methods:
                     for chunks in self.chunk_options:
-                        cand = CandidateScheme(
-                            strategy=strategy,
-                            partitioner=partitioner,
-                            method=method,
-                            chunks_per_class=chunks,
-                        )
-                        cand = self._canonical(cand)
-                        if cand not in seen:
-                            seen.add(cand)
-                            out.append(cand)
+                        for staleness in self._staleness_sweep(spec):
+                            cand = CandidateScheme(
+                                strategy=strategy,
+                                partitioner=partitioner,
+                                method=method,
+                                chunks_per_class=chunks,
+                                staleness=staleness,
+                            )
+                            cand = self._canonical(cand)
+                            if cand not in seen:
+                                seen.add(cand)
+                                out.append(cand)
         return out
 
     @staticmethod
     def _canonical(cand: CandidateScheme) -> CandidateScheme:
         """Pin knobs that cannot influence the candidate's cost.
 
-        Replication moves no bytes, so transfer mechanism and chunking
-        are meaningless; Swap stages through host memory with its own
-        mechanism; only SPST-planned strategies route in chunks.
+        The registry spec declares which knobs matter: schemes without
+        a tunable method override (Replication moves no bytes, Swap has
+        its own host-staging mechanism, CAGNET trees are oblivious) pin
+        ``method=None``; schemes without chunked routing pin the
+        default chunking; schemes without staleness options pin
+        ``staleness=0``.
         """
-        if cand.strategy == "replication":
-            return replace(cand, method=None, chunks_per_class=4)
-        if cand.strategy == "swap":
-            return replace(cand, method=None, chunks_per_class=4)
-        if cand.strategy == "peer-to-peer":
-            return replace(cand, chunks_per_class=4)
-        if cand.strategy == "dgcl-r":
-            return replace(cand, method=None)
+        spec = cand.spec
+        if not spec.tunable_method and cand.method is not None:
+            cand = replace(cand, method=None)
+        if not spec.tunable_chunks and cand.chunks_per_class != 4:
+            cand = replace(cand, chunks_per_class=4)
+        if not spec.supports_staleness and cand.staleness != 0:
+            cand = replace(cand, staleness=0)
         return cand
 
     def __len__(self) -> int:

@@ -105,7 +105,9 @@ class TuneReport:
         Raises ``ValueError`` for winners that have no CommPlan form
         (swap / replication / dgcl-r) — those are *evaluation* schemes;
         a session that needs real collectives restricts its space with
-        ``plan_based_only=True``.
+        ``plan_based_only=True``.  Winners from the scheme registry
+        compile through their registered ``builder``; the SPST and
+        peer-to-peer winners reuse the workload's memoised plans.
         """
         cand = self.candidate
         if not cand.plan_based:
@@ -118,7 +120,13 @@ class TuneReport:
             raise RuntimeError("winner was never priced at full fidelity")
         if cand.strategy == "peer-to-peer":
             return workload.p2p_plan
-        return workload.spst_plan
+        if cand.strategy in ("dgcl", "dgcl-cache"):
+            return workload.spst_plan
+        return cand.spec.build_plan(
+            workload.relation, workload.topology,
+            chunks_per_class=cand.chunks_per_class, seed=workload.seed,
+            staleness=cand.staleness,
+        )
 
     def summary(self) -> str:
         """Human-readable ranking table."""
@@ -170,6 +178,10 @@ class AutoTuner:
     dataset:
         Twin name for the model/feature dimensions; ``None`` derives a
         content-addressed synthetic spec from the graph.
+    spec:
+        Explicit :class:`~repro.graph.datasets.DatasetSpec` overriding
+        the twin/synthetic dimensions (custom feature or hidden sizes
+        via :func:`workload_spec`); its name keys the workload caches.
     space:
         The candidate space; defaults to every feasible strategy at
         default knobs.
@@ -202,6 +214,7 @@ class AutoTuner:
         driver: Optional[SearchDriver] = None,
         assignment: Optional[np.ndarray] = None,
         auditor=None,
+        spec: Optional[DatasetSpec] = None,
     ) -> None:
         self.graph = graph
         self.topology = topology
@@ -210,7 +223,10 @@ class AutoTuner:
         self.seed = seed
         self.assignment = assignment
         self.auditor = auditor
-        if dataset is not None and dataset in DATASETS:
+        if spec is not None:
+            self.dataset = spec.name
+            self.spec = spec
+        elif dataset is not None and dataset in DATASETS:
             self.dataset = dataset
             self.spec = DATASETS[dataset]
         else:
@@ -267,7 +283,8 @@ class AutoTuner:
         auditor = self.auditor if pricing == "event" else None
         result = evaluate_scheme(
             workload, scheme=candidate.strategy, method=candidate.method,
-            fidelity=pricing, auditor=auditor,
+            fidelity=pricing, staleness=candidate.staleness,
+            auditor=auditor,
         )
         global_metrics().counter(
             "autotune.evaluations", strategy=candidate.strategy

@@ -74,11 +74,14 @@ _EVAL_CACHE: Dict[tuple, "SchemeResult"] = {}
 
 def clear_caches() -> None:
     """Drop all memoised partitions/relations/plans (mainly for tests)."""
+    from repro.schemes.builtin import clear_plan_cache
+
     _PARTITION_CACHE.clear()
     _RELATION_CACHE.clear()
     _SPST_CACHE.clear()
     _P2P_CACHE.clear()
     _EVAL_CACHE.clear()
+    clear_plan_cache()
 
 
 @dataclass
@@ -506,19 +509,25 @@ def evaluate_scheme(
     metrics: Optional[MetricsRegistry] = None,
     method: Optional[object] = None,
     fidelity: str = "event",
+    staleness: int = 0,
     auditor=None,
     recorder=None,
 ) -> SchemeResult:
     """Run one scheme on one workload; never raises on OOM.
 
-    Everything after the workload is keyword-only.  With a
-    ``tracer``/``metrics`` sink the priced collectives also emit
-    per-flow spans and counters; the returned numbers are unchanged.
-    ``auditor`` (a :class:`~repro.obs.audit.CostModelAuditor`) and
-    ``recorder`` (a :class:`~repro.obs.profile.FlightRecorder`) hang the
-    same way off the plan-based schemes' executor and collect
-    predicted-vs-actual audits and flight-recorder reports, again
-    without changing any returned number.
+    Everything after the workload is keyword-only.  ``scheme`` is
+    resolved through the :mod:`repro.schemes` registry (alias-aware, so
+    ``spst``/``p2p`` work), and each spec's ``cost_fn`` does the
+    pricing — unknown names raise
+    :class:`~repro.errors.UnknownSchemeError` listing every registered
+    scheme.  With a ``tracer``/``metrics`` sink the priced collectives
+    also emit per-flow spans and counters; the returned numbers are
+    unchanged.  ``auditor`` (a
+    :class:`~repro.obs.audit.CostModelAuditor`) and ``recorder`` (a
+    :class:`~repro.obs.profile.FlightRecorder`) hang the same way off
+    the plan-based schemes' executor and collect predicted-vs-actual
+    audits and flight-recorder reports, again without changing any
+    returned number.
 
     ``method`` forces one §6.2 transfer mechanism (a
     :class:`~repro.comm.methods.CommMethod` or its string value) on
@@ -532,62 +541,45 @@ def evaluate_scheme(
     use.  Schemes without a CommPlan (swap / replication / dgcl-r)
     always price at event fidelity.
 
-    Identical ``(workload, scheme, method, fidelity)`` cells are
-    memoised process-wide (the tuner prices the same cell across search
-    rungs); telemetry-armed calls bypass the memo so spans are always
-    emitted.
+    ``staleness`` is the bounded-staleness knob: schemes with delayed
+    aggregation (``distgnn-delayed``) amortise their communication over
+    ``staleness + 1`` epochs; exact schemes ignore it.
+
+    Identical ``(workload, scheme, method, fidelity, staleness)`` cells
+    are memoised process-wide (the tuner prices the same cell across
+    search rungs); telemetry-armed calls bypass the memo so spans are
+    always emitted.
     """
+    from repro.schemes import EvalContext, get_scheme
+
     if fidelity not in ("event", "cost"):
         raise ValueError("fidelity must be 'event' or 'cost'")
+    spec = get_scheme(scheme)  # raises UnknownSchemeError when absent
+    scheme = spec.name
+    if not spec.supports_staleness:
+        staleness = 0
     method_key = str(method) if method is not None else None
     memo_key = None
     if (tracer is None and metrics is None and auditor is None
             and recorder is None):
         memo_key = workload._cache_key() + (
             workload.model_name, workload.num_layers,
-            workload.chunks_per_class, scheme, method_key, fidelity,
+            workload.chunks_per_class, scheme, spec.version, method_key,
+            fidelity, staleness,
         )
         Workload._count_cache("evaluate", memo_key in _EVAL_CACHE)
         if memo_key in _EVAL_CACHE:
             return _copy_result(_EVAL_CACHE[memo_key])
 
     methods = None
-    if method is not None and scheme in ("dgcl", "dgcl-cache", "peer-to-peer"):
+    if method is not None and spec.tunable_method:
         forced = method if isinstance(method, CommMethod) else CommMethod(method)
         methods = MethodTable(workload.topology, force=forced)
 
-    if scheme == "dgcl":
-        result = _evaluate_partitioned(
-            workload, "dgcl", workload.spst_plan, nonatomic=True,
-            tracer=tracer, metrics=metrics, methods=methods,
-            fidelity=fidelity, auditor=auditor, recorder=recorder,
-        )
-    elif scheme == "dgcl-cache":
-        # §3 option (1): cache remote layer-0 embeddings once, trade
-        # GPU memory for the feature boundary's per-epoch allgather.
-        result = _evaluate_partitioned(
-            workload, "dgcl-cache", workload.spst_plan, nonatomic=True,
-            cache_features=True, tracer=tracer, metrics=metrics,
-            methods=methods, fidelity=fidelity,
-            auditor=auditor, recorder=recorder,
-        )
-    elif scheme == "peer-to-peer":
-        result = _evaluate_partitioned(
-            workload, "peer-to-peer", workload.p2p_plan, nonatomic=False,
-            tracer=tracer, metrics=metrics, methods=methods,
-            fidelity=fidelity, auditor=auditor, recorder=recorder,
-        )
-    elif scheme == "swap":
-        result = _evaluate_swap(workload, tracer=tracer, metrics=metrics)
-    elif scheme == "replication":
-        result = _evaluate_replication(workload)
-    elif scheme == "dgcl-r":
-        from repro.baselines.dgcl_r import evaluate_dgcl_r
-
-        result = evaluate_dgcl_r(workload)
-    else:
-        raise KeyError(f"unknown scheme {scheme!r}; available: "
-                       f"{SCHEMES + ('dgcl-cache', 'dgcl-r')}")
+    result = spec.cost_fn(workload, EvalContext(
+        fidelity=fidelity, staleness=staleness, methods=methods,
+        tracer=tracer, metrics=metrics, auditor=auditor, recorder=recorder,
+    ))
     if memo_key is not None:
         _EVAL_CACHE[memo_key] = _copy_result(result)
     return result

@@ -30,7 +30,13 @@ from repro.chaos.generator import (
 )
 from repro.chaos.oracles import ORACLES, OracleViolation, Violation
 from repro.chaos.shrink import ShrinkResult, shrink_plan
-from repro.chaos.soak import SeedResult, SoakConfig, SoakReport, SoakRunner
+from repro.chaos.soak import (
+    SeedResult,
+    SoakConfig,
+    SoakReport,
+    SoakRunner,
+    staleness_tolerance,
+)
 
 __all__ = [
     "FaultPlanGenerator",
@@ -45,4 +51,5 @@ __all__ = [
     "SoakReport",
     "ShrinkResult",
     "shrink_plan",
+    "staleness_tolerance",
 ]

@@ -61,8 +61,8 @@ __all__ = [
 
 #: Oracle names, in the order the soak report lists them.
 ORACLES = ("liveness", "delivery", "bytes", "timeline", "determinism",
-           "gradient-parity", "minibatch-parity", "serve-accounting",
-           "serve-deadline")
+           "gradient-parity", "minibatch-parity", "staleness-parity",
+           "serve-accounting", "serve-deadline")
 
 
 @dataclass(frozen=True)

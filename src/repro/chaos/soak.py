@@ -62,7 +62,26 @@ from repro.runtime.flags import FlagBoard
 from repro.runtime.protocol import ProtocolRunner
 from repro.topology import pcie_only, topology_for_gpu_count
 
-__all__ = ["SoakConfig", "SoakRunner", "SeedResult", "SoakReport"]
+__all__ = ["SoakConfig", "SoakRunner", "SeedResult", "SoakReport",
+           "staleness_tolerance"]
+
+
+def staleness_tolerance(staleness: int) -> Tuple[float, float]:
+    """The gradient-parity tolerance ladder for delayed aggregation.
+
+    Returns ``(rtol, atol)`` for comparing per-epoch losses of a
+    staleness-``s`` :class:`~repro.schemes.distgnn.DistGNNTrainer`
+    against the exact single-device reference.  Rung 0 is the exact
+    rung — the same bound the plain gradient-parity oracle uses, float
+    reduction order only.  Higher rungs widen linearly with the number
+    of delayed epochs: the drift of bounded-staleness aggregation is
+    proportional to how many updates the stale remote rows missed,
+    while a *broken* implementation (wrong rows, dropped local
+    gradients) lands orders of magnitude outside the ladder.
+    """
+    if staleness <= 0:
+        return 1e-4, 1e-6
+    return min(0.05, 2e-3 * staleness), min(1e-2, 1e-3 * staleness)
 
 
 def _resolve_topology(name: str, gpus: int):
@@ -86,6 +105,12 @@ class SoakConfig:
     #: parity (0 = protocol-level oracles only).
     train_every: int = 0
     train_epochs: int = 3
+    #: Staleness values the training seeds additionally sweep with the
+    #: delayed-aggregation trainer, each held to its
+    #: :func:`staleness_tolerance` rung and to monotone degradation.
+    #: Fault-independent, so the sweep runs once per campaign
+    #: (() = no staleness sweep).
+    staleness_ladder: Tuple[int, ...] = (0, 1, 2)
     #: Every Nth seed additionally runs one epoch of sampled mini-batch
     #: training (seeded sampler/loader from the chaos seed) twice and
     #: holds it to the determinism and minibatch-parity oracles
@@ -129,6 +154,7 @@ class SoakConfig:
             "correlated": self.correlated,
             "mix": dict(self.mix) if self.mix else None,
             "train_every": self.train_every,
+            "staleness_ladder": list(self.staleness_ladder),
             "sample_every": self.sample_every,
             "elastic_every": self.elastic_every,
             "elastic_epochs": self.elastic_epochs,
@@ -289,6 +315,8 @@ class SoakRunner:
         )
         self._ref_losses: Dict[int, List[float]] = {}
         self._train_task = None
+        #: Memoised staleness-ladder verdict (fault-independent).
+        self._staleness_violations: Optional[List[Violation]] = None
         self._elastic_generator = None
         self._serve_session = None
 
@@ -458,6 +486,72 @@ class SoakRunner:
                 f"(max gap {max(gaps):.3e})",
             ))
         return violations
+
+    def check_staleness(self) -> List[Violation]:
+        """Delayed aggregation against the gradient-parity ladder.
+
+        Trains the soak's training task once per rung of
+        ``config.staleness_ladder`` under the delayed-aggregation
+        trainer (fault-free: the ladder judges the *scheme*, the fault
+        plans judge the protocol) and holds each run to two
+        invariants:
+
+        * every rung's per-epoch losses sit within its
+          :func:`staleness_tolerance` band of the single-device
+          reference — rung 0 is therefore exact parity;
+        * degradation is monotone: a rung's worst loss gap never
+          *shrinks* below the previous rung's beyond float slack
+          (staler aggregates cannot be more accurate).
+        """
+        from repro.core.baseline_planners import peer_to_peer_plan
+        from repro.partition.hierarchical import hierarchical_partition
+        from repro.schemes.distgnn import DistGNNTrainer
+
+        ladder = tuple(self.config.staleness_ladder)
+        if not ladder:
+            return []
+        # Fault-independent (and deterministic): sweep once per campaign.
+        if self._staleness_violations is not None:
+            return list(self._staleness_violations)
+        g, features, labels = self._training_task()
+        assignment = hierarchical_partition(
+            g, self.topology, seed=self.config.partition_seed
+        ).assignment
+        relation = CommRelation(g, assignment, self.topology.num_devices)
+        plan = peer_to_peer_plan(relation, self.topology,
+                                 name="distgnn-delayed")
+        ref = self._reference_losses()
+        violations: List[Violation] = []
+        gaps: List[Tuple[int, float]] = []
+        for staleness in sorted(ladder):
+            trainer = DistGNNTrainer(
+                relation, plan, self._model(), features, labels,
+                staleness=staleness,
+            )
+            losses = [
+                float(trainer.run_epoch().loss)
+                for _ in range(self.config.train_epochs)
+            ]
+            rtol, atol = staleness_tolerance(staleness)
+            gap = max(abs(a - b) for a, b in zip(losses, ref))
+            gaps.append((staleness, gap))
+            if not np.allclose(losses, ref, rtol=rtol, atol=atol):
+                violations.append(Violation(
+                    "staleness-parity",
+                    f"staleness {staleness}: losses left the tolerance "
+                    f"band (max gap {gap:.3e}, rtol {rtol:g}, "
+                    f"atol {atol:g})",
+                ))
+        for (s_lo, gap_lo), (s_hi, gap_hi) in zip(gaps, gaps[1:]):
+            if gap_hi + 1e-6 + 0.25 * gap_lo < gap_lo:
+                violations.append(Violation(
+                    "staleness-parity",
+                    f"degradation not monotone: staleness {s_hi} gap "
+                    f"{gap_hi:.3e} below staleness {s_lo} gap "
+                    f"{gap_lo:.3e}",
+                ))
+        self._staleness_violations = violations
+        return list(violations)
 
     # ------------------------------------------------------------------
     # Sampled mini-batch soak (per-batch planning + parity oracle)
@@ -732,6 +826,7 @@ class SoakRunner:
         violations, obs = self.check_plan(plan)
         if train:
             violations += self.check_training(plan)
+            violations += self.check_staleness()
         if sample:
             violations += self.check_minibatch(plan, seed)
         if elastic:

@@ -29,6 +29,7 @@ __all__ = [
     "DeviceLostError",
     "SimulatedOOMError",
     "PlanCacheError",
+    "UnknownSchemeError",
     "OracleViolation",
     "ServeError",
     "ServeSpecError",
@@ -111,6 +112,30 @@ class SimulatedOOMError(ReproError, RuntimeError):
 class PlanCacheError(ReproError, ValueError):
     """A cache entry exists but must not be used (corrupt / wrong version
     / key mismatch).  The caller treats it as a miss and replans."""
+
+
+class UnknownSchemeError(ReproError, KeyError, ValueError):
+    """A strategy / scheme name is not in the :class:`SchemeRegistry`.
+
+    Replaces the ad-hoc ``ValueError``s (session ``strategy=``,
+    :class:`~repro.autotune.space.CandidateScheme`) and ``KeyError``
+    (:func:`~repro.baselines.evaluate_scheme`) that used to guard the
+    strategy surface, so it subclasses both stdlib bases — existing
+    ``except`` clauses written against either keep working.  The
+    message always lists the registered scheme names.
+    """
+
+    def __init__(self, name: str, registered: Sequence[str]) -> None:
+        self.name = name
+        self.registered = tuple(registered)
+        super().__init__(
+            f"unknown strategy {name!r}; registered schemes: "
+            f"{', '.join(self.registered)} "
+            "(register custom schemes with dgcl.register_scheme)"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its repr; keep the text
+        return self.args[0]
 
 
 class ServeError(ReproError):

@@ -1,0 +1,40 @@
+"""Pluggable communication schemes (ROADMAP item 3).
+
+One registry is the source of truth for every ``strategy=`` /
+``--strategy`` / ``scheme=`` surface in the library: the session, the
+auto-tuner's search space, :func:`~repro.baselines.evaluate_scheme`
+and the CLI all resolve names here.  Importing this package installs
+the built-in schemes (the paper's four, the DGCL variants, CAGNET
+1.5D/2D, DistGNN delayed aggregation); custom schemes plug in with
+:func:`register_scheme` — see ``docs/schemes.md`` for the catalogue
+and a worked registration example.
+"""
+
+from repro.schemes.registry import (
+    EvalContext,
+    SchemeRegistry,
+    SchemeSpec,
+    get_scheme,
+    global_registry,
+    plan_scheme_names,
+    register_scheme,
+    resolve_strategy,
+    scheme_names,
+    session_strategy_names,
+)
+from repro.schemes import builtin as _builtin  # noqa: F401  (registers)
+from repro.errors import UnknownSchemeError
+
+__all__ = [
+    "EvalContext",
+    "SchemeRegistry",
+    "SchemeSpec",
+    "UnknownSchemeError",
+    "get_scheme",
+    "global_registry",
+    "plan_scheme_names",
+    "register_scheme",
+    "resolve_strategy",
+    "scheme_names",
+    "session_strategy_names",
+]

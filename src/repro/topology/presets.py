@@ -8,8 +8,8 @@
   per machine.
 * :func:`pcie_only` — the paper's second configuration: 8 1080-Ti GPUs
   with no NVLink at all.
-* :func:`ring`, :func:`fully_connected`, :func:`single_device` — simple
-  shapes for tests and examples.
+* :func:`ring`, :func:`torus`, :func:`fully_connected`,
+  :func:`single_device` — simple shapes for tests and examples.
 
 Device memory defaults are the testbed card capacities scaled by the same
 1/100 factor as the dataset twins (16 GB V100 -> 160 MB, 12 GB 1080-Ti ->
@@ -29,6 +29,7 @@ __all__ = [
     "multi_dgx1",
     "pcie_only",
     "ring",
+    "torus",
     "fully_connected",
     "single_device",
     "topology_for_gpu_count",
@@ -253,6 +254,42 @@ def ring(
     for i in range(num_devices):
         j = (i + 1) % num_devices
         builder.add_duplex_link(i, j, kind, bandwidth, name=f"ring:{i}-{j}")
+    return builder.build()
+
+
+def torus(
+    rows: int,
+    cols: int,
+    kind: LinkKind = LinkKind.NV1,
+    bandwidth: float = 0.0,
+    memory_bytes: int = V100_MEMORY_BYTES,
+) -> Topology:
+    """A 2D ``rows x cols`` torus: each device linked to its four grid
+    neighbours (wrap-around in both dimensions).
+
+    The natural habitat of grid-aligned dense schemes (CAGNET-2D's
+    row/column ring walks are all single-hop here) and the standard
+    mesh shape of TPU-pod-style fabrics.  ``rows`` or ``cols`` of 1
+    degenerate to :func:`ring`-like shapes; both must be at least 2 to
+    avoid self-links.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("a torus needs at least 2 rows and 2 columns")
+    builder = TopologyBuilder(f"torus{rows}x{cols}")
+    for _ in range(rows * cols):
+        builder.add_device(memory_bytes=memory_bytes)
+    seen = set()
+    for r in range(rows):
+        for c in range(cols):
+            d = r * cols + c
+            for rr, cc in ((r, (c + 1) % cols), ((r + 1) % rows, c)):
+                e = rr * cols + cc
+                pair = (min(d, e), max(d, e))
+                if d == e or pair in seen:
+                    continue
+                seen.add(pair)
+                builder.add_duplex_link(d, e, kind, bandwidth,
+                                        name=f"torus:{d}-{e}")
     return builder.build()
 
 

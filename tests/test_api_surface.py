@@ -29,6 +29,7 @@ EXPECTED_ALL = [
     "inject_faults",
     "local_graphs",
     "profile",
+    "register_scheme",
     "scatter_gradients",
     "serve",
     "session",
@@ -59,6 +60,14 @@ EXPECTED_FUNCTIONS = {
         "-> 'DGCLSession'",
     "inject_faults": "(fault_plan) -> 'FaultInjector'",
     "local_graphs": "() -> 'List[LocalGraph]'",
+    "register_scheme":
+        "(name: 'str', *, builder: 'Optional[Callable]' = None, "
+        "cost_fn: 'Optional[Callable]' = None, version: 'str' = '1', "
+        "aliases: 'Sequence[str]' = (), description: 'str' = '', "
+        "feasible: 'Optional[Callable[[object], bool]]' = None, "
+        "tunable_method: 'bool' = False, tunable_chunks: 'bool' = False, "
+        "staleness_options: 'Sequence[int]' = (0,), "
+        "replace_existing: 'bool' = False) -> 'SchemeSpec'",
     "scatter_gradients":
         "(full_grads: 'List[np.ndarray]') -> 'List[np.ndarray]'",
     "serve":
@@ -137,3 +146,16 @@ class TestApiSurface:
     def test_knob_vocabularies(self):
         assert api.SESSION_ENGINES == ("scalar", "vectorized")
         assert api.SESSION_FIDELITIES == ("event", "cost")
+        # The historical tuple survives, but the live vocabulary is the
+        # scheme registry's — every built-in plan-based scheme included.
+        assert api.SESSION_STRATEGIES == ("spst", "p2p", "auto")
+
+    def test_session_vocabulary_is_registry_derived(self):
+        from repro.schemes import session_strategy_names
+
+        names = session_strategy_names()
+        for legacy in api.SESSION_STRATEGIES:
+            assert legacy in names
+        for scheme in ("dgcl", "dgcl-cache", "peer-to-peer",
+                       "cagnet-1.5d", "cagnet-2d", "distgnn-delayed"):
+            assert scheme in names
